@@ -1,0 +1,77 @@
+//! Noisy density-matrix simulation cost — the dominant expense of every
+//! emulated device execution (and hence of on-chip training experiments).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qoc_device::backend::{Execution, FakeDevice, QuantumBackend};
+use qoc_device::backends::{fake_jakarta, fake_santiago};
+use qoc_noise::channels::{depolarizing_2q, thermal_relaxation};
+use qoc_noise::density::DensityMatrix;
+use qoc_nn::model::QnnModel;
+use qoc_sim::gates::GateKind;
+
+fn bench_kraus_application(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density/kraus_2q");
+    for n in [2usize, 4, 6] {
+        let channel = depolarizing_2q(0.01);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rho = DensityMatrix::zero_state(n);
+            rho.apply_unitary(&GateKind::H.matrix(&[]), &[0]);
+            b.iter(|| {
+                rho.apply_kraus(&channel, &[0, n - 1]);
+                std::hint::black_box(rho.trace());
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_thermal_channel(c: &mut Criterion) {
+    let channel = thermal_relaxation(120.0, 80.0, 300.0);
+    c.bench_function("density/thermal_1q_on_4q", |b| {
+        let mut rho = DensityMatrix::zero_state(4);
+        rho.apply_unitary(&GateKind::H.matrix(&[]), &[2]);
+        b.iter(|| {
+            rho.apply_kraus(&channel, &[2]);
+            std::hint::black_box(rho.trace());
+        })
+    });
+}
+
+fn bench_device_execution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("density/device_run");
+    group.sample_size(20);
+    for (name, desc, model) in [
+        ("mnist2_santiago", fake_santiago(), QnnModel::mnist2()),
+        ("mnist4_jakarta", fake_jakarta(), QnnModel::mnist4()),
+    ] {
+        let device = FakeDevice::new(desc);
+        let prepared = device.prepare(model.circuit());
+        let theta = model.symbol_vector(
+            &vec![0.2; model.num_params()],
+            &vec![0.7; model.input_dim()],
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(device.run_prepared(
+                    &prepared,
+                    &theta,
+                    Execution::Shots(1024),
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kraus_application,
+    bench_thermal_channel,
+    bench_device_execution
+);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Micro-benchmarks of the statevector gate kernels — the inner loop of
+//! everything in this repository (classical simulation cost is the villain
+//! of the paper's Figures 2(a) and 8).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qoc_sim::gates::GateKind;
+use qoc_sim::statevector::Statevector;
+
+fn bench_single_qubit(c: &mut Criterion) {
+    let h = GateKind::H.matrix(&[]);
+    let mut group = c.benchmark_group("apply_1q");
+    for n in [8usize, 12, 16, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sv = Statevector::zero_state(n);
+            b.iter(|| {
+                sv.apply_1q(&h, n / 2);
+                std::hint::black_box(sv.amplitudes()[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_qubit(c: &mut Criterion) {
+    let rzz = GateKind::Rzz.matrix(&[0.37]);
+    let mut group = c.benchmark_group("apply_2q");
+    for n in [8usize, 12, 16, 20] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sv = Statevector::zero_state(n);
+            b.iter(|| {
+                sv.apply_2q(&rzz, 0, n - 1);
+                std::hint::black_box(sv.amplitudes()[0]);
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_expectations(c: &mut Criterion) {
+    let mut group = c.benchmark_group("expectation_all_z");
+    for n in [8usize, 12, 16] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut sv = Statevector::zero_state(n);
+            let h = GateKind::H.matrix(&[]);
+            for q in 0..n {
+                sv.apply_1q(&h, q);
+            }
+            b.iter(|| std::hint::black_box(sv.expectation_all_z()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_single_qubit, bench_two_qubit, bench_expectations);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Parameter-shift engine cost: forward values, single gradient rows, and
+//! full Jacobians of the paper's QNN models on the noiseless backend
+//! (device-backed cost is dominated by the noisy simulator, benched in
+//! `density.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qoc_core::shift::ParameterShiftEngine;
+use qoc_device::backend::{Execution, NoiselessBackend};
+use qoc_nn::model::QnnModel;
+
+fn bench_forward(c: &mut Criterion) {
+    let model = QnnModel::mnist2();
+    let backend = NoiselessBackend::new();
+    let engine = ParameterShiftEngine::new(&backend, model.circuit(), model.num_params(), Execution::Exact);
+    let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
+    let mut rng = StdRng::seed_from_u64(1);
+    c.bench_function("shift/forward_mnist2", |b| {
+        b.iter(|| std::hint::black_box(engine.value(&theta, &mut rng)))
+    });
+}
+
+fn bench_jacobian(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shift/jacobian");
+    for (name, model) in [
+        ("mnist2_8p", QnnModel::mnist2()),
+        ("vowel4_16p", QnnModel::vowel4()),
+        ("mnist4_36p", QnnModel::mnist4()),
+    ] {
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(
+            &backend,
+            model.circuit(),
+            model.num_params(),
+            Execution::Exact,
+        );
+        let theta = model.symbol_vector(
+            &vec![0.2; model.num_params()],
+            &vec![0.7; model.input_dim()],
+        );
+        let mut rng = StdRng::seed_from_u64(2);
+        group.bench_function(name, |b| {
+            b.iter(|| std::hint::black_box(engine.jacobian(&theta, &mut rng)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sampled_forward(c: &mut Criterion) {
+    let model = QnnModel::mnist2();
+    let backend = NoiselessBackend::new();
+    let engine = ParameterShiftEngine::new(
+        &backend,
+        model.circuit(),
+        model.num_params(),
+        Execution::Shots(1024),
+    );
+    let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
+    let mut rng = StdRng::seed_from_u64(3);
+    c.bench_function("shift/forward_mnist2_1024shots", |b| {
+        b.iter(|| std::hint::black_box(engine.value(&theta, &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_forward, bench_jacobian, bench_sampled_forward);
+criterion_main!(benches);

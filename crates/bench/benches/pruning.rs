@@ -1,0 +1,52 @@
+//! Gradient-pruning overhead: the weighted sampler and the full pruner step
+//! must be negligible next to circuit execution (they are pure classical
+//! bookkeeping in the paper's flow).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qoc_core::prune::{
+    weighted_sample_without_replacement, ProbabilisticPruner, PruneConfig, Pruner,
+};
+
+fn bench_weighted_sampler(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune/weighted_sample");
+    for n in [36usize, 256, 4096] {
+        let weights: Vec<f64> = (0..n).map(|i| (i % 17) as f64 + 0.1).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| {
+                std::hint::black_box(weighted_sample_without_replacement(
+                    &weights,
+                    n / 2,
+                    &mut rng,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pruner_cycle(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prune/stage_cycle");
+    for n in [36usize, 1024] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut pruner = ProbabilisticPruner::new(n, PruneConfig::paper_default());
+            let grads: Vec<f64> = (0..n).map(|i| (i as f64).sin().abs()).collect();
+            let mut rng = StdRng::seed_from_u64(2);
+            b.iter(|| {
+                // One full stage: 1 accumulation + 2 pruning steps.
+                for _ in 0..3 {
+                    let sel = pruner.begin_step(&mut rng);
+                    pruner.record(&grads);
+                    std::hint::black_box(&sel);
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_weighted_sampler, bench_pruner_cycle);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Transpiler cost: basis decomposition, routing, and the full pipeline for
+//! the paper's QNN circuits on each fake machine. Amortized once per
+//! prepared circuit, but worth keeping cheap: the paper resubmits thousands
+//! of shifted circuits per epoch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use qoc_device::backends::{fake_jakarta, fake_lima, fake_santiago, fake_toronto};
+use qoc_device::transpile::{decompose::decompose_circuit, transpile, TranspileOptions};
+use qoc_nn::model::QnnModel;
+
+fn bench_decompose(c: &mut Criterion) {
+    let model = QnnModel::mnist4();
+    c.bench_function("transpile/decompose_mnist4", |b| {
+        b.iter(|| std::hint::black_box(decompose_circuit(model.circuit())))
+    });
+}
+
+fn bench_full_pipeline(c: &mut Criterion) {
+    let model = QnnModel::vowel4();
+    let mut group = c.benchmark_group("transpile/full");
+    for desc in [fake_santiago(), fake_lima(), fake_jakarta(), fake_toronto()] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(desc.name.clone()),
+            &desc,
+            |b, desc| {
+                b.iter(|| {
+                    std::hint::black_box(transpile(
+                        model.circuit(),
+                        &desc.coupling,
+                        TranspileOptions::default(),
+                    ))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_no_optimize(c: &mut Criterion) {
+    let model = QnnModel::vowel4();
+    let desc = fake_santiago();
+    c.bench_function("transpile/no_peephole_santiago", |b| {
+        b.iter(|| {
+            std::hint::black_box(transpile(
+                model.circuit(),
+                &desc.coupling,
+                TranspileOptions {
+                    optimize: false,
+                    smart_layout: true,
+                },
+            ))
+        })
+    });
+}
+
+criterion_group!(benches, bench_decompose, bench_full_pipeline, bench_no_optimize);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! **Figure 7** — ablation of the three pruning hyper-parameters on
+//! Fashion-4 and MNIST-2: pruning ratio `r`, accumulation window width
+//! `w_a`, and pruning window width `w_p`.
+//!
+//! Usage: `cargo run --release -p qoc-bench --bin fig7 [--steps N]`
+
+use qoc_bench::suite::{Measurement, TaskBench};
+use qoc_bench::{arg_usize, format_table, save_json};
+use qoc_core::engine::{train, PruningKind};
+use qoc_core::prune::PruneConfig;
+use qoc_data::tasks::Task;
+
+fn run(bench: &TaskBench, cfg: PruneConfig, steps: usize, seed: u64) -> f64 {
+    let mut c = bench.config(steps, seed);
+    c.pruning = PruningKind::Probabilistic(cfg);
+    let result = train(
+        &bench.model,
+        &bench.device,
+        &bench.train_set,
+        &bench.val_set,
+        &c,
+    );
+    bench.validate(&bench.device, &result.params, 150, seed)
+}
+
+fn main() {
+    let steps = arg_usize("--steps", 24);
+    let seed = arg_usize("--seed", 42) as u64;
+    let mut json = Vec::new();
+
+    for task in [Task::Fashion4, Task::Mnist2] {
+        let bench = TaskBench::new(task, seed);
+        let base = PruneConfig {
+            accumulation_window: 1,
+            pruning_window: 2,
+            ratio: 0.5,
+        };
+
+        // Sweep 1: pruning ratio r.
+        let mut rows = Vec::new();
+        for r in [0.3, 0.5, 0.7, 0.85] {
+            eprintln!("[fig7] {task}: ratio {r} ...");
+            let acc = run(&bench, PruneConfig { ratio: r, ..base }, steps, seed);
+            rows.push(vec![format!("{r}"), format!("{acc:.3}")]);
+            json.push(Measurement {
+                label: format!("{task}/ratio"),
+                values: vec![("r".into(), r), ("acc".into(), acc)],
+            });
+        }
+        println!("== {task}: sweep pruning ratio (w_a=1, w_p=2) ==");
+        println!("{}", format_table(&["r", "val_acc"], &rows));
+
+        // Sweep 2: accumulation window w_a.
+        let mut rows = Vec::new();
+        for wa in [1usize, 2, 4, 8] {
+            eprintln!("[fig7] {task}: w_a {wa} ...");
+            let acc = run(
+                &bench,
+                PruneConfig {
+                    accumulation_window: wa,
+                    ..base
+                },
+                steps,
+                seed,
+            );
+            rows.push(vec![format!("{wa}"), format!("{acc:.3}")]);
+            json.push(Measurement {
+                label: format!("{task}/w_a"),
+                values: vec![("w_a".into(), wa as f64), ("acc".into(), acc)],
+            });
+        }
+        println!("== {task}: sweep accumulation window (r=0.5, w_p=2) ==");
+        println!("{}", format_table(&["w_a", "val_acc"], &rows));
+
+        // Sweep 3: pruning window w_p.
+        let mut rows = Vec::new();
+        for wp in [1usize, 2, 3, 5] {
+            eprintln!("[fig7] {task}: w_p {wp} ...");
+            let acc = run(
+                &bench,
+                PruneConfig {
+                    pruning_window: wp,
+                    ..base
+                },
+                steps,
+                seed,
+            );
+            rows.push(vec![format!("{wp}"), format!("{acc:.3}")]);
+            json.push(Measurement {
+                label: format!("{task}/w_p"),
+                values: vec![("w_p".into(), wp as f64), ("acc".into(), acc)],
+            });
+        }
+        println!("== {task}: sweep pruning window (r=0.5, w_a=1) ==");
+        println!("{}", format_table(&["w_p", "val_acc"], &rows));
+    }
+
+    println!(
+        "Expected shape (paper): r≈0.5 is a sweet spot (overly large ratios hurt);\n\
+         w_a=1..2 suffice (large w_a flattens the sampling distribution);\n\
+         large w_p degrades accuracy as the stale magnitudes mislead pruning."
+    );
+    save_json("fig7", &json);
+}

@@ -1,0 +1,74 @@
+//! **Table 1** — accuracy comparison across the 5 tasks and 4 settings:
+//! Classical-Train evaluated in simulation, Classical-Train evaluated on QC,
+//! QC-Train, and QC-Train-PGP (each QC setting on the paper's device for
+//! that task).
+//!
+//! Usage: `cargo run --release -p qoc-bench --bin table1 [--steps N]`
+//! (default 30 steps; the paper's qualitative ordering — PGP ≥ QC-Train and
+//! close to noise-free simulation — should hold at any reasonable budget).
+
+use qoc_bench::suite::{Measurement, TaskBench};
+use qoc_bench::{arg_usize, format_table, save_json};
+use qoc_data::tasks::ALL_TASKS;
+
+fn main() {
+    let steps = arg_usize("--steps", 30);
+    let seed = arg_usize("--seed", 42) as u64;
+    let mut rows = Vec::new();
+    let mut json = Vec::new();
+
+    println!("Table 1 reproduction — {steps} training steps per setting\n");
+    for &task in ALL_TASKS {
+        let bench = TaskBench::new(task, seed);
+        eprintln!("[table1] {task} on {} ...", task.paper_device());
+
+        // Classical-Train once; evaluate twice (simulator + device).
+        let classical = bench.train_classical(steps, seed);
+        let acc_simu = bench.validate(&bench.simulator, &classical.params, 300, seed);
+        let acc_classical_on_qc = bench.validate(&bench.device, &classical.params, 300, seed);
+
+        let qc = bench.train_qc(steps, seed);
+        let acc_qc = bench.validate(&bench.device, &qc.params, 300, seed);
+
+        let pgp = bench.train_qc_pgp(steps, seed);
+        let acc_pgp = bench.validate(&bench.device, &pgp.params, 300, seed);
+
+        rows.push(vec![
+            task.name().to_string(),
+            task.paper_device().to_string(),
+            format!("{acc_simu:.3}"),
+            format!("{acc_classical_on_qc:.3}"),
+            format!("{acc_qc:.3}"),
+            format!("{acc_pgp:.3}"),
+        ]);
+        json.push(Measurement {
+            label: task.name().to_string(),
+            values: vec![
+                ("classical_simu".into(), acc_simu),
+                ("classical_on_qc".into(), acc_classical_on_qc),
+                ("qc_train".into(), acc_qc),
+                ("qc_train_pgp".into(), acc_pgp),
+            ],
+        });
+    }
+
+    println!(
+        "{}",
+        format_table(
+            &[
+                "task",
+                "device",
+                "Classical(Simu)",
+                "Classical(QC)",
+                "QC-Train",
+                "QC-Train-PGP",
+            ],
+            &rows,
+        )
+    );
+    println!(
+        "Expected shape (paper): Classical(Simu) highest; QC-Train-PGP second,\n\
+         above QC-Train and Classical(QC); 2-class ≥ 0.9, 4-class ≥ 0.6 on QC."
+    );
+    save_json("table1", &json);
+}

@@ -1,0 +1,187 @@
+//! Shared experiment plumbing: task → model/device wiring and the four
+//! training settings of the paper (Classical-Train, Classical-Train
+//! evaluated on QC, QC-Train, QC-Train-PGP).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use qoc_core::engine::{train, PruningKind, TrainConfig, TrainResult};
+use qoc_core::eval::evaluate_with_params;
+use qoc_core::prune::PruneConfig;
+use qoc_data::dataset::Dataset;
+use qoc_data::tasks::Task;
+use qoc_device::backend::{Execution, FakeDevice, NoiselessBackend, QuantumBackend};
+use qoc_device::backends::{
+    fake_jakarta, fake_lima, fake_manila, fake_santiago, DeviceDescription,
+};
+use qoc_nn::model::QnnModel;
+
+/// The QNN architecture the paper assigns to a task.
+pub fn model_for(task: Task) -> QnnModel {
+    match task {
+        Task::Mnist2 => QnnModel::mnist2(),
+        Task::Mnist4 => QnnModel::mnist4(),
+        Task::Fashion2 => QnnModel::fashion2(),
+        Task::Fashion4 => QnnModel::fashion4(),
+        Task::Vowel4 => QnnModel::vowel4(),
+    }
+}
+
+/// The fake device the paper assigns to a task (Table 1 caption).
+pub fn device_for(task: Task) -> DeviceDescription {
+    match task {
+        Task::Mnist4 | Task::Mnist2 => fake_jakarta(),
+        Task::Fashion4 => fake_manila(),
+        Task::Fashion2 => fake_santiago(),
+        Task::Vowel4 => fake_lima(),
+    }
+}
+
+/// The paper's PGP hyper-parameters for a task: `r = 0.5` everywhere except
+/// Fashion-4, which uses `r = 0.7` (Section 4.1, last paragraph).
+pub fn pgp_config_for(task: Task) -> PruneConfig {
+    PruneConfig {
+        accumulation_window: 1,
+        pruning_window: 2,
+        ratio: if task == Task::Fashion4 { 0.7 } else { 0.5 },
+    }
+}
+
+/// A complete per-task experiment context.
+#[derive(Debug)]
+pub struct TaskBench {
+    /// The task.
+    pub task: Task,
+    /// Its model.
+    pub model: QnnModel,
+    /// Its emulated device.
+    pub device: FakeDevice,
+    /// Noiseless reference backend.
+    pub simulator: NoiselessBackend,
+    /// Train split.
+    pub train_set: Dataset,
+    /// Validation split.
+    pub val_set: Dataset,
+}
+
+impl TaskBench {
+    /// Loads everything for a task with a data seed.
+    pub fn new(task: Task, seed: u64) -> Self {
+        let (train_set, val_set) = task.load(seed);
+        TaskBench {
+            task,
+            model: model_for(task),
+            device: FakeDevice::new(device_for(task)),
+            simulator: NoiselessBackend::new(),
+            train_set,
+            val_set,
+        }
+    }
+
+    /// Base training config for this suite. `steps` is the 2-class budget;
+    /// 4-class tasks get twice the steps and a larger batch (their loss
+    /// landscape needs more signal per step — the paper likewise trains the
+    /// 4-class tasks much longer, cf. the Figure 6 x-ranges).
+    pub fn config(&self, steps: usize, seed: u64) -> TrainConfig {
+        let four_class = self.task.num_classes() == 4;
+        let steps = if four_class { steps * 2 } else { steps };
+        let mut c = TrainConfig::paper_default(steps);
+        c.schedule = qoc_core::sched::LrSchedule::paper_cosine(steps);
+        c.batch_size = if four_class { 16 } else { 8 };
+        c.eval_every = (steps / 6).max(2);
+        c.seed = seed;
+        c
+    }
+
+    /// Classical-Train: noiseless simulation with sampled measurement.
+    pub fn train_classical(&self, steps: usize, seed: u64) -> TrainResult {
+        train(
+            &self.model,
+            &self.simulator,
+            &self.train_set,
+            &self.val_set,
+            &self.config(steps, seed),
+        )
+    }
+
+    /// QC-Train: on-device training, no pruning.
+    pub fn train_qc(&self, steps: usize, seed: u64) -> TrainResult {
+        train(
+            &self.model,
+            &self.device,
+            &self.train_set,
+            &self.val_set,
+            &self.config(steps, seed),
+        )
+    }
+
+    /// QC-Train-PGP: on-device training with probabilistic gradient pruning.
+    pub fn train_qc_pgp(&self, steps: usize, seed: u64) -> TrainResult {
+        let mut c = self.config(steps, seed);
+        c.pruning = PruningKind::Probabilistic(pgp_config_for(self.task));
+        train(
+            &self.model,
+            &self.device,
+            &self.train_set,
+            &self.val_set,
+            &c,
+        )
+    }
+
+    /// Accuracy of fixed parameters on the validation set, on a backend.
+    pub fn validate(
+        &self,
+        backend: &dyn QuantumBackend,
+        params: &[f64],
+        max_examples: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let subset = if self.val_set.len() > max_examples {
+            self.val_set.sample(max_examples, &mut rng)
+        } else {
+            self.val_set.clone()
+        };
+        evaluate_with_params(
+            &self.model,
+            backend,
+            params,
+            &subset,
+            Execution::Shots(1024),
+            &mut rng,
+        )
+        .accuracy
+    }
+}
+
+/// A generic named measurement row for JSON persistence.
+#[derive(Debug, Clone, Serialize)]
+pub struct Measurement {
+    /// Row label (task, setting, parameter value, …).
+    pub label: String,
+    /// Measured values keyed by column.
+    pub values: Vec<(String, f64)>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wiring_matches_paper_assignments() {
+        use qoc_device::backend::QuantumBackend as _;
+        for &task in qoc_data::tasks::ALL_TASKS {
+            let bench = TaskBench::new(task, 1);
+            assert_eq!(bench.device.name(), task.paper_device());
+            assert_eq!(bench.model.num_classes(), task.num_classes());
+            assert_eq!(bench.model.input_dim(), task.feature_dim());
+        }
+    }
+
+    #[test]
+    fn fashion4_uses_higher_ratio() {
+        assert_eq!(pgp_config_for(Task::Fashion4).ratio, 0.7);
+        assert_eq!(pgp_config_for(Task::Mnist2).ratio, 0.5);
+    }
+}

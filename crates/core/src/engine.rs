@@ -1,0 +1,380 @@
+//! The on-chip training engine (paper Algorithm 1).
+//!
+//! Drives the full QOC loop: sample a mini-batch, evaluate (possibly pruned)
+//! parameter-shift gradients on the backend, update the parameters, and
+//! record losses, validation accuracies, and the cumulative number of
+//! circuit executions ("inferences", the x-axis of the paper's Figure 6).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use qoc_data::dataset::Dataset;
+use qoc_device::backend::{Execution, QuantumBackend};
+use qoc_nn::model::QnnModel;
+
+use crate::eval::evaluate_params_prepared;
+use crate::grad::QnnGradientComputer;
+use crate::optim::OptimizerKind;
+use crate::prune::{
+    DeterministicPruner, NoPruning, ProbabilisticPruner, PruneConfig, Pruner, Selection,
+};
+use crate::sched::LrSchedule;
+
+/// Gradient-pruning mode.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum PruningKind {
+    /// QC-Train / Classical-Train baseline: every gradient every step.
+    None,
+    /// The paper's probabilistic gradient pruning.
+    Probabilistic(PruneConfig),
+    /// The Table 2 deterministic (top-k) baseline.
+    Deterministic(PruneConfig),
+}
+
+impl PruningKind {
+    fn build(self, num_params: usize) -> Box<dyn Pruner> {
+        match self {
+            PruningKind::None => Box::new(NoPruning),
+            PruningKind::Probabilistic(cfg) => {
+                Box::new(ProbabilisticPruner::new(num_params, cfg))
+            }
+            PruningKind::Deterministic(cfg) => {
+                Box::new(DeterministicPruner::new(num_params, cfg))
+            }
+        }
+    }
+}
+
+/// Training configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of optimizer steps.
+    pub steps: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimizer (the paper defaults to Adam).
+    pub optimizer: OptimizerKind,
+    /// Learning-rate schedule (the paper uses cosine 0.3 → 0.03).
+    pub schedule: LrSchedule,
+    /// Gradient pruning mode.
+    pub pruning: PruningKind,
+    /// Shot policy for every circuit execution.
+    pub execution: Execution,
+    /// RNG seed (parameter init, batching, sampling, shots).
+    pub seed: u64,
+    /// Evaluate on validation data every this many steps (and at the end).
+    pub eval_every: usize,
+    /// Evaluate on at most this many validation examples per checkpoint
+    /// (validation runs on hardware too; the paper's curves use periodic
+    /// checks, not full sweeps each step).
+    pub eval_examples: usize,
+    /// Parameter init: uniform in `[-init_scale, init_scale]`.
+    pub init_scale: f64,
+}
+
+impl TrainConfig {
+    /// A sensible default mirroring the paper's settings at small scale.
+    pub fn paper_default(steps: usize) -> Self {
+        TrainConfig {
+            steps,
+            batch_size: 8,
+            optimizer: OptimizerKind::Adam,
+            schedule: LrSchedule::paper_cosine(steps),
+            pruning: PruningKind::None,
+            execution: Execution::Shots(1024),
+            seed: 42,
+            eval_every: 5,
+            eval_examples: 60,
+            init_scale: 0.1,
+        }
+    }
+
+    /// Same but with probabilistic gradient pruning at the paper's default
+    /// hyper-parameters.
+    pub fn paper_pgp(steps: usize) -> Self {
+        TrainConfig {
+            pruning: PruningKind::Probabilistic(PruneConfig::paper_default()),
+            ..TrainConfig::paper_default(steps)
+        }
+    }
+}
+
+/// Per-step training record.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StepRecord {
+    /// 0-based step index.
+    pub step: usize,
+    /// Mini-batch training loss.
+    pub loss: f64,
+    /// Learning rate used.
+    pub lr: f64,
+    /// How many parameters had gradients evaluated.
+    pub evaluated_params: usize,
+    /// Cumulative backend circuit executions after this step.
+    pub inferences: u64,
+}
+
+/// Validation checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalRecord {
+    /// Step index at which the checkpoint was taken.
+    pub step: usize,
+    /// Cumulative circuit executions when evaluation started.
+    pub inferences: u64,
+    /// Validation accuracy.
+    pub accuracy: f64,
+}
+
+/// Result of a training run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainResult {
+    /// Final parameters.
+    pub params: Vec<f64>,
+    /// Per-step records.
+    pub steps: Vec<StepRecord>,
+    /// Validation checkpoints (always includes the final step).
+    pub evals: Vec<EvalRecord>,
+    /// Parameter snapshot at each checkpoint (parallel to `evals`) — lets
+    /// callers re-evaluate intermediate models on other backends, e.g. the
+    /// paper's "Classical-Train tested on real QC" curves.
+    pub checkpoint_params: Vec<Vec<f64>>,
+    /// Best validation accuracy observed.
+    pub best_accuracy: f64,
+    /// Total circuit executions (training + checkpoints).
+    pub total_inferences: u64,
+    /// Estimated device wall-clock (latency model; 0 for noiseless).
+    pub device_seconds: f64,
+}
+
+/// Trains `model` on `backend` per Algorithm 1 and records the run.
+///
+/// The backend's statistics counters are reset at entry so inference counts
+/// start from zero.
+///
+/// # Panics
+///
+/// Panics if dataset widths do not match the model or the config is invalid.
+pub fn train(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    train_data: &Dataset,
+    val_data: &Dataset,
+    config: &TrainConfig,
+) -> TrainResult {
+    assert!(config.steps > 0, "need at least one training step");
+    assert!(config.batch_size > 0, "batch size must be positive");
+    assert_eq!(
+        train_data.feature_dim(),
+        model.input_dim(),
+        "training features do not match model input"
+    );
+    assert_eq!(
+        val_data.feature_dim(),
+        model.input_dim(),
+        "validation features do not match model input"
+    );
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    backend.reset_stats();
+
+    // Parameter init.
+    let n = model.num_params();
+    let mut params: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(-config.init_scale..config.init_scale))
+        .collect();
+
+    // Fixed validation subset (evaluation also costs circuit runs).
+    let eval_set = if val_data.len() > config.eval_examples {
+        val_data.sample(config.eval_examples, &mut rng)
+    } else {
+        val_data.clone()
+    };
+
+    let computer = QnnGradientComputer::new(model, backend, config.execution);
+    let eval_prepared = backend.prepare(model.circuit());
+    let mut optimizer = config.optimizer.build(n);
+    let mut pruner = config.pruning.build(n);
+
+    let mut steps = Vec::with_capacity(config.steps);
+    let mut evals = Vec::new();
+    let mut checkpoint_params = Vec::new();
+    let mut best_accuracy = 0.0f64;
+
+    for step in 0..config.steps {
+        let lr = config.schedule.lr(step);
+        let selection = pruner.begin_step(&mut rng);
+        let batch_idx = train_data.sample_batch(config.batch_size, &mut rng);
+        let batch: Vec<(&[f64], usize)> = batch_idx
+            .iter()
+            .map(|&i| {
+                let (f, l) = train_data.example(i);
+                (f, l)
+            })
+            .collect();
+
+        let (subset, evaluated): (Option<Vec<usize>>, usize) = match &selection {
+            Selection::Full => (None, n),
+            Selection::Subset(s) => (Some(s.clone()), s.len()),
+        };
+        let result = computer.batch_gradient(&params, &batch, subset.as_deref(), &mut rng);
+        pruner.record(&result.grad);
+        optimizer.step(&mut params, &result.grad, lr, subset.as_deref());
+
+        let inferences = backend.stats().circuits_run;
+        steps.push(StepRecord {
+            step,
+            loss: result.loss,
+            lr,
+            evaluated_params: evaluated,
+            inferences,
+        });
+
+        let last = step + 1 == config.steps;
+        if last || (step + 1) % config.eval_every == 0 {
+            let snapshot = backend.stats().circuits_run;
+            let eval = evaluate_params_prepared(
+                model,
+                backend,
+                &eval_prepared,
+                &params,
+                &eval_set,
+                config.execution,
+                &mut rng,
+            );
+            best_accuracy = best_accuracy.max(eval.accuracy);
+            evals.push(EvalRecord {
+                step,
+                inferences: snapshot,
+                accuracy: eval.accuracy,
+            });
+            checkpoint_params.push(params.clone());
+        }
+    }
+
+    let stats = backend.stats();
+    TrainResult {
+        params,
+        steps,
+        evals,
+        checkpoint_params,
+        best_accuracy,
+        total_inferences: stats.circuits_run,
+        device_seconds: stats.estimated_device_seconds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_device::backend::NoiselessBackend;
+
+    /// A tiny linearly-separable 2-class dataset in encoder space.
+    fn toy_data(n: usize) -> Dataset {
+        let features: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let class = i % 2;
+                let base = if class == 0 { 0.4 } else { 2.4 };
+                (0..16).map(|k| base + 0.05 * ((i + k) % 3) as f64).collect()
+            })
+            .collect();
+        let labels = (0..n).map(|i| i % 2).collect();
+        Dataset::new(features, labels, 2)
+    }
+
+    fn quick_config(steps: usize) -> TrainConfig {
+        TrainConfig {
+            steps,
+            batch_size: 4,
+            optimizer: OptimizerKind::Adam,
+            schedule: LrSchedule::Constant { lr: 0.2 },
+            pruning: PruningKind::None,
+            execution: Execution::Exact,
+            seed: 7,
+            eval_every: 5,
+            eval_examples: 16,
+            init_scale: 0.1,
+        }
+    }
+
+    #[test]
+    fn training_reduces_loss_and_learns_toy_task() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let train_ds = toy_data(32);
+        let val_ds = toy_data(16);
+        let result = train(&model, &backend, &train_ds, &val_ds, &quick_config(40));
+        let first = result.steps[0].loss;
+        let last = result.steps.last().unwrap().loss;
+        assert!(last < first, "loss did not drop: {first} → {last}");
+        assert!(result.best_accuracy > 0.85, "accuracy {}", result.best_accuracy);
+        assert_eq!(result.steps.len(), 40);
+        assert!(!result.evals.is_empty());
+    }
+
+    #[test]
+    fn inference_counts_are_monotone_and_plausible() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let train_ds = toy_data(16);
+        let val_ds = toy_data(8);
+        let cfg = quick_config(6);
+        let result = train(&model, &backend, &train_ds, &val_ds, &cfg);
+        for w in result.steps.windows(2) {
+            assert!(w[1].inferences > w[0].inferences);
+        }
+        // Per full step: batch 4 × (1 + 2·8 params) = 68 runs.
+        assert_eq!(result.steps[0].inferences, 68);
+        assert_eq!(result.total_inferences, backend.stats().circuits_run);
+    }
+
+    #[test]
+    fn pruning_reduces_evaluated_params_and_inferences() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let train_ds = toy_data(16);
+        let val_ds = toy_data(8);
+        let mut cfg = quick_config(9);
+        cfg.pruning = PruningKind::Probabilistic(PruneConfig::paper_default());
+        let pruned = train(&model, &backend, &train_ds, &val_ds, &cfg);
+        // Steps 0, 3, 6 are accumulation (w_a = 1, w_p = 2): full 8 params;
+        // the rest evaluate 4.
+        let evaluated: Vec<usize> = pruned.steps.iter().map(|s| s.evaluated_params).collect();
+        assert_eq!(evaluated, vec![8, 4, 4, 8, 4, 4, 8, 4, 4]);
+
+        let mut cfg_full = quick_config(9);
+        cfg_full.pruning = PruningKind::None;
+        let full = train(&model, &backend, &train_ds, &val_ds, &cfg_full);
+        assert!(pruned.total_inferences < full.total_inferences);
+    }
+
+    #[test]
+    fn deterministic_pruning_runs() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let mut cfg = quick_config(6);
+        cfg.pruning = PruningKind::Deterministic(PruneConfig::paper_default());
+        let result = train(&model, &backend, &toy_data(16), &toy_data(8), &cfg);
+        assert_eq!(result.steps.len(), 6);
+    }
+
+    #[test]
+    fn same_seed_reproduces_run() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let ds = toy_data(16);
+        let a = train(&model, &backend, &ds, &ds, &quick_config(4));
+        let b = train(&model, &backend, &ds, &ds, &quick_config(4));
+        assert_eq!(a.params, b.params);
+        assert_eq!(a.evals, b.evals);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one training step")]
+    fn rejects_zero_steps() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let ds = toy_data(8);
+        let _ = train(&model, &backend, &ds, &ds, &quick_config(0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Model evaluation on a backend.
+
+use rand::RngCore;
+
+use qoc_data::dataset::Dataset;
+use qoc_device::backend::{Execution, QuantumBackend};
+use qoc_nn::loss::argmax;
+use qoc_nn::metrics::accuracy;
+use qoc_nn::model::QnnModel;
+
+/// Outcome of evaluating a model on a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalResult {
+    /// Classification accuracy in `[0, 1]`.
+    pub accuracy: f64,
+    /// Per-example argmax predictions.
+    pub predictions: Vec<usize>,
+}
+
+/// Runs the model on every example of `dataset` and scores the argmax
+/// predictions. The circuit is prepared once and reused.
+///
+/// # Panics
+///
+/// Panics if the dataset's feature width does not match the model.
+pub fn evaluate(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    dataset: &Dataset,
+    execution: Execution,
+    rng: &mut dyn RngCore,
+) -> EvalResult {
+    assert_eq!(
+        dataset.feature_dim(),
+        model.input_dim(),
+        "dataset features do not match model input"
+    );
+    let prepared = backend.prepare(model.circuit());
+    evaluate_prepared(model, backend, &prepared, dataset, execution, rng, None)
+}
+
+/// Like [`evaluate`] but with a caller-prepared circuit and fixed parameters
+/// (`params = None` means zeros — useful as a sanity baseline).
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_with_params(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    params: &[f64],
+    dataset: &Dataset,
+    execution: Execution,
+    rng: &mut dyn RngCore,
+) -> EvalResult {
+    let prepared = backend.prepare(model.circuit());
+    evaluate_prepared(
+        model,
+        backend,
+        &prepared,
+        dataset,
+        execution,
+        rng,
+        Some(params),
+    )
+}
+
+fn evaluate_prepared(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    prepared: &qoc_device::backend::PreparedCircuit,
+    dataset: &Dataset,
+    execution: Execution,
+    rng: &mut dyn RngCore,
+    params: Option<&[f64]>,
+) -> EvalResult {
+    let zeros;
+    let params = match params {
+        Some(p) => p,
+        None => {
+            zeros = vec![0.0; model.num_params()];
+            &zeros
+        }
+    };
+    let mut predictions = Vec::with_capacity(dataset.len());
+    for i in 0..dataset.len() {
+        let (input, _) = dataset.example(i);
+        let theta = model.symbol_vector(params, input);
+        let expectations = backend.run_prepared(prepared, &theta, execution, rng);
+        let logits = model.logits_from_expectations(&expectations);
+        predictions.push(argmax(&logits));
+    }
+    EvalResult {
+        accuracy: accuracy(&predictions, dataset.labels()),
+        predictions,
+    }
+}
+
+/// Internal hook used by the training engine: evaluate with an
+/// already-prepared circuit.
+pub(crate) fn evaluate_params_prepared(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    prepared: &qoc_device::backend::PreparedCircuit,
+    params: &[f64],
+    dataset: &Dataset,
+    execution: Execution,
+    rng: &mut dyn RngCore,
+) -> EvalResult {
+    evaluate_prepared(model, backend, prepared, dataset, execution, rng, Some(params))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_device::backend::NoiselessBackend;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn evaluate_returns_one_prediction_per_example() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let features = (0..6).map(|k| vec![0.2 * k as f64; 16]).collect();
+        let labels = vec![0, 1, 0, 1, 0, 1];
+        let ds = Dataset::new(features, labels, 2);
+        let mut rng = StdRng::seed_from_u64(1);
+        let res = evaluate(&model, &backend, &ds, Execution::Exact, &mut rng);
+        assert_eq!(res.predictions.len(), 6);
+        assert!((0.0..=1.0).contains(&res.accuracy));
+    }
+
+    #[test]
+    fn exact_evaluation_is_deterministic() {
+        let model = QnnModel::vowel4();
+        let backend = NoiselessBackend::new();
+        let features = (0..4).map(|k| vec![0.3 * k as f64 - 0.5; 10]).collect();
+        let ds = Dataset::new(features, vec![0, 1, 2, 3], 4);
+        let params: Vec<f64> = (0..16).map(|k| 0.1 * k as f64).collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = evaluate_with_params(&model, &backend, &params, &ds, Execution::Exact, &mut rng);
+        let b = evaluate_with_params(&model, &backend, &params, &ds, Execution::Exact, &mut rng);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "do not match")]
+    fn rejects_feature_mismatch() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let ds = Dataset::new(vec![vec![0.0; 10]], vec![0], 2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let _ = evaluate(&model, &backend, &ds, Execution::Exact, &mut rng);
+    }
+}

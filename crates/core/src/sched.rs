@@ -1,0 +1,100 @@
+//! Learning-rate schedules.
+//!
+//! The paper controls the learning rate "by a cosine scheduler from 0.3 in
+//! the beginning to 0.03 in the end" (Section 4.3).
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate schedule over training steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Fixed learning rate.
+    Constant {
+        /// The rate.
+        lr: f64,
+    },
+    /// Cosine annealing from `start` at step 0 to `end` at `total_steps − 1`.
+    Cosine {
+        /// Initial learning rate.
+        start: f64,
+        /// Final learning rate.
+        end: f64,
+        /// Number of steps the decay spans.
+        total_steps: usize,
+    },
+}
+
+impl LrSchedule {
+    /// The paper's schedule: cosine 0.3 → 0.03 over `total_steps`.
+    pub fn paper_cosine(total_steps: usize) -> Self {
+        LrSchedule::Cosine {
+            start: 0.3,
+            end: 0.03,
+            total_steps,
+        }
+    }
+
+    /// Learning rate at a 0-based step index. Steps past the schedule's end
+    /// clamp to the final rate.
+    pub fn lr(&self, step: usize) -> f64 {
+        match *self {
+            LrSchedule::Constant { lr } => lr,
+            LrSchedule::Cosine {
+                start,
+                end,
+                total_steps,
+            } => {
+                if total_steps <= 1 {
+                    return end;
+                }
+                let t = (step as f64 / (total_steps - 1) as f64).min(1.0);
+                end + 0.5 * (start - end) * (1.0 + (std::f64::consts::PI * t).cos())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant { lr: 0.1 };
+        assert_eq!(s.lr(0), 0.1);
+        assert_eq!(s.lr(1000), 0.1);
+    }
+
+    #[test]
+    fn cosine_endpoints_match_paper() {
+        let s = LrSchedule::paper_cosine(100);
+        assert!((s.lr(0) - 0.3).abs() < 1e-12);
+        assert!((s.lr(99) - 0.03).abs() < 1e-12);
+        // Midpoint is the arithmetic mean for cosine decay.
+        assert!((s.lr(49) - 0.165).abs() < 0.01);
+    }
+
+    #[test]
+    fn cosine_is_monotonically_decreasing() {
+        let s = LrSchedule::paper_cosine(50);
+        for step in 1..50 {
+            assert!(s.lr(step) < s.lr(step - 1) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn past_end_clamps() {
+        let s = LrSchedule::paper_cosine(10);
+        assert!((s.lr(10_000) - 0.03).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_schedule() {
+        let s = LrSchedule::Cosine {
+            start: 0.3,
+            end: 0.03,
+            total_steps: 1,
+        };
+        assert_eq!(s.lr(0), 0.03);
+    }
+}

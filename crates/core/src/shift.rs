@@ -1,0 +1,345 @@
+//! In-situ quantum gradients via the parameter-shift rule (paper Eq. 2).
+//!
+//! For a gate `e^{-iθH/2}` with involutory generator `H`, the derivative of
+//! any circuit expectation w.r.t. θ is **exactly**
+//! `½·(f(θ+π/2) − f(θ−π/2))` — two extra circuit executions per parameter,
+//! no ancillas, no finite-difference error. This engine runs those shifted
+//! circuits through a [`QuantumBackend`], so on a [`FakeDevice`] the
+//! gradients come back noisy exactly the way hardware gradients do.
+//!
+//! [`FakeDevice`]: qoc_device::backend::FakeDevice
+
+use std::f64::consts::FRAC_PI_2;
+
+use rand::RngCore;
+
+use qoc_device::backend::{Execution, PreparedCircuit, QuantumBackend};
+use qoc_sim::circuit::{Circuit, ParamValue};
+
+/// Jacobian of circuit expectations w.r.t. trainable symbols: row `i` is
+/// `∂f/∂θᵢ` across the logical qubits.
+pub type Jacobian = Vec<Vec<f64>>;
+
+/// Parameter-shift gradient engine bound to one backend + circuit template.
+///
+/// Symbols `0..num_trainable` of the circuit are treated as trainable; any
+/// further symbols (e.g. a QNN's encoded input features) are shifted never
+/// and passed through verbatim.
+#[derive(Debug)]
+pub struct ParameterShiftEngine<'a> {
+    backend: &'a dyn QuantumBackend,
+    circuit: Circuit,
+    prepared: PreparedCircuit,
+    num_trainable: usize,
+    execution: Execution,
+    /// Symbols with exactly one occurrence of unit |scale| take the fast
+    /// path (shift the symbol itself on the already-prepared circuit).
+    simple_symbol: Vec<bool>,
+}
+
+impl<'a> ParameterShiftEngine<'a> {
+    /// Prepares the engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a trainable symbol has no gate occurrence or occurs in a
+    /// gate that does not admit the two-term shift rule (see
+    /// [`qoc_sim::gates::GateKind::supports_shift_rule`]).
+    pub fn new(
+        backend: &'a dyn QuantumBackend,
+        circuit: &Circuit,
+        num_trainable: usize,
+        execution: Execution,
+    ) -> Self {
+        assert!(
+            num_trainable <= circuit.num_symbols(),
+            "circuit has {} symbols, {num_trainable} requested as trainable",
+            circuit.num_symbols()
+        );
+        let mut simple_symbol = Vec::with_capacity(num_trainable);
+        for s in 0..num_trainable {
+            let occ = circuit.symbol_occurrences(s);
+            assert!(
+                !occ.is_empty(),
+                "trainable symbol {s} does not occur in the circuit"
+            );
+            for &(op_idx, _) in &occ {
+                let gate = circuit.ops()[op_idx].gate;
+                assert!(
+                    gate.supports_shift_rule(),
+                    "symbol {s} occurs in gate {gate}, which has no two-term shift rule"
+                );
+            }
+            let simple = occ.len() == 1 && {
+                let (op_idx, slot) = occ[0];
+                match circuit.ops()[op_idx].params[slot] {
+                    ParamValue::Sym { scale, .. } => (scale.abs() - 1.0).abs() < 1e-12,
+                    ParamValue::Const(_) => false,
+                }
+            };
+            simple_symbol.push(simple);
+        }
+        ParameterShiftEngine {
+            backend,
+            circuit: circuit.clone(),
+            prepared: backend.prepare(circuit),
+            num_trainable,
+            execution,
+            simple_symbol,
+        }
+    }
+
+    /// The backend this engine drives.
+    pub fn backend(&self) -> &dyn QuantumBackend {
+        self.backend
+    }
+
+    /// Number of trainable symbols.
+    pub fn num_trainable(&self) -> usize {
+        self.num_trainable
+    }
+
+    /// Unshifted forward evaluation `f(θ)`.
+    pub fn value(&self, theta: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+        self.backend
+            .run_prepared(&self.prepared, theta, self.execution, rng)
+    }
+
+    /// Gradient row `∂f/∂θᵢ` for one trainable symbol.
+    pub fn gradient_row(&self, theta: &[f64], i: usize, rng: &mut dyn RngCore) -> Vec<f64> {
+        assert!(i < self.num_trainable, "symbol {i} not trainable");
+        if self.simple_symbol[i] {
+            // One occurrence with |scale| = 1: a symbol-level ±π/2 shift
+            // moves the gate angle by ±scale·π/2, and the chain-rule factor
+            // `scale` cancels against the sign of the angle shift — for both
+            // scale = +1 and scale = −1 the gradient is ½·(f(θᵢ+π/2) −
+            // f(θᵢ−π/2)) with no extra factor.
+            let mut plus = theta.to_vec();
+            plus[i] += FRAC_PI_2;
+            let mut minus = theta.to_vec();
+            minus[i] -= FRAC_PI_2;
+            let fp = self
+                .backend
+                .run_prepared(&self.prepared, &plus, self.execution, rng);
+            let fm = self
+                .backend
+                .run_prepared(&self.prepared, &minus, self.execution, rng);
+            fp.iter().zip(&fm).map(|(p, m)| 0.5 * (p - m)).collect()
+        } else {
+            // General case (paper Section 3.1, final paragraph): shift each
+            // gate occurrence separately and sum, with the chain-rule factor
+            // of the occurrence's affine scale.
+            let occ = self.circuit.symbol_occurrences(i);
+            let m = self.prepared.logical_qubits();
+            let mut total = vec![0.0; m];
+            for &(op_idx, slot) in &occ {
+                let scale = match self.circuit.ops()[op_idx].params[slot] {
+                    ParamValue::Sym { scale, .. } => scale,
+                    ParamValue::Const(_) => continue,
+                };
+                let plus = self.circuit.with_occurrence_shift(op_idx, slot, FRAC_PI_2);
+                let minus = self.circuit.with_occurrence_shift(op_idx, slot, -FRAC_PI_2);
+                let fp = self
+                    .backend
+                    .expectations(&plus, theta, self.execution, rng);
+                let fm = self
+                    .backend
+                    .expectations(&minus, theta, self.execution, rng);
+                for ((t, p), mm) in total.iter_mut().zip(&fp).zip(&fm) {
+                    *t += scale * 0.5 * (p - mm);
+                }
+            }
+            total
+        }
+    }
+
+    /// The full Jacobian: `num_trainable` rows of `∂f/∂θᵢ`.
+    pub fn jacobian(&self, theta: &[f64], rng: &mut dyn RngCore) -> Jacobian {
+        (0..self.num_trainable)
+            .map(|i| self.gradient_row(theta, i, rng))
+            .collect()
+    }
+
+    /// Jacobian rows for a subset of symbols (the gradient-pruning path);
+    /// rows come back in `subset` order.
+    pub fn jacobian_subset(
+        &self,
+        theta: &[f64],
+        subset: &[usize],
+        rng: &mut dyn RngCore,
+    ) -> Jacobian {
+        subset
+            .iter()
+            .map(|&i| self.gradient_row(theta, i, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_device::backend::NoiselessBackend;
+    use qoc_sim::simulator::StatevectorSimulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn finite_difference(circuit: &Circuit, theta: &[f64], i: usize) -> Vec<f64> {
+        let sim = StatevectorSimulator::new();
+        let eps = 1e-6;
+        let mut plus = theta.to_vec();
+        plus[i] += eps;
+        let mut minus = theta.to_vec();
+        minus[i] -= eps;
+        let fp = sim.expectations_z(circuit, &plus);
+        let fm = sim.expectations_z(circuit, &minus);
+        fp.iter().zip(&fm).map(|(p, m)| (p - m) / (2.0 * eps)).collect()
+    }
+
+    fn ansatz_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.ry(0, ParamValue::sym(0));
+        c.rzz(0, 1, ParamValue::sym(1));
+        c.rxx(1, 2, ParamValue::sym(2));
+        c.rx(2, ParamValue::sym(3));
+        c.rzx(0, 2, ParamValue::sym(4));
+        c
+    }
+
+    #[test]
+    fn shift_rule_matches_finite_difference() {
+        let backend = NoiselessBackend::new();
+        let c = ansatz_circuit();
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
+        let theta = [0.37, -0.81, 1.2, 0.05, -1.7];
+        let mut rng = StdRng::seed_from_u64(1);
+        let jac = engine.jacobian(&theta, &mut rng);
+        for i in 0..5 {
+            let fd = finite_difference(&c, &theta, i);
+            for (q, (a, b)) in jac[i].iter().zip(&fd).enumerate() {
+                assert!(
+                    (a - b).abs() < 1e-6,
+                    "∂f[{q}]/∂θ[{i}]: shift {a} vs fd {b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shared_parameter_sums_occurrences() {
+        // θ₀ drives two gates; the gradient must be the sum of both
+        // occurrence gradients (paper Section 3.1 last paragraph).
+        let mut c = Circuit::new(2);
+        c.ry(0, ParamValue::sym(0));
+        c.ry(1, ParamValue::sym(0));
+        c.rzz(0, 1, ParamValue::sym(1));
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(&backend, &c, 2, Execution::Exact);
+        let theta = [0.9, -0.4];
+        let mut rng = StdRng::seed_from_u64(2);
+        let jac = engine.jacobian(&theta, &mut rng);
+        let fd = finite_difference(&c, &theta, 0);
+        for (a, b) in jac[0].iter().zip(&fd) {
+            assert!((a - b).abs() < 1e-6, "shared-param grad {a} vs fd {b}");
+        }
+    }
+
+    #[test]
+    fn scaled_parameter_applies_chain_rule() {
+        // Gate angle is 2·θ₀ + 0.3 — chain rule multiplies the shift-rule
+        // gradient by 2.
+        let mut c = Circuit::new(1);
+        c.push(
+            qoc_sim::gates::GateKind::Ry,
+            &[0],
+            &[ParamValue::Sym {
+                index: 0,
+                scale: 2.0,
+                offset: 0.3,
+            }],
+        );
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
+        let theta = [0.6];
+        let mut rng = StdRng::seed_from_u64(3);
+        let jac = engine.jacobian(&theta, &mut rng);
+        let fd = finite_difference(&c, &theta, 0);
+        assert!((jac[0][0] - fd[0]).abs() < 1e-6, "{} vs {}", jac[0][0], fd[0]);
+    }
+
+    #[test]
+    fn negated_parameter_gets_right_sign() {
+        // Gate angle is −θ₀ (scale −1, as produced by Circuit::inverse) —
+        // the symbol-level fast path must return −df/dangle.
+        let mut c = Circuit::new(1);
+        c.push(
+            qoc_sim::gates::GateKind::Ry,
+            &[0],
+            &[ParamValue::Sym {
+                index: 0,
+                scale: -1.0,
+                offset: 0.0,
+            }],
+        );
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
+        let theta = [0.8];
+        let mut rng = StdRng::seed_from_u64(8);
+        let jac = engine.jacobian(&theta, &mut rng);
+        let fd = finite_difference(&c, &theta, 0);
+        assert!((jac[0][0] - fd[0]).abs() < 1e-6, "{} vs {}", jac[0][0], fd[0]);
+        // Sanity: ⟨Z⟩ = cos(−θ) = cos θ, so d⟨Z⟩/dθ = −sin θ.
+        assert!((jac[0][0] + 0.8f64.sin()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extra_symbols_are_not_shifted() {
+        // Symbol 1 is "input": trainable count 1 keeps it fixed.
+        let mut c = Circuit::new(1);
+        c.ry(0, ParamValue::sym(0));
+        c.rz(0, ParamValue::sym(1));
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
+        assert_eq!(engine.num_trainable(), 1);
+        let mut rng = StdRng::seed_from_u64(4);
+        let jac = engine.jacobian(&[0.4, 0.7], &mut rng);
+        assert_eq!(jac.len(), 1);
+    }
+
+    #[test]
+    fn jacobian_subset_selects_rows() {
+        let backend = NoiselessBackend::new();
+        let c = ansatz_circuit();
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
+        let theta = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let mut rng = StdRng::seed_from_u64(5);
+        let full = engine.jacobian(&theta, &mut rng);
+        let sub = engine.jacobian_subset(&theta, &[4, 1], &mut rng);
+        assert_eq!(sub[0], full[4]);
+        assert_eq!(sub[1], full[1]);
+    }
+
+    #[test]
+    fn circuit_run_accounting() {
+        let backend = NoiselessBackend::new();
+        let c = ansatz_circuit();
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
+        backend.reset_stats();
+        let mut rng = StdRng::seed_from_u64(6);
+        let _ = engine.jacobian(&[0.0; 5], &mut rng);
+        // 2 runs per parameter (all symbols are simple here).
+        assert_eq!(backend.stats().circuits_run, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "no two-term shift rule")]
+    fn rejects_unshiftable_trainables() {
+        let mut c = Circuit::new(2);
+        c.push(
+            qoc_sim::gates::GateKind::Crz,
+            &[0, 1],
+            &[ParamValue::sym(0)],
+        );
+        let backend = NoiselessBackend::new();
+        let _ = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
+    }
+}

@@ -1,0 +1,631 @@
+//! Variational Quantum Eigensolver on the QOC training stack.
+//!
+//! The paper notes that its techniques "can also be applied to other PQCs
+//! such as Variational Quantum Eigensolver (VQE)" (Section 1). This module
+//! delivers that extension: a Pauli-sum [`Hamiltonian`], hardware-style
+//! measurement of each term (basis-rotation circuits + joint outcome
+//! statistics), parameter-shift energy gradients, and a VQE driver that
+//! reuses the optimizers and the probabilistic gradient pruner.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use rand::RngCore;
+
+use qoc_device::backend::{PreparedCircuit, QuantumBackend};
+use qoc_sim::circuit::Circuit;
+use qoc_sim::gates::GateKind;
+use qoc_sim::pauli::{Pauli, PauliString};
+use qoc_sim::statevector::Statevector;
+
+use crate::optim::OptimizerKind;
+use crate::prune::{PruneConfig, Pruner, Selection};
+use crate::sched::LrSchedule;
+
+/// A Hermitian observable as a real-weighted sum of Pauli strings.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_core::vqe::Hamiltonian;
+///
+/// let h = Hamiltonian::transverse_field_ising(3, 1.0, 0.5);
+/// assert_eq!(h.num_qubits(), 3);
+/// assert!(h.num_terms() > 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hamiltonian {
+    num_qubits: usize,
+    constant: f64,
+    terms: Vec<(f64, PauliString)>,
+}
+
+impl Hamiltonian {
+    /// Builds a Hamiltonian from `(coefficient, Pauli string)` terms.
+    /// Identity strings are folded into the constant offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if term widths disagree.
+    pub fn new(num_qubits: usize, terms: Vec<(f64, PauliString)>) -> Self {
+        let mut constant = 0.0;
+        let mut kept = Vec::new();
+        for (c, p) in terms {
+            assert_eq!(p.len(), num_qubits, "Pauli term width mismatch");
+            if p.weight() == 0 {
+                constant += c;
+            } else {
+                kept.push((c, p));
+            }
+        }
+        Hamiltonian {
+            num_qubits,
+            constant,
+            terms: kept,
+        }
+    }
+
+    /// Transverse-field Ising chain: `−J·Σ ZᵢZᵢ₊₁ − h·Σ Xᵢ` (open boundary).
+    pub fn transverse_field_ising(n: usize, j: f64, h: f64) -> Self {
+        let mut terms = Vec::new();
+        for q in 0..n.saturating_sub(1) {
+            let mut f = vec![Pauli::I; n];
+            f[q] = Pauli::Z;
+            f[q + 1] = Pauli::Z;
+            terms.push((-j, PauliString::new(f)));
+        }
+        for q in 0..n {
+            let mut f = vec![Pauli::I; n];
+            f[q] = Pauli::X;
+            terms.push((-h, PauliString::new(f)));
+        }
+        Hamiltonian::new(n, terms)
+    }
+
+    /// Minimal-basis molecular hydrogen at its equilibrium bond length
+    /// (0.7414 Å), reduced to two qubits — the canonical VQE benchmark
+    /// (coefficients from O'Malley et al., PRX 2016).
+    pub fn h2_minimal() -> Self {
+        let term = |s: &str| -> PauliString { s.parse().expect("valid Pauli literal") };
+        Hamiltonian::new(
+            2,
+            vec![
+                (-1.052_373_2, term("II")),
+                (0.397_937_42, term("ZI")),
+                (-0.397_937_42, term("IZ")),
+                (-0.011_280_1, term("ZZ")),
+                (0.180_931_19, term("XX")),
+            ],
+        )
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of non-identity terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Constant (identity) offset.
+    pub fn constant(&self) -> f64 {
+        self.constant
+    }
+
+    /// The non-identity terms.
+    pub fn terms(&self) -> &[(f64, PauliString)] {
+        &self.terms
+    }
+
+    /// Exact expectation `⟨ψ|H|ψ⟩` on a statevector (for validation).
+    pub fn expectation(&self, state: &Statevector) -> f64 {
+        self.constant
+            + self
+                .terms
+                .iter()
+                .map(|(c, p)| c * p.expectation(state))
+                .sum::<f64>()
+    }
+
+    /// Upper bound on `‖H‖`: `|constant| + Σ|cᵢ|`.
+    pub fn norm_bound(&self) -> f64 {
+        self.constant.abs() + self.terms.iter().map(|(c, _)| c.abs()).sum::<f64>()
+    }
+
+    /// Applies `H` to a statevector (`Σ cᵢ Pᵢ|ψ⟩ + constant·|ψ⟩`).
+    fn apply(&self, state: &Statevector) -> Vec<qoc_sim::Complex64> {
+        let dim = state.amplitudes().len();
+        let mut out: Vec<qoc_sim::Complex64> = state
+            .amplitudes()
+            .iter()
+            .map(|&a| a * self.constant)
+            .collect();
+        for (c, p) in &self.terms {
+            let mut term_state = state.clone();
+            p.apply(&mut term_state);
+            for (o, &a) in out.iter_mut().zip(term_state.amplitudes()) {
+                *o += a * *c;
+            }
+        }
+        debug_assert_eq!(out.len(), dim);
+        out
+    }
+
+    /// Ground-state energy by shifted power iteration on `σI − H`
+    /// (σ = [`Self::norm_bound`]); exact up to iteration tolerance, used as
+    /// the reference line in VQE experiments.
+    pub fn ground_state_energy(&self, iterations: usize) -> f64 {
+        let sigma = self.norm_bound() + 1.0;
+        let dim = 1usize << self.num_qubits;
+        // Deterministic dense start vector with nonzero overlap.
+        let mut v: Vec<qoc_sim::Complex64> = (0..dim)
+            .map(|i| qoc_sim::Complex64::new(1.0 + (i as f64 * 0.7361).sin(), 0.0))
+            .collect();
+        let mut lambda = 0.0;
+        for _ in 0..iterations {
+            let norm: f64 = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+            for z in &mut v {
+                *z = *z / norm;
+            }
+            let state = Statevector::from_amplitudes(v.clone()).expect("normalized");
+            let hv = self.apply(&state);
+            // w = σ·v − H·v; λ = ⟨v|w⟩.
+            let w: Vec<qoc_sim::Complex64> = v
+                .iter()
+                .zip(&hv)
+                .map(|(&vi, &hvi)| vi * sigma - hvi)
+                .collect();
+            lambda = v
+                .iter()
+                .zip(&w)
+                .map(|(a, b)| (a.conj() * *b).re)
+                .sum::<f64>();
+            v = w;
+        }
+        sigma - lambda
+    }
+}
+
+impl fmt::Display for Hamiltonian {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:+.4}·I", self.constant)?;
+        for (c, p) in &self.terms {
+            write!(f, " {c:+.4}·{p}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Appends the basis rotations that map a Pauli-string measurement onto the
+/// computational (Z) basis: `H` for X factors, `S†·H`-equivalent rotations
+/// for Y factors.
+fn append_basis_rotation(circuit: &mut Circuit, term: &PauliString) {
+    for (q, p) in term.factors().iter().enumerate() {
+        match p {
+            Pauli::X => circuit.h(q),
+            Pauli::Y => {
+                circuit.push(GateKind::Sdg, &[q], &[]);
+                circuit.h(q);
+            }
+            Pauli::I | Pauli::Z => {}
+        }
+    }
+}
+
+/// Expectation of a Z-basis-rotated Pauli term from an outcome distribution:
+/// `Σ_s p(s)·(−1)^{popcount(s ∧ support)}`.
+fn term_expectation_from_probs(probs: &[f64], support_mask: usize) -> f64 {
+    probs
+        .iter()
+        .enumerate()
+        .map(|(s, p)| {
+            if (s & support_mask).count_ones().is_multiple_of(2) {
+                *p
+            } else {
+                -*p
+            }
+        })
+        .sum()
+}
+
+/// A VQE problem: ansatz + Hamiltonian, with one prepared measurement
+/// circuit per Hamiltonian term.
+#[derive(Debug)]
+pub struct VqeProblem<'a> {
+    backend: &'a dyn QuantumBackend,
+    hamiltonian: Hamiltonian,
+    ansatz: Circuit,
+    num_params: usize,
+    shots: Option<u32>,
+    prepared_terms: Vec<(f64, usize, PreparedCircuit)>,
+}
+
+impl<'a> VqeProblem<'a> {
+    /// Binds an ansatz circuit (trainable symbols `0..num_params`) and a
+    /// Hamiltonian to a backend. `shots = None` measures exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch or non-shiftable trainable gates.
+    pub fn new(
+        backend: &'a dyn QuantumBackend,
+        ansatz: &Circuit,
+        hamiltonian: Hamiltonian,
+        shots: Option<u32>,
+    ) -> Self {
+        assert_eq!(
+            ansatz.num_qubits(),
+            hamiltonian.num_qubits(),
+            "ansatz/Hamiltonian width mismatch"
+        );
+        let num_params = ansatz.num_symbols();
+        for s in 0..num_params {
+            for (i, _) in ansatz.symbol_occurrences(s) {
+                assert!(
+                    ansatz.ops()[i].gate.supports_shift_rule(),
+                    "ansatz symbol {s} lives in a non-shift-rule gate"
+                );
+            }
+        }
+        let prepared_terms = hamiltonian
+            .terms()
+            .iter()
+            .map(|(c, p)| {
+                let mut measured = ansatz.clone();
+                append_basis_rotation(&mut measured, p);
+                let mask = p
+                    .factors()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, &f)| f != Pauli::I)
+                    .fold(0usize, |m, (q, _)| m | (1 << q));
+                (*c, mask, backend.prepare(&measured))
+            })
+            .collect();
+        VqeProblem {
+            backend,
+            hamiltonian,
+            ansatz: ansatz.clone(),
+            num_params,
+            shots,
+            prepared_terms,
+        }
+    }
+
+    /// Number of trainable parameters.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// The Hamiltonian.
+    pub fn hamiltonian(&self) -> &Hamiltonian {
+        &self.hamiltonian
+    }
+
+    /// Measures the energy `E(θ) = c₀ + Σ cᵢ⟨Pᵢ⟩` at parameters `theta`.
+    pub fn energy(&self, theta: &[f64], rng: &mut dyn RngCore) -> f64 {
+        let mut e = self.hamiltonian.constant();
+        for (c, mask, prepared) in &self.prepared_terms {
+            let probs = match self.shots {
+                None => self.backend.outcome_probabilities(prepared, theta),
+                Some(shots) => {
+                    let counts = self.backend.outcome_counts(prepared, theta, shots, rng);
+                    let mut probs = vec![0.0; 1 << self.hamiltonian.num_qubits()];
+                    for (&s, &n) in &counts {
+                        probs[s] = n as f64 / shots as f64;
+                    }
+                    probs
+                }
+            };
+            e += c * term_expectation_from_probs(&probs, *mask);
+        }
+        e
+    }
+
+    /// Energy gradient via the parameter-shift rule, restricted to `subset`
+    /// when given (the gradient-pruning path).
+    pub fn gradient(
+        &self,
+        theta: &[f64],
+        subset: Option<&[usize]>,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        let indices: Vec<usize> = match subset {
+            Some(s) => s.to_vec(),
+            None => (0..self.num_params).collect(),
+        };
+        let mut grad = vec![0.0; self.num_params];
+        for &i in &indices {
+            // Every ansatz symbol occurs once with scale 1 (layer-built), so
+            // the symbol-level ±π/2 shift applies; for general circuits the
+            // occurrence sum of `ParameterShiftEngine` would be needed.
+            let mut plus = theta.to_vec();
+            plus[i] += std::f64::consts::FRAC_PI_2;
+            let mut minus = theta.to_vec();
+            minus[i] -= std::f64::consts::FRAC_PI_2;
+            grad[i] = 0.5 * (self.energy(&plus, rng) - self.energy(&minus, rng));
+        }
+        grad
+    }
+
+    /// The bound ansatz circuit (for inspection).
+    pub fn ansatz(&self) -> &Circuit {
+        &self.ansatz
+    }
+}
+
+/// VQE driver configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VqeConfig {
+    /// Optimizer steps.
+    pub steps: usize,
+    /// Optimizer (Adam recommended, as in the paper's Table 3).
+    pub optimizer: OptimizerKind,
+    /// Learning-rate schedule.
+    pub schedule: LrSchedule,
+    /// Probabilistic gradient pruning (None = evaluate every gradient).
+    pub pruning: Option<PruneConfig>,
+    /// RNG seed for init and shot noise.
+    pub seed: u64,
+    /// Parameter init range.
+    pub init_scale: f64,
+}
+
+impl Default for VqeConfig {
+    fn default() -> Self {
+        VqeConfig {
+            steps: 60,
+            optimizer: OptimizerKind::Adam,
+            schedule: LrSchedule::Cosine {
+                start: 0.1,
+                end: 0.01,
+                total_steps: 60,
+            },
+            pruning: None,
+            seed: 42,
+            init_scale: 0.1,
+        }
+    }
+}
+
+/// One VQE optimization trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VqeResult {
+    /// Final parameters.
+    pub params: Vec<f64>,
+    /// Energy after each step.
+    pub energies: Vec<f64>,
+    /// Best (lowest) energy observed.
+    pub best_energy: f64,
+}
+
+/// Runs VQE: parameter-shift gradient descent on the measured energy.
+pub fn run_vqe(problem: &VqeProblem<'_>, config: &VqeConfig) -> VqeResult {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::StdRng::seed_from_u64(config.seed);
+    let n = problem.num_params();
+    let mut params: Vec<f64> = (0..n)
+        .map(|_| rng.gen_range(-config.init_scale..config.init_scale))
+        .collect();
+    let mut optimizer = config.optimizer.build(n);
+    let mut pruner: Box<dyn Pruner> = match config.pruning {
+        None => Box::new(crate::prune::NoPruning),
+        Some(cfg) => Box::new(crate::prune::ProbabilisticPruner::new(n, cfg)),
+    };
+    let mut energies = Vec::with_capacity(config.steps);
+    let mut best = f64::INFINITY;
+    for step in 0..config.steps {
+        let selection = pruner.begin_step(&mut rng);
+        let subset: Option<Vec<usize>> = match &selection {
+            Selection::Full => None,
+            Selection::Subset(s) => Some(s.clone()),
+        };
+        let grad = problem.gradient(&params, subset.as_deref(), &mut rng);
+        pruner.record(&grad);
+        optimizer.step(
+            &mut params,
+            &grad,
+            config.schedule.lr(step),
+            subset.as_deref(),
+        );
+        let e = problem.energy(&params, &mut rng);
+        best = best.min(e);
+        energies.push(e);
+    }
+    VqeResult {
+        params,
+        energies,
+        best_energy: best,
+    }
+}
+
+/// Builds the hardware-efficient VQE ansatz used by the examples: `depth`
+/// repetitions of an RY layer followed by a ring of *Givens-style*
+/// entanglers `e^{-iθ·Y_aX_b/2}` (an RXX conjugated by S on wire `a`), then
+/// a final RY layer.
+///
+/// The YX generator matters: plain RXX/RYY only mix `|01⟩ ↔ |10⟩` with an
+/// imaginary amplitude, while YX rotates them *really* — and singlet-like
+/// molecular ground states (H₂!) are real superpositions in that sector.
+pub fn hardware_efficient_ansatz(num_qubits: usize, depth: usize) -> Circuit {
+    use qoc_nn::layers::ring_pairs;
+    use qoc_sim::circuit::ParamValue;
+
+    let mut c = Circuit::new(num_qubits);
+    let mut next = 0usize;
+    let ry_layer = |c: &mut Circuit, next: &mut usize| {
+        for q in 0..num_qubits {
+            c.ry(q, ParamValue::sym(*next));
+            *next += 1;
+        }
+    };
+    for _ in 0..depth {
+        ry_layer(&mut c, &mut next);
+        for (a, b) in ring_pairs(num_qubits) {
+            // e^{-iθ·Y_aX_b/2} = S_a · e^{-iθ·X_aX_b/2} · S_a†.
+            c.push(GateKind::Sdg, &[a], &[]);
+            c.rxx(a, b, ParamValue::sym(next));
+            c.push(GateKind::S, &[a], &[]);
+            next += 1;
+        }
+    }
+    ry_layer(&mut c, &mut next);
+    c
+}
+
+/// Energy-distribution helper: counts → probabilities (exposed for tests).
+#[doc(hidden)]
+pub fn counts_to_probs(counts: &BTreeMap<usize, u32>, dim: usize, shots: u32) -> Vec<f64> {
+    let mut probs = vec![0.0; dim];
+    for (&s, &n) in counts {
+        probs[s] = n as f64 / shots as f64;
+    }
+    probs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_device::backend::NoiselessBackend;
+    use qoc_sim::simulator::StatevectorSimulator;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn tfim_structure() {
+        let h = Hamiltonian::transverse_field_ising(4, 1.0, 0.5);
+        // 3 ZZ bonds + 4 X fields.
+        assert_eq!(h.num_terms(), 7);
+        assert_eq!(h.constant(), 0.0);
+    }
+
+    #[test]
+    fn h2_ground_energy_matches_independent_diagonalization() {
+        // Reference value −1.8572750 verified against an independent dense
+        // eigensolver for this coefficient set.
+        let h = Hamiltonian::h2_minimal();
+        let e0 = h.ground_state_energy(400);
+        assert!(
+            (e0 + 1.857_275_0).abs() < 1e-5,
+            "H₂ ground energy {e0} differs from reference −1.8572750"
+        );
+    }
+
+    #[test]
+    fn power_iteration_matches_brute_force_on_tfim2() {
+        // 2-qubit TFIM: H = −J·ZZ − h(XI + IX); ground energy is
+        // −√(J² ... ) — check against direct 4×4 eigen via expectation over
+        // a dense scan of product states is weak; instead verify with the
+        // known closed form E₀ = −√(J² + 4h²) for the 2-site chain at J,h.
+        let (j, hf) = (1.0, 0.6);
+        let h = Hamiltonian::transverse_field_ising(2, j, hf);
+        let e0 = h.ground_state_energy(600);
+        let want = -(j * j + 4.0 * hf * hf).sqrt();
+        assert!((e0 - want).abs() < 1e-6, "{e0} vs closed-form {want}");
+    }
+
+    #[test]
+    fn energy_matches_exact_expectation_noiseless() {
+        let backend = NoiselessBackend::new();
+        let ansatz = hardware_efficient_ansatz(2, 1);
+        let h = Hamiltonian::h2_minimal();
+        let problem = VqeProblem::new(&backend, &ansatz, h.clone(), None);
+        let theta: Vec<f64> = (0..problem.num_params())
+            .map(|k| 0.3 * k as f64 - 0.7)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let measured = problem.energy(&theta, &mut rng);
+        let state = StatevectorSimulator::new().run(&ansatz, &theta);
+        let exact = h.expectation(&state);
+        assert!(
+            (measured - exact).abs() < 1e-9,
+            "measured {measured} vs exact {exact}"
+        );
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let backend = NoiselessBackend::new();
+        let ansatz = hardware_efficient_ansatz(2, 1);
+        let problem = VqeProblem::new(&backend, &ansatz, Hamiltonian::h2_minimal(), None);
+        let theta: Vec<f64> = (0..problem.num_params())
+            .map(|k| 0.2 * k as f64 + 0.1)
+            .collect();
+        let mut rng = StdRng::seed_from_u64(2);
+        let grad = problem.gradient(&theta, None, &mut rng);
+        let eps = 1e-6;
+        for i in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[i] += eps;
+            let mut tm = theta.clone();
+            tm[i] -= eps;
+            let fd =
+                (problem.energy(&tp, &mut rng) - problem.energy(&tm, &mut rng)) / (2.0 * eps);
+            assert!((grad[i] - fd).abs() < 1e-5, "∂E/∂θ[{i}]: {} vs {fd}", grad[i]);
+        }
+    }
+
+    #[test]
+    fn vqe_converges_to_h2_ground_state() {
+        let backend = NoiselessBackend::new();
+        let ansatz = hardware_efficient_ansatz(2, 2);
+        let h = Hamiltonian::h2_minimal();
+        let exact = h.ground_state_energy(400);
+        let problem = VqeProblem::new(&backend, &ansatz, h, None);
+        let config = VqeConfig {
+            steps: 120,
+            schedule: LrSchedule::Cosine {
+                start: 0.15,
+                end: 0.01,
+                total_steps: 120,
+            },
+            ..VqeConfig::default()
+        };
+        let result = run_vqe(&problem, &config);
+        assert!(
+            result.best_energy - exact < 1e-2,
+            "VQE reached {} vs exact {exact}",
+            result.best_energy
+        );
+        // Energy trace is (loosely) decreasing overall.
+        assert!(result.energies.last().unwrap() < &result.energies[0]);
+    }
+
+    #[test]
+    fn vqe_with_pruning_still_converges() {
+        let backend = NoiselessBackend::new();
+        let ansatz = hardware_efficient_ansatz(2, 2);
+        let h = Hamiltonian::h2_minimal();
+        let exact = h.ground_state_energy(400);
+        let problem = VqeProblem::new(&backend, &ansatz, h, None);
+        let config = VqeConfig {
+            pruning: Some(PruneConfig::paper_default()),
+            ..VqeConfig::default()
+        };
+        let result = run_vqe(&problem, &config);
+        assert!(
+            result.best_energy - exact < 5e-2,
+            "pruned VQE reached {} vs exact {exact}",
+            result.best_energy
+        );
+    }
+
+    #[test]
+    fn shot_noise_energy_is_consistent() {
+        let backend = NoiselessBackend::new();
+        let ansatz = hardware_efficient_ansatz(2, 1);
+        let h = Hamiltonian::h2_minimal();
+        let exact_problem = VqeProblem::new(&backend, &ansatz, h.clone(), None);
+        let shot_problem = VqeProblem::new(&backend, &ansatz, h, Some(20_000));
+        let theta = vec![0.4; exact_problem.num_params()];
+        let mut rng = StdRng::seed_from_u64(3);
+        let exact = exact_problem.energy(&theta, &mut rng);
+        let sampled = shot_problem.energy(&theta, &mut rng);
+        assert!(
+            (exact - sampled).abs() < 0.05,
+            "sampled energy {sampled} too far from exact {exact}"
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! Synthetic Fashion-MNIST-style clothing silhouettes.
+//!
+//! The QOC tasks use Fashion-MNIST classes t-shirt/top, trouser, pullover,
+//! dress (4-class) and dress vs shirt (2-class). Real Fashion-MNIST items
+//! are bright filled silhouettes on black; the generator reproduces that
+//! with jittered filled polygons whose low-resolution footprints (4×4 after
+//! the paper's pooling) differ the same way the real classes do: trousers
+//! are two narrow columns, dresses flare at the bottom, pullovers have long
+//! sleeves, t-shirts/shirts have short/medium sleeves.
+
+use rand::Rng;
+
+use crate::image::Image;
+
+/// Canvas size matching Fashion-MNIST.
+pub const IMAGE_SIZE: usize = 28;
+
+/// The clothing classes used by the paper's tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FashionClass {
+    /// Class 0 — t-shirt/top.
+    TshirtTop,
+    /// Class 1 — trouser.
+    Trouser,
+    /// Class 2 — pullover.
+    Pullover,
+    /// Class 3 — dress.
+    Dress,
+    /// Class 6 — shirt.
+    Shirt,
+}
+
+/// All supported classes.
+pub const ALL_CLASSES: &[FashionClass] = &[
+    FashionClass::TshirtTop,
+    FashionClass::Trouser,
+    FashionClass::Pullover,
+    FashionClass::Dress,
+    FashionClass::Shirt,
+];
+
+struct Jitter {
+    dx: f64,
+    dy: f64,
+    scale: f64,
+    fill: f64,
+    noise: f64,
+}
+
+impl Jitter {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self {
+        // Wide jitter keeps the pooled classes overlapping like the real
+        // Fashion-MNIST does (the paper's QNNs reach ~0.89 on Fashion-2 and
+        // ~0.73 on Fashion-4, not ~1.0).
+        Jitter {
+            dx: rng.gen_range(-2.8..2.8),
+            dy: rng.gen_range(-2.4..2.4),
+            scale: rng.gen_range(0.78..1.18),
+            fill: rng.gen_range(0.55..1.0),
+            noise: rng.gen_range(0.02..0.15),
+        }
+    }
+
+    fn map(&self, (u, v): (f64, f64)) -> (f64, f64) {
+        let c = IMAGE_SIZE as f64 / 2.0;
+        (
+            c + (u - 0.5) * 24.0 * self.scale + self.dx,
+            c + (v - 0.5) * 24.0 * self.scale + self.dy,
+        )
+    }
+
+    fn poly(&self, img: &mut Image, pts: &[(f64, f64)]) {
+        let mapped: Vec<(f64, f64)> = pts.iter().map(|&p| self.map(p)).collect();
+        img.fill_polygon(&mapped, self.fill);
+    }
+}
+
+/// Renders one clothing silhouette.
+pub fn render_fashion<R: Rng + ?Sized>(class: FashionClass, rng: &mut R) -> Image {
+    let j = Jitter::sample(rng);
+    let mut img = Image::new(IMAGE_SIZE, IMAGE_SIZE);
+    match class {
+        FashionClass::TshirtTop => {
+            // Torso.
+            j.poly(
+                &mut img,
+                &[(0.33, 0.18), (0.67, 0.18), (0.70, 0.88), (0.30, 0.88)],
+            );
+            // Short sleeves.
+            j.poly(
+                &mut img,
+                &[(0.33, 0.18), (0.10, 0.28), (0.16, 0.45), (0.33, 0.38)],
+            );
+            j.poly(
+                &mut img,
+                &[(0.67, 0.18), (0.90, 0.28), (0.84, 0.45), (0.67, 0.38)],
+            );
+        }
+        FashionClass::Trouser => {
+            // Waistband and two legs with a clear gap between them.
+            j.poly(
+                &mut img,
+                &[(0.32, 0.08), (0.68, 0.08), (0.68, 0.20), (0.32, 0.20)],
+            );
+            j.poly(
+                &mut img,
+                &[(0.32, 0.18), (0.46, 0.18), (0.43, 0.95), (0.31, 0.95)],
+            );
+            j.poly(
+                &mut img,
+                &[(0.54, 0.18), (0.68, 0.18), (0.69, 0.95), (0.57, 0.95)],
+            );
+        }
+        FashionClass::Pullover => {
+            // Torso.
+            j.poly(
+                &mut img,
+                &[(0.32, 0.18), (0.68, 0.18), (0.70, 0.90), (0.30, 0.90)],
+            );
+            // Long sleeves reaching the hem.
+            j.poly(
+                &mut img,
+                &[(0.32, 0.18), (0.08, 0.30), (0.14, 0.85), (0.28, 0.82)],
+            );
+            j.poly(
+                &mut img,
+                &[(0.68, 0.18), (0.92, 0.30), (0.86, 0.85), (0.72, 0.82)],
+            );
+        }
+        FashionClass::Dress => {
+            // Narrow bodice flaring into a wide skirt.
+            j.poly(
+                &mut img,
+                &[(0.40, 0.08), (0.60, 0.08), (0.58, 0.40), (0.42, 0.40)],
+            );
+            j.poly(
+                &mut img,
+                &[(0.42, 0.38), (0.58, 0.38), (0.80, 0.95), (0.20, 0.95)],
+            );
+        }
+        FashionClass::Shirt => {
+            // Torso, slightly narrower than a t-shirt, with mid sleeves and
+            // a collar notch left unfilled.
+            j.poly(
+                &mut img,
+                &[(0.36, 0.16), (0.44, 0.16), (0.50, 0.26), (0.56, 0.16), (0.64, 0.16), (0.66, 0.90), (0.34, 0.90)],
+            );
+            j.poly(
+                &mut img,
+                &[(0.36, 0.16), (0.14, 0.26), (0.16, 0.62), (0.34, 0.58)],
+            );
+            j.poly(
+                &mut img,
+                &[(0.64, 0.16), (0.86, 0.26), (0.84, 0.62), (0.66, 0.58)],
+            );
+        }
+    }
+    img.blur(1);
+    if j.noise > 0.0 {
+        for p in img.pixels_mut() {
+            let n: f64 = rng.gen_range(-1.0..1.0);
+            *p = (*p + n * j.noise).clamp(0.0, 1.0);
+        }
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn all_classes_render_with_plausible_mass() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &class in ALL_CLASSES {
+            let img = render_fashion(class, &mut rng);
+            assert!(
+                img.mean() > 0.1 && img.mean() < 0.7,
+                "{class:?} ink mass {}",
+                img.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn trouser_has_gap_between_legs() {
+        // Average over renders so per-sample jitter washes out.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut leg = 0.0;
+        let mut gap = 0.0;
+        for _ in 0..10 {
+            let img = render_fashion(FashionClass::Trouser, &mut rng);
+            let col = |x: isize| -> f64 { (14..=24).map(|y| img.get(x, y)).sum() };
+            // Per render (jitter shifts columns): brightest column anywhere
+            // vs darkest column in the center window.
+            leg += (6..22).map(col).fold(0.0f64, f64::max);
+            gap += (11..17).map(col).fold(f64::INFINITY, f64::min);
+        }
+        assert!(gap < 0.5 * leg, "no leg gap: gap {gap:.1} vs leg {leg:.1}");
+    }
+
+    #[test]
+    fn dress_is_wider_at_bottom_than_top() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut top = 0.0;
+        let mut bottom = 0.0;
+        for _ in 0..10 {
+            let img = render_fashion(FashionClass::Dress, &mut rng);
+            top += (0..28).map(|x| img.get(x, 7)).sum::<f64>();
+            bottom += (0..28).map(|x| img.get(x, 21)).sum::<f64>();
+        }
+        assert!(bottom > 1.6 * top, "bottom {bottom:.1} vs top {top:.1}");
+    }
+
+    #[test]
+    fn pullover_sleeves_reach_lower_than_tshirt() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let side_mass = |class: FashionClass, rng: &mut StdRng| -> f64 {
+            let mut acc = 0.0;
+            for _ in 0..6 {
+                let img = render_fashion(class, rng);
+                for y in 16..26 {
+                    for x in 0..7 {
+                        acc += img.get(x, y);
+                    }
+                }
+            }
+            acc
+        };
+        let pull = side_mass(FashionClass::Pullover, &mut rng);
+        let tee = side_mass(FashionClass::TshirtTop, &mut rng);
+        assert!(pull > 1.5 * tee, "pullover {pull} vs tshirt {tee}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = render_fashion(FashionClass::Shirt, &mut StdRng::seed_from_u64(7));
+        let b = render_fashion(FashionClass::Shirt, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a.pixels(), b.pixels());
+    }
+}

@@ -1,0 +1,287 @@
+//! Grayscale image buffer and rasterization primitives.
+//!
+//! The synthetic MNIST/Fashion generators draw stroke skeletons and filled
+//! silhouettes with these primitives, at the same 28×28 resolution as the
+//! real datasets.
+
+use serde::{Deserialize, Serialize};
+
+/// A grayscale image with `f64` pixels in `[0, 1]`, row-major.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Image {
+    width: usize,
+    height: usize,
+    pixels: Vec<f64>,
+}
+
+impl Image {
+    /// Creates a black image.
+    pub fn new(width: usize, height: usize) -> Self {
+        Image {
+            width,
+            height,
+            pixels: vec![0.0; width * height],
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel value at `(x, y)`; out-of-bounds reads return 0.
+    #[inline]
+    pub fn get(&self, x: isize, y: isize) -> f64 {
+        if x < 0 || y < 0 || x as usize >= self.width || y as usize >= self.height {
+            0.0
+        } else {
+            self.pixels[y as usize * self.width + x as usize]
+        }
+    }
+
+    /// Sets a pixel, saturating into `[0, 1]`; out-of-bounds writes are
+    /// ignored.
+    #[inline]
+    pub fn set(&mut self, x: isize, y: isize, v: f64) {
+        if x >= 0 && y >= 0 && (x as usize) < self.width && (y as usize) < self.height {
+            self.pixels[y as usize * self.width + x as usize] = v.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Additive blend at a pixel (saturating).
+    #[inline]
+    pub fn add(&mut self, x: isize, y: isize, v: f64) {
+        let cur = self.get(x, y);
+        self.set(x, y, cur + v);
+    }
+
+    /// Raw pixel buffer, row-major.
+    pub fn pixels(&self) -> &[f64] {
+        &self.pixels
+    }
+
+    /// Mutable raw pixel buffer.
+    pub fn pixels_mut(&mut self) -> &mut [f64] {
+        &mut self.pixels
+    }
+
+    /// Draws an anti-aliased line segment of the given stroke `thickness`
+    /// (pixels) between two points in pixel coordinates.
+    pub fn draw_line(&mut self, x0: f64, y0: f64, x1: f64, y1: f64, thickness: f64) {
+        let (dx, dy) = (x1 - x0, y1 - y0);
+        let len = (dx * dx + dy * dy).sqrt().max(1e-9);
+        let steps = (len * 2.0).ceil() as usize + 1;
+        for s in 0..=steps {
+            let t = s as f64 / steps as f64;
+            self.draw_dot(x0 + dx * t, y0 + dy * t, thickness);
+        }
+    }
+
+    /// Draws a soft circular dot (stroke cross-section) at a point.
+    pub fn draw_dot(&mut self, cx: f64, cy: f64, diameter: f64) {
+        let r = diameter / 2.0;
+        let x_lo = (cx - r - 1.0).floor() as isize;
+        let x_hi = (cx + r + 1.0).ceil() as isize;
+        let y_lo = (cy - r - 1.0).floor() as isize;
+        let y_hi = (cy + r + 1.0).ceil() as isize;
+        for y in y_lo..=y_hi {
+            for x in x_lo..=x_hi {
+                let d = ((x as f64 - cx).powi(2) + (y as f64 - cy).powi(2)).sqrt();
+                // Smooth falloff over one pixel at the stroke edge.
+                let v = (r + 0.5 - d).clamp(0.0, 1.0);
+                if v > 0.0 {
+                    let cur = self.get(x, y);
+                    self.set(x, y, cur.max(v));
+                }
+            }
+        }
+    }
+
+    /// Draws a polyline through the given points.
+    pub fn draw_polyline(&mut self, points: &[(f64, f64)], thickness: f64) {
+        for w in points.windows(2) {
+            self.draw_line(w[0].0, w[0].1, w[1].0, w[1].1, thickness);
+        }
+    }
+
+    /// Draws an elliptical arc (stroke) centered at `(cx, cy)` with radii
+    /// `(rx, ry)` from `start` to `end` radians.
+    #[allow(clippy::too_many_arguments)]
+    pub fn draw_arc(
+        &mut self,
+        cx: f64,
+        cy: f64,
+        rx: f64,
+        ry: f64,
+        start: f64,
+        end: f64,
+        thickness: f64,
+    ) {
+        let span = end - start;
+        let steps = (span.abs() * rx.max(ry)).ceil() as usize + 2;
+        let mut prev: Option<(f64, f64)> = None;
+        for s in 0..=steps {
+            let t = start + span * s as f64 / steps as f64;
+            let p = (cx + rx * t.cos(), cy + ry * t.sin());
+            if let Some(q) = prev {
+                self.draw_line(q.0, q.1, p.0, p.1, thickness);
+            }
+            prev = Some(p);
+        }
+    }
+
+    /// Fills a convex or simple polygon (even–odd rule, per-row scanline).
+    pub fn fill_polygon(&mut self, vertices: &[(f64, f64)], value: f64) {
+        if vertices.len() < 3 {
+            return;
+        }
+        for y in 0..self.height {
+            let yc = y as f64 + 0.5;
+            // Collect x-crossings of the scanline with polygon edges.
+            let mut xs = Vec::new();
+            for i in 0..vertices.len() {
+                let (x0, y0) = vertices[i];
+                let (x1, y1) = vertices[(i + 1) % vertices.len()];
+                if (y0 <= yc && y1 > yc) || (y1 <= yc && y0 > yc) {
+                    let t = (yc - y0) / (y1 - y0);
+                    xs.push(x0 + t * (x1 - x0));
+                }
+            }
+            xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for pair in xs.chunks(2) {
+                if let [a, b] = pair {
+                    let lo = a.round().max(0.0) as usize;
+                    let hi = (b.round() as isize).min(self.width as isize - 1);
+                    for x in lo as isize..=hi {
+                        let cur = self.get(x, y as isize);
+                        self.set(x, y as isize, cur.max(value));
+                    }
+                }
+            }
+        }
+    }
+
+    /// 3×3 box blur, applied `passes` times (approximates Gaussian).
+    pub fn blur(&mut self, passes: usize) {
+        for _ in 0..passes {
+            let src = self.clone();
+            for y in 0..self.height as isize {
+                for x in 0..self.width as isize {
+                    let mut acc = 0.0;
+                    for dy in -1..=1 {
+                        for dx in -1..=1 {
+                            acc += src.get(x + dx, y + dy);
+                        }
+                    }
+                    self.set(x, y, acc / 9.0);
+                }
+            }
+        }
+    }
+
+    /// Mean pixel intensity.
+    pub fn mean(&self) -> f64 {
+        self.pixels.iter().sum::<f64>() / self.pixels.len().max(1) as f64
+    }
+
+    /// Renders to ASCII art (for debugging and docs).
+    pub fn to_ascii(&self) -> String {
+        let ramp: &[u8] = b" .:-=+*#%@";
+        let mut out = String::with_capacity((self.width + 1) * self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.pixels[y * self.width + x];
+                let idx = ((v * (ramp.len() - 1) as f64).round() as usize).min(ramp.len() - 1);
+                out.push(ramp[idx] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_image_is_black() {
+        let img = Image::new(4, 3);
+        assert_eq!(img.pixels().len(), 12);
+        assert_eq!(img.mean(), 0.0);
+        assert_eq!(img.get(10, 10), 0.0);
+    }
+
+    #[test]
+    fn set_clamps_and_bounds() {
+        let mut img = Image::new(2, 2);
+        img.set(0, 0, 5.0);
+        assert_eq!(img.get(0, 0), 1.0);
+        img.set(-1, 0, 1.0); // ignored
+        img.set(5, 5, 1.0); // ignored
+        assert_eq!(img.pixels().iter().filter(|&&p| p > 0.0).count(), 1);
+    }
+
+    #[test]
+    fn line_lights_pixels_along_path() {
+        let mut img = Image::new(10, 10);
+        img.draw_line(1.0, 5.0, 8.0, 5.0, 1.5);
+        for x in 2..8 {
+            assert!(img.get(x, 5) > 0.5, "pixel ({x},5) not lit");
+        }
+        assert!(img.get(5, 0) < 0.1);
+    }
+
+    #[test]
+    fn dot_thickness_controls_extent() {
+        let mut thin = Image::new(11, 11);
+        thin.draw_dot(5.0, 5.0, 1.0);
+        let mut thick = Image::new(11, 11);
+        thick.draw_dot(5.0, 5.0, 5.0);
+        assert!(thick.mean() > thin.mean() * 2.0);
+    }
+
+    #[test]
+    fn arc_draws_ring() {
+        let mut img = Image::new(20, 20);
+        img.draw_arc(10.0, 10.0, 6.0, 6.0, 0.0, std::f64::consts::TAU, 1.5);
+        // Ring pixels lit, center dark.
+        assert!(img.get(16, 10) > 0.5);
+        assert!(img.get(10, 4) > 0.5);
+        assert!(img.get(10, 10) < 0.1);
+    }
+
+    #[test]
+    fn polygon_fill_covers_interior() {
+        let mut img = Image::new(10, 10);
+        img.fill_polygon(&[(2.0, 2.0), (8.0, 2.0), (8.0, 8.0), (2.0, 8.0)], 1.0);
+        assert!(img.get(5, 5) > 0.9);
+        assert!(img.get(0, 0) < 0.1);
+        assert!(img.get(9, 9) < 0.1);
+    }
+
+    #[test]
+    fn blur_spreads_mass() {
+        let mut img = Image::new(9, 9);
+        img.set(4, 4, 1.0);
+        let before_center = img.get(4, 4);
+        img.blur(1);
+        assert!(img.get(4, 4) < before_center);
+        assert!(img.get(3, 4) > 0.0);
+    }
+
+    #[test]
+    fn ascii_renders_dimensions() {
+        let img = Image::new(3, 2);
+        let s = img.to_ascii();
+        assert_eq!(s.lines().count(), 2);
+        assert!(s.lines().all(|l| l.chars().count() == 3));
+    }
+}

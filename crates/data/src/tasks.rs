@@ -1,0 +1,315 @@
+//! The five QOC benchmark tasks with the paper's exact splits.
+//!
+//! - **MNIST-2**: digits 3 vs 6 — front 500 train, 300 random validation;
+//! - **MNIST-4**: digits 0,1,2,3 — front 100 train, 300 random validation;
+//! - **Fashion-2**: dress vs shirt — front 500 train, 300 random validation;
+//! - **Fashion-4**: t-shirt/top, trouser, pullover, dress — front 100 train,
+//!   300 random validation;
+//! - **Vowel-4**: hid, hId, hAd, hOd — front 100 train, 300 random
+//!   validation, features = 10 PCA dims.
+//!
+//! Image features are the paper's 16 pooled-pixel angles; vowel features are
+//! PCA projections standardized on the train split.
+
+use std::fmt;
+use std::str::FromStr;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+use crate::fashion::{render_fashion, FashionClass};
+use crate::mnist::render_digit;
+use crate::pca::Pca;
+use crate::preprocess::{apply_standardize, image_to_features, standardize};
+use crate::vowel::sample_dataset as sample_vowels;
+
+/// One of the paper's five benchmark tasks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Task {
+    /// MNIST digits 3 vs 6.
+    Mnist2,
+    /// MNIST digits 0, 1, 2, 3.
+    Mnist4,
+    /// Fashion dress vs shirt.
+    Fashion2,
+    /// Fashion t-shirt/top, trouser, pullover, dress.
+    Fashion4,
+    /// Vowels hid, hId, hAd, hOd.
+    Vowel4,
+}
+
+/// All tasks in the paper's Table 1 column order.
+pub const ALL_TASKS: &[Task] = &[
+    Task::Mnist4,
+    Task::Mnist2,
+    Task::Fashion4,
+    Task::Fashion2,
+    Task::Vowel4,
+];
+
+impl Task {
+    /// Number of target classes.
+    pub fn num_classes(self) -> usize {
+        match self {
+            Task::Mnist2 | Task::Fashion2 => 2,
+            _ => 4,
+        }
+    }
+
+    /// Input feature dimension (16 pooled pixels or 10 PCA dims).
+    pub fn feature_dim(self) -> usize {
+        match self {
+            Task::Vowel4 => 10,
+            _ => 16,
+        }
+    }
+
+    /// Training-set size from the paper (front-N split).
+    pub fn train_size(self) -> usize {
+        match self {
+            Task::Mnist2 | Task::Fashion2 => 500,
+            _ => 100,
+        }
+    }
+
+    /// Validation-set size from the paper.
+    pub fn val_size(self) -> usize {
+        300
+    }
+
+    /// Paper's device assignment for Table 1.
+    pub fn paper_device(self) -> &'static str {
+        match self {
+            Task::Mnist4 | Task::Mnist2 => "ibmq_jakarta",
+            Task::Fashion4 => "ibmq_manila",
+            Task::Fashion2 => "ibmq_santiago",
+            Task::Vowel4 => "ibmq_lima",
+        }
+    }
+
+    /// Task name as printed in the paper's tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Task::Mnist2 => "MNIST-2",
+            Task::Mnist4 => "MNIST-4",
+            Task::Fashion2 => "Fashion-2",
+            Task::Fashion4 => "Fashion-4",
+            Task::Vowel4 => "Vowel-4",
+        }
+    }
+
+    /// Generates the `(train, validation)` datasets for this task, fully
+    /// deterministic in `seed`.
+    pub fn load(self, seed: u64) -> (Dataset, Dataset) {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9c0_f00d);
+        match self {
+            Task::Mnist2 => image_task(&[3, 6], self, &mut |d, r| {
+                image_to_features(&render_digit(d, r))
+            }, &mut rng),
+            Task::Mnist4 => image_task(&[0, 1, 2, 3], self, &mut |d, r| {
+                image_to_features(&render_digit(d, r))
+            }, &mut rng),
+            Task::Fashion2 => {
+                let classes = [FashionClass::Dress, FashionClass::Shirt];
+                image_task(&[0, 1], self, &mut |i, r| {
+                    image_to_features(&render_fashion(classes[i as usize], r))
+                }, &mut rng)
+            }
+            Task::Fashion4 => {
+                let classes = [
+                    FashionClass::TshirtTop,
+                    FashionClass::Trouser,
+                    FashionClass::Pullover,
+                    FashionClass::Dress,
+                ];
+                image_task(&[0, 1, 2, 3], self, &mut |i, r| {
+                    image_to_features(&render_fashion(classes[i as usize], r))
+                }, &mut rng)
+            }
+            Task::Vowel4 => vowel_task(self, &mut rng),
+        }
+    }
+}
+
+impl fmt::Display for Task {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error parsing a task name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseTaskError {
+    name: String,
+}
+
+impl fmt::Display for ParseTaskError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown task {:?} (try mnist-2/mnist-4/fashion-2/fashion-4/vowel-4)", self.name)
+    }
+}
+
+impl std::error::Error for ParseTaskError {}
+
+impl FromStr for Task {
+    type Err = ParseTaskError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "mnist-2" | "mnist2" => Ok(Task::Mnist2),
+            "mnist-4" | "mnist4" => Ok(Task::Mnist4),
+            "fashion-2" | "fashion2" => Ok(Task::Fashion2),
+            "fashion-4" | "fashion4" => Ok(Task::Fashion4),
+            "vowel-4" | "vowel4" => Ok(Task::Vowel4),
+            other => Err(ParseTaskError {
+                name: other.to_owned(),
+            }),
+        }
+    }
+}
+
+/// Builds an image task: a class-interleaved pool, front-N train split, and
+/// a random validation sample from the remainder.
+fn image_task<R: Rng + ?Sized>(
+    class_codes: &[u8],
+    task: Task,
+    render: &mut dyn FnMut(u8, &mut R) -> Vec<f64>,
+    rng: &mut R,
+) -> (Dataset, Dataset) {
+    let k = class_codes.len();
+    let pool_size = task.train_size() + 2 * task.val_size();
+    let rounds = pool_size / k + 1;
+    let mut features = Vec::with_capacity(rounds * k);
+    let mut labels = Vec::with_capacity(rounds * k);
+    for _ in 0..rounds {
+        for (label, &code) in class_codes.iter().enumerate() {
+            features.push(render(code, rng));
+            labels.push(label);
+        }
+    }
+    let pool = Dataset::new(features, labels, k);
+    let train = pool.take_front(task.train_size());
+    let rest = Dataset::new(
+        pool.features()[task.train_size()..].to_vec(),
+        pool.labels()[task.train_size()..].to_vec(),
+        k,
+    );
+    let val = rest.sample(task.val_size(), rng);
+    (train, val)
+}
+
+/// Builds the vowel task: synthesize, PCA to 10 dims (fit on the train
+/// prefix only), standardize with train statistics.
+fn vowel_task<R: Rng + ?Sized>(task: Task, rng: &mut R) -> (Dataset, Dataset) {
+    let per_class = (task.train_size() + 2 * task.val_size()) / 4 + 1;
+    let (raw, labels) = sample_vowels(per_class, rng);
+    let n_train = task.train_size();
+    let pca = Pca::fit(&raw[..n_train], task.feature_dim());
+    let mut projected = pca.transform_batch(&raw);
+    let mut train_feats = projected[..n_train].to_vec();
+    let stats = standardize(&mut train_feats);
+    apply_standardize(&mut projected[n_train..], &stats);
+    let train = Dataset::new(train_feats, labels[..n_train].to_vec(), 4);
+    let rest = Dataset::new(projected[n_train..].to_vec(), labels[n_train..].to_vec(), 4);
+    let val = rest.sample(task.val_size(), rng);
+    (train, val)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_tasks_load_with_paper_sizes() {
+        for &task in ALL_TASKS {
+            let (train, val) = task.load(42);
+            assert_eq!(train.len(), task.train_size(), "{task} train size");
+            assert_eq!(val.len(), task.val_size(), "{task} val size");
+            assert_eq!(train.feature_dim(), task.feature_dim(), "{task} dim");
+            assert_eq!(train.num_classes(), task.num_classes());
+        }
+    }
+
+    #[test]
+    fn train_split_is_class_balanced() {
+        for &task in &[Task::Mnist4, Task::Fashion2] {
+            let (train, _) = task.load(1);
+            let counts = train.class_counts();
+            let expect = task.train_size() / task.num_classes();
+            assert!(counts.iter().all(|&c| c == expect), "{task}: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn loads_are_deterministic() {
+        let (a_train, a_val) = Task::Mnist2.load(7);
+        let (b_train, b_val) = Task::Mnist2.load(7);
+        assert_eq!(a_train, b_train);
+        assert_eq!(a_val, b_val);
+        let (c_train, _) = Task::Mnist2.load(8);
+        assert_ne!(a_train, c_train);
+    }
+
+    #[test]
+    fn nearest_centroid_separates_classes() {
+        // The data substrate must be learnable: a trivial nearest-centroid
+        // classifier on the train centroids should beat chance comfortably
+        // on validation. This guards the "substitution preserves behaviour"
+        // claim in DESIGN.md.
+        for &task in ALL_TASKS {
+            let (train, val) = task.load(11);
+            let k = task.num_classes();
+            let dim = task.feature_dim();
+            let mut centroids = vec![vec![0.0; dim]; k];
+            let counts = train.class_counts();
+            for i in 0..train.len() {
+                let (f, l) = train.example(i);
+                for (c, x) in centroids[l].iter_mut().zip(f) {
+                    *c += x;
+                }
+            }
+            for (c, n) in centroids.iter_mut().zip(&counts) {
+                for x in c.iter_mut() {
+                    *x /= *n as f64;
+                }
+            }
+            let mut correct = 0;
+            for i in 0..val.len() {
+                let (f, l) = val.example(i);
+                let pred = (0..k)
+                    .min_by(|&a, &b| {
+                        let da: f64 = centroids[a].iter().zip(f).map(|(c, x)| (c - x).powi(2)).sum();
+                        let db: f64 = centroids[b].iter().zip(f).map(|(c, x)| (c - x).powi(2)).sum();
+                        da.total_cmp(&db)
+                    })
+                    .unwrap();
+                if pred == l {
+                    correct += 1;
+                }
+            }
+            let acc = correct as f64 / val.len() as f64;
+            let chance = 1.0 / k as f64;
+            assert!(
+                acc > chance + 0.3,
+                "{task}: nearest-centroid accuracy {acc:.3} too close to chance {chance}"
+            );
+        }
+    }
+
+    #[test]
+    fn task_names_round_trip() {
+        for &task in ALL_TASKS {
+            let parsed: Task = task.name().to_ascii_lowercase().parse().unwrap();
+            assert_eq!(parsed, task);
+        }
+        assert!("cifar".parse::<Task>().is_err());
+    }
+
+    #[test]
+    fn paper_device_assignment() {
+        assert_eq!(Task::Fashion2.paper_device(), "ibmq_santiago");
+        assert_eq!(Task::Vowel4.paper_device(), "ibmq_lima");
+    }
+}

@@ -1,0 +1,177 @@
+//! Synthetic vowel-formant dataset.
+//!
+//! The paper's fifth task classifies 4 vowels (hid, hId, hAd, hOd) from
+//! acoustic features reduced to 10 PCA dimensions. The original Hillenbrand
+//! recordings are unavailable offline, so samples are synthesized from the
+//! published per-vowel formant statistics: duration, F0, and F1–F3 measured
+//! at three time points, plus F4 — 12 raw dimensions, with realistic
+//! per-speaker variation and inter-feature correlation (speaker F0 scales
+//! formants), then projected to 10 dims with [`crate::pca::Pca`].
+
+use rand::Rng;
+
+/// The four vowel classes of the paper's Vowel-4 task, in label order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Vowel {
+    /// "hid" — /i/ as in *heed*.
+    Hid,
+    /// "hId" — /ɪ/ as in *hid*.
+    HId,
+    /// "hAd" — /æ/ as in *had*.
+    HAd,
+    /// "hOd" — /ɑ/ as in *hod*.
+    HOd,
+}
+
+/// All vowels, index = class label.
+pub const ALL_VOWELS: &[Vowel] = &[Vowel::Hid, Vowel::HId, Vowel::HAd, Vowel::HOd];
+
+/// Raw (pre-PCA) feature dimension.
+pub const RAW_DIM: usize = 12;
+
+struct FormantStats {
+    /// Steady-state F1..F3 in Hz (Hillenbrand adult averages).
+    f: [f64; 3],
+    /// Vowel-inherent spectral change: F1..F3 slope from 20% to 80% point,
+    /// as a fraction of the steady value.
+    slope: [f64; 3],
+    /// Typical duration in milliseconds.
+    duration_ms: f64,
+}
+
+fn stats(v: Vowel) -> FormantStats {
+    match v {
+        Vowel::Hid => FormantStats {
+            f: [342.0, 2322.0, 3000.0],
+            slope: [-0.02, 0.03, 0.01],
+            duration_ms: 243.0,
+        },
+        Vowel::HId => FormantStats {
+            f: [427.0, 2034.0, 2684.0],
+            slope: [0.04, -0.05, -0.01],
+            duration_ms: 192.0,
+        },
+        Vowel::HAd => FormantStats {
+            f: [588.0, 1952.0, 2601.0],
+            slope: [0.06, -0.08, -0.02],
+            duration_ms: 278.0,
+        },
+        Vowel::HOd => FormantStats {
+            f: [768.0, 1333.0, 2522.0],
+            slope: [-0.03, 0.06, 0.01],
+            duration_ms: 267.0,
+        },
+    }
+}
+
+/// Box–Muller standard normal from a uniform RNG.
+fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(1e-12..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Synthesizes one raw 12-dimensional vowel sample:
+/// `[duration_ms, F0, F1@20%, F2@20%, F3@20%, F1@50%, F2@50%, F3@50%,
+///   F1@80%, F2@80%, F3@80%, F4]`.
+pub fn sample_vowel<R: Rng + ?Sized>(vowel: Vowel, rng: &mut R) -> Vec<f64> {
+    let st = stats(vowel);
+    // Speaker: F0 spans male to female/child voices; higher-F0 speakers
+    // have proportionally higher formants (vocal-tract length correlation).
+    let f0 = 145.0 + 75.0 * rng.gen_range(0.0f64..1.0).powf(0.8) + 8.0 * randn(rng);
+    let tract = 1.0 + 0.18 * (f0 - 180.0) / 75.0 + 0.03 * randn(rng);
+    let duration = st.duration_ms * (1.0 + 0.12 * randn(rng));
+    let mut out = Vec::with_capacity(RAW_DIM);
+    out.push(duration);
+    out.push(f0);
+    for phase in [-1.0f64, 0.0, 1.0] {
+        for k in 0..3 {
+            let base = st.f[k] * tract;
+            let drift = base * st.slope[k] * phase;
+            let jitter = base * 0.035 * randn(rng);
+            out.push(base + drift + jitter);
+        }
+    }
+    out.push(3900.0 * tract + 80.0 * randn(rng)); // F4
+    out
+}
+
+/// Synthesizes a labelled batch: `count` samples per vowel class, labels in
+/// `0..4` following [`ALL_VOWELS`] order, interleaved round-robin (so any
+/// prefix is class-balanced, matching the paper's "front N samples" splits).
+pub fn sample_dataset<R: Rng + ?Sized>(
+    count_per_class: usize,
+    rng: &mut R,
+) -> (Vec<Vec<f64>>, Vec<usize>) {
+    let mut features = Vec::with_capacity(count_per_class * ALL_VOWELS.len());
+    let mut labels = Vec::with_capacity(count_per_class * ALL_VOWELS.len());
+    for _ in 0..count_per_class {
+        for (label, &v) in ALL_VOWELS.iter().enumerate() {
+            features.push(sample_vowel(v, rng));
+            labels.push(label);
+        }
+    }
+    (features, labels)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_have_right_dimension() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for &v in ALL_VOWELS {
+            assert_eq!(sample_vowel(v, &mut rng).len(), RAW_DIM);
+        }
+    }
+
+    #[test]
+    fn formant_ordering_holds() {
+        // F1 < F2 < F3 < F4 for every vowel, as in real speech.
+        let mut rng = StdRng::seed_from_u64(2);
+        for &v in ALL_VOWELS {
+            for _ in 0..50 {
+                let s = sample_vowel(v, &mut rng);
+                let (f1, f2, f3, f4) = (s[5], s[6], s[7], s[11]);
+                assert!(f1 < f2 && f2 < f3 && f3 < f4, "{v:?}: {f1} {f2} {f3} {f4}");
+            }
+        }
+    }
+
+    #[test]
+    fn classes_separate_on_f1_f2() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mean_f1 = |v: Vowel, rng: &mut StdRng| -> f64 {
+            (0..200).map(|_| sample_vowel(v, rng)[5]).sum::<f64>() / 200.0
+        };
+        let hid = mean_f1(Vowel::Hid, &mut rng);
+        let hod = mean_f1(Vowel::HOd, &mut rng);
+        assert!(hod > hid + 250.0, "/ɑ/ F1 {hod} vs /i/ F1 {hid}");
+    }
+
+    #[test]
+    fn dataset_is_balanced_and_interleaved() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let (features, labels) = sample_dataset(25, &mut rng);
+        assert_eq!(features.len(), 100);
+        assert_eq!(&labels[0..4], &[0, 1, 2, 3]);
+        for class in 0..4 {
+            assert_eq!(labels.iter().filter(|&&l| l == class).count(), 25);
+        }
+        // Any prefix that is a multiple of 4 is exactly balanced.
+        let prefix = &labels[0..40];
+        for class in 0..4 {
+            assert_eq!(prefix.iter().filter(|&&l| l == class).count(), 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = sample_vowel(Vowel::HAd, &mut StdRng::seed_from_u64(7));
+        let b = sample_vowel(Vowel::HAd, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+}

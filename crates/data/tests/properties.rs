@@ -1,0 +1,148 @@
+//! Property tests of the data substrate: preprocessing algebra, PCA
+//! invariants, and generator statistics over random inputs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use qoc_data::dataset::Dataset;
+use qoc_data::fashion::{render_fashion, FashionClass, ALL_CLASSES};
+use qoc_data::image::Image;
+use qoc_data::mnist::{render_digit, SUPPORTED_DIGITS};
+use qoc_data::pca::{symmetric_eigen, Pca};
+use qoc_data::preprocess::{avg_pool, center_crop, image_to_features};
+use qoc_data::vowel::{sample_vowel, ALL_VOWELS, RAW_DIM};
+
+fn arb_image() -> impl Strategy<Value = Image> {
+    proptest::collection::vec(0.0f64..1.0, 28 * 28).prop_map(|pixels| {
+        let mut img = Image::new(28, 28);
+        img.pixels_mut().copy_from_slice(&pixels);
+        img
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn pooling_preserves_mean_of_crop(img in arb_image()) {
+        let cropped = center_crop(&img, 24);
+        let pooled = avg_pool(&cropped, 4);
+        prop_assert!((pooled.mean() - cropped.mean()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn features_are_bounded_angles(img in arb_image()) {
+        let feats = image_to_features(&img);
+        prop_assert_eq!(feats.len(), 16);
+        for f in feats {
+            prop_assert!((0.0..=std::f64::consts::PI).contains(&f));
+        }
+    }
+
+    #[test]
+    fn crop_is_idempotent_at_same_size(img in arb_image()) {
+        let once = center_crop(&img, 24);
+        let twice = center_crop(&once, 24);
+        prop_assert_eq!(once.pixels(), twice.pixels());
+    }
+
+    #[test]
+    fn renders_are_deterministic_per_seed(seed in 0u64..10_000) {
+        let digit = SUPPORTED_DIGITS[(seed % 5) as usize];
+        let a = render_digit(digit, &mut StdRng::seed_from_u64(seed));
+        let b = render_digit(digit, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(a.pixels(), b.pixels());
+        let class = ALL_CLASSES[(seed % 5) as usize];
+        let fa = render_fashion(class, &mut StdRng::seed_from_u64(seed));
+        let fb = render_fashion(class, &mut StdRng::seed_from_u64(seed));
+        prop_assert_eq!(fa.pixels(), fb.pixels());
+    }
+
+    #[test]
+    fn renders_have_ink_and_bounded_pixels(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let img = render_fashion(FashionClass::Pullover, &mut rng);
+        prop_assert!(img.mean() > 0.03);
+        prop_assert!(img.pixels().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn vowel_samples_are_physical(seed in 0u64..10_000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let v = ALL_VOWELS[(seed % 4) as usize];
+        let s = sample_vowel(v, &mut rng);
+        prop_assert_eq!(s.len(), RAW_DIM);
+        // Duration positive, F0 in human range, formants ascending at mid.
+        prop_assert!(s[0] > 50.0 && s[0] < 600.0);
+        prop_assert!(s[1] > 60.0 && s[1] < 400.0);
+        prop_assert!(s[5] < s[6] && s[6] < s[7]);
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetric_matrices(
+        entries in proptest::collection::vec(-2.0f64..2.0, 10),
+    ) {
+        // Build a symmetric 4×4 from 10 free entries.
+        let mut m = vec![0.0; 16];
+        let mut it = entries.into_iter();
+        for i in 0..4 {
+            for j in i..4 {
+                let v = it.next().unwrap();
+                m[i * 4 + j] = v;
+                m[j * 4 + i] = v;
+            }
+        }
+        let (vals, vecs) = symmetric_eigen(&m, 4);
+        // Reconstruct A = Σ λ v vᵀ.
+        let mut rec = vec![0.0; 16];
+        for (lambda, v) in vals.iter().zip(&vecs) {
+            for i in 0..4 {
+                for j in 0..4 {
+                    rec[i * 4 + j] += lambda * v[i] * v[j];
+                }
+            }
+        }
+        for (a, b) in m.iter().zip(&rec) {
+            prop_assert!((a - b).abs() < 1e-7, "reconstruction failed");
+        }
+        // Eigenvalues sorted descending.
+        for w in vals.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+    }
+
+    #[test]
+    fn pca_projection_is_translation_invariant_in_mean(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(-5.0f64..5.0, 6), 8..20),
+        shift in -10.0f64..10.0,
+    ) {
+        let pca_a = Pca::fit(&rows, 3);
+        let shifted: Vec<Vec<f64>> = rows
+            .iter()
+            .map(|r| r.iter().map(|x| x + shift).collect())
+            .collect();
+        let pca_b = Pca::fit(&shifted, 3);
+        // Projections of corresponding points agree up to per-component sign.
+        let pa = pca_a.transform(&rows[0]);
+        let pb = pca_b.transform(&shifted[0]);
+        for (x, y) in pa.iter().zip(&pb) {
+            prop_assert!((x.abs() - y.abs()).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn dataset_sampling_never_repeats(n in 4usize..30, take in 1usize..30, seed in 0u64..500) {
+        let take = take.min(n);
+        let features: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64]).collect();
+        let labels: Vec<usize> = (0..n).map(|i| i % 2).collect();
+        let ds = Dataset::new(features, labels, 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sample = ds.sample(take, &mut rng);
+        let mut ids: Vec<i64> = sample.features().iter().map(|f| f[0] as i64).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        prop_assert_eq!(ids.len(), take);
+    }
+}

@@ -1,0 +1,683 @@
+//! Execution backends.
+//!
+//! [`QuantumBackend`] is the boundary the QOC training engine talks to — the
+//! same boundary the paper crosses when it submits circuits to IBM machines.
+//! Two implementations:
+//!
+//! - [`NoiselessBackend`] — exact statevector simulation, optionally
+//!   shot-sampled ("Classical-Train" in the paper);
+//! - [`FakeDevice`] — full hardware emulation: transpile to the native
+//!   basis, route on the machine topology, evolve with the calibration's
+//!   noise channels, corrupt readout, sample shots, and account wall-clock
+//!   via the latency model ("QC-Train").
+//!
+//! Backends count every circuit execution: the paper's Figure 6 x-axis
+//! ("number of inferences") comes from these counters.
+
+use std::cell::Cell;
+
+use rand::RngCore;
+
+use qoc_sim::circuit::Circuit;
+use qoc_sim::simulator::StatevectorSimulator;
+
+use qoc_noise::model::NoiseModel;
+use qoc_noise::sim::NoisyDensitySimulator;
+use qoc_noise::trajectory::{TrajectoryNoise, TrajectorySimulator};
+
+use crate::backends::DeviceDescription;
+use crate::calibration::DeviceCalibration;
+use crate::schedule;
+use crate::topology::CouplingMap;
+use crate::transpile::{transpile, TranspileOptions, TranspiledCircuit};
+
+/// How to extract expectation values from a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Execution {
+    /// Infinite-shot (exact) expectation values.
+    Exact,
+    /// Finite-shot sampling, as on hardware. The paper uses 1024 shots.
+    Shots(u32),
+}
+
+/// The paper's shot setting.
+pub const PAPER_SHOTS: u32 = 1024;
+
+/// Cumulative execution accounting.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ExecutionStats {
+    /// Circuits executed ("inferences" in the paper's Figure 6).
+    pub circuits_run: u64,
+    /// Total shots fired.
+    pub total_shots: u64,
+    /// Estimated device wall-clock in seconds (latency model; zero for
+    /// noiseless simulation).
+    pub estimated_device_seconds: f64,
+}
+
+/// A circuit compiled for a particular backend, reusable across parameter
+/// bindings — the parameter-shift engine prepares once and runs 2·n times.
+#[derive(Debug, Clone)]
+pub struct PreparedCircuit {
+    logical_qubits: usize,
+    plan: Plan,
+}
+
+#[derive(Debug, Clone)]
+enum Plan {
+    /// Run as-is on the statevector simulator.
+    Direct(Circuit),
+    /// Hardware plan: compacted physical circuit + noise + latency.
+    Device {
+        compact: Circuit,
+        /// Logical qubit → compact wire carrying its readout.
+        logical_readout: Vec<usize>,
+        noise: NoiseModel,
+        traj_noise: TrajectoryNoise,
+        per_shot_ns: f64,
+        overhead_ns: f64,
+        swap_count: usize,
+    },
+}
+
+impl PreparedCircuit {
+    /// Number of logical qubits (the width of result vectors).
+    pub fn logical_qubits(&self) -> usize {
+        self.logical_qubits
+    }
+
+    /// Routing SWAPs inserted for this circuit (0 for direct plans).
+    pub fn swap_count(&self) -> usize {
+        match &self.plan {
+            Plan::Direct(_) => 0,
+            Plan::Device { swap_count, .. } => *swap_count,
+        }
+    }
+
+    /// The circuit that will actually execute.
+    pub fn executable(&self) -> &Circuit {
+        match &self.plan {
+            Plan::Direct(c) => c,
+            Plan::Device { compact, .. } => compact,
+        }
+    }
+}
+
+/// An execution target for circuits.
+///
+/// Dynamically dispatched so training code can hold `&dyn QuantumBackend`;
+/// randomness comes in as `&mut dyn RngCore` for the same reason.
+pub trait QuantumBackend: std::fmt::Debug {
+    /// Backend name (e.g. `"ibmq_santiago"`).
+    fn name(&self) -> &str;
+
+    /// Physical qubit count.
+    fn num_qubits(&self) -> usize;
+
+    /// Compiles a logical circuit into an executable plan.
+    fn prepare(&self, circuit: &Circuit) -> PreparedCircuit;
+
+    /// Executes a prepared circuit with parameters `theta` and returns
+    /// per-logical-qubit Pauli-Z expectations.
+    fn run_prepared(
+        &self,
+        prepared: &PreparedCircuit,
+        theta: &[f64],
+        execution: Execution,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64>;
+
+    /// Exact outcome distribution over the **logical** qubits (index bit `k`
+    /// = logical qubit `k`), including all device noise and readout error.
+    /// Joint observables (e.g. ⟨Z⊗Z⟩ for VQE Hamiltonians) need this rather
+    /// than the per-qubit marginals of [`Self::run_prepared`].
+    fn outcome_probabilities(&self, prepared: &PreparedCircuit, theta: &[f64]) -> Vec<f64>;
+
+    /// Shot-sampled outcome histogram over the logical qubits.
+    fn outcome_counts(
+        &self,
+        prepared: &PreparedCircuit,
+        theta: &[f64],
+        shots: u32,
+        rng: &mut dyn RngCore,
+    ) -> std::collections::BTreeMap<usize, u32> {
+        let probs = self.outcome_probabilities(prepared, theta);
+        qoc_noise::density::sample_from_probabilities(&probs, shots, rng)
+    }
+
+    /// One-shot convenience: prepare + run.
+    fn expectations(
+        &self,
+        circuit: &Circuit,
+        theta: &[f64],
+        execution: Execution,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        let prepared = self.prepare(circuit);
+        self.run_prepared(&prepared, theta, execution, rng)
+    }
+
+    /// Cumulative execution statistics.
+    fn stats(&self) -> ExecutionStats;
+
+    /// Clears the statistics counters.
+    fn reset_stats(&self);
+}
+
+#[derive(Debug, Default)]
+struct StatCells {
+    circuits: Cell<u64>,
+    shots: Cell<u64>,
+    seconds: Cell<f64>,
+}
+
+impl StatCells {
+    fn record(&self, shots: u64, seconds: f64) {
+        self.circuits.set(self.circuits.get() + 1);
+        self.shots.set(self.shots.get() + shots);
+        self.seconds.set(self.seconds.get() + seconds);
+    }
+
+    fn snapshot(&self) -> ExecutionStats {
+        ExecutionStats {
+            circuits_run: self.circuits.get(),
+            total_shots: self.shots.get(),
+            estimated_device_seconds: self.seconds.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.circuits.set(0);
+        self.shots.set(0);
+        self.seconds.set(0.0);
+    }
+}
+
+/// Exact statevector backend — the "Classical-Train" substrate.
+#[derive(Debug, Default)]
+pub struct NoiselessBackend {
+    sim: StatevectorSimulator,
+    stats: StatCells,
+}
+
+impl NoiselessBackend {
+    /// Creates a noiseless backend.
+    pub fn new() -> Self {
+        NoiselessBackend::default()
+    }
+}
+
+impl QuantumBackend for NoiselessBackend {
+    fn name(&self) -> &str {
+        "noiseless_sim"
+    }
+
+    fn num_qubits(&self) -> usize {
+        // Bounded only by statevector memory.
+        30
+    }
+
+    fn prepare(&self, circuit: &Circuit) -> PreparedCircuit {
+        PreparedCircuit {
+            logical_qubits: circuit.num_qubits(),
+            plan: Plan::Direct(circuit.clone()),
+        }
+    }
+
+    fn run_prepared(
+        &self,
+        prepared: &PreparedCircuit,
+        theta: &[f64],
+        execution: Execution,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        let Plan::Direct(circuit) = &prepared.plan else {
+            panic!("prepared circuit belongs to a different backend kind");
+        };
+        match execution {
+            Execution::Exact => {
+                self.stats.record(0, 0.0);
+                self.sim.expectations_z(circuit, theta)
+            }
+            Execution::Shots(s) => {
+                self.stats.record(s as u64, 0.0);
+                self.sim.sampled_expectations_z(circuit, theta, s, rng)
+            }
+        }
+    }
+
+    fn outcome_probabilities(&self, prepared: &PreparedCircuit, theta: &[f64]) -> Vec<f64> {
+        let Plan::Direct(circuit) = &prepared.plan else {
+            panic!("prepared circuit belongs to a different backend kind");
+        };
+        self.stats.record(0, 0.0);
+        self.sim.run(circuit, theta).probabilities()
+    }
+
+    fn stats(&self) -> ExecutionStats {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+/// Hardware-emulating backend built from a [`DeviceDescription`].
+///
+/// Circuits whose compacted footprint stays at or below
+/// `density_matrix_limit` qubits run on the exact noisy density-matrix
+/// simulator; wider ones fall back to Monte-Carlo Pauli trajectories.
+#[derive(Debug)]
+pub struct FakeDevice {
+    description: DeviceDescription,
+    options: TranspileOptions,
+    density_matrix_limit: usize,
+    stats: StatCells,
+}
+
+impl FakeDevice {
+    /// Wraps a device description with default transpiler options.
+    pub fn new(description: DeviceDescription) -> Self {
+        FakeDevice {
+            description,
+            options: TranspileOptions::default(),
+            density_matrix_limit: 11,
+            stats: StatCells::default(),
+        }
+    }
+
+    /// Overrides transpiler options.
+    #[must_use]
+    pub fn with_options(mut self, options: TranspileOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// The device's coupling map.
+    pub fn coupling(&self) -> &CouplingMap {
+        &self.description.coupling
+    }
+
+    /// The calibration snapshot.
+    pub fn calibration(&self) -> &DeviceCalibration {
+        &self.description.calibration
+    }
+
+    /// Latency-model estimate for one job of `shots` shots of `circuit`
+    /// (after transpilation), in seconds. Does not execute anything.
+    pub fn estimate_job_seconds(&self, circuit: &Circuit, shots: u32) -> f64 {
+        let t = transpile(circuit, &self.description.coupling, self.options);
+        schedule::job_time(&t.circuit, &self.description.calibration, shots).total_seconds()
+    }
+
+    /// Compacts a transpiled circuit onto only its touched wires and builds
+    /// the matching compact noise model.
+    fn compact(&self, t: &TranspiledCircuit, logical_qubits: usize) -> (Circuit, Vec<usize>, NoiseModel) {
+        let cal = &self.description.calibration;
+        // Wires that matter: everything the circuit touches plus every
+        // readout target.
+        let mut used: Vec<usize> = t
+            .circuit
+            .ops()
+            .iter()
+            .flat_map(|op| op.qubits.iter().copied())
+            .chain(t.final_layout.iter().take(logical_qubits).copied())
+            .collect();
+        used.sort_unstable();
+        used.dedup();
+        let mut phys_to_compact = vec![usize::MAX; self.description.coupling.num_qubits()];
+        for (i, &p) in used.iter().enumerate() {
+            phys_to_compact[p] = i;
+        }
+        let mut compact = Circuit::new(used.len());
+        for op in t.circuit.ops() {
+            let qubits: Vec<usize> = op.qubits.iter().map(|&q| phys_to_compact[q]).collect();
+            compact.push(op.gate, &qubits, &op.params);
+        }
+        let logical_readout: Vec<usize> = t
+            .final_layout
+            .iter()
+            .take(logical_qubits)
+            .map(|&p| phys_to_compact[p])
+            .collect();
+
+        // Compact noise model: per used qubit, analytic 1q depolarizing +
+        // thermal Kraus and readout; per compact CX pair, analytic 2q
+        // depolarizing + per-wire thermal.
+        let mut builder = NoiseModel::builder(used.len());
+        for (i, &p) in used.iter().enumerate() {
+            let qc = cal.qubit(p);
+            builder = builder
+                .one_qubit_depolarizing(
+                    i,
+                    qoc_noise::channels::error_rate_to_depolarizing_prob(qc.gate_error_1q, 1),
+                )
+                .one_qubit(
+                    i,
+                    qoc_noise::channels::thermal_relaxation(
+                        qc.t1_us,
+                        qc.t2_us,
+                        qc.gate_duration_1q_ns,
+                    ),
+                )
+                .readout(i, qc.readout_error());
+        }
+        let mut seen_pairs = std::collections::BTreeSet::new();
+        for op in compact.ops() {
+            if op.qubits.len() == 2 {
+                let (a, b) = (op.qubits[0].min(op.qubits[1]), op.qubits[0].max(op.qubits[1]));
+                if !seen_pairs.insert((a, b)) {
+                    continue;
+                }
+                let (pa, pb) = (used[a], used[b]);
+                let edge = cal
+                    .edge(pa, pb)
+                    .copied()
+                    .unwrap_or(crate::calibration::EdgeCalibration::typical());
+                let qa = cal.qubit(pa);
+                let qb = cal.qubit(pb);
+                builder = builder
+                    .two_qubit_depolarizing(
+                        a,
+                        b,
+                        qoc_noise::channels::error_rate_to_depolarizing_prob(
+                            edge.gate_error_cx,
+                            2,
+                        ),
+                    )
+                    .two_qubit_wire(
+                        a,
+                        b,
+                        0,
+                        qoc_noise::channels::thermal_relaxation(
+                            qa.t1_us,
+                            qa.t2_us,
+                            edge.gate_duration_cx_ns,
+                        ),
+                    )
+                    .two_qubit_wire(
+                        a,
+                        b,
+                        1,
+                        qoc_noise::channels::thermal_relaxation(
+                            qb.t1_us,
+                            qb.t2_us,
+                            edge.gate_duration_cx_ns,
+                        ),
+                    );
+            }
+        }
+        (compact, logical_readout, builder.build())
+    }
+}
+
+impl QuantumBackend for FakeDevice {
+    fn name(&self) -> &str {
+        &self.description.name
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.description.coupling.num_qubits()
+    }
+
+    fn prepare(&self, circuit: &Circuit) -> PreparedCircuit {
+        let t = transpile(circuit, &self.description.coupling, self.options);
+        let job = schedule::job_time(&t.circuit, &self.description.calibration, 1);
+        let (compact, logical_readout, noise) = self.compact(&t, circuit.num_qubits());
+        let cal = &self.description.calibration;
+        let traj_noise = TrajectoryNoise::new(
+            (1.5 * cal.mean_error_1q()).min(1.0),
+            (1.25 * cal.mean_error_cx()).min(1.0),
+            cal.mean_readout_error().min(0.5),
+        );
+        PreparedCircuit {
+            logical_qubits: circuit.num_qubits(),
+            plan: Plan::Device {
+                compact,
+                logical_readout,
+                noise,
+                traj_noise,
+                per_shot_ns: job.circuit_duration_ns + job.readout_ns + job.rep_delay_ns,
+                overhead_ns: job.overhead_ns,
+                swap_count: t.swap_count,
+            },
+        }
+    }
+
+    fn run_prepared(
+        &self,
+        prepared: &PreparedCircuit,
+        theta: &[f64],
+        execution: Execution,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        let Plan::Device {
+            compact,
+            logical_readout,
+            noise,
+            traj_noise,
+            per_shot_ns,
+            overhead_ns,
+            ..
+        } = &prepared.plan
+        else {
+            panic!("prepared circuit belongs to a different backend kind");
+        };
+        let shots = match execution {
+            Execution::Exact => 0,
+            Execution::Shots(s) => s,
+        };
+        let seconds = (overhead_ns + shots as f64 * per_shot_ns) / 1e9;
+        self.stats.record(shots as u64, seconds);
+
+        let physical = if compact.num_qubits() <= self.density_matrix_limit {
+            let sim = NoisyDensitySimulator::new(noise.clone());
+            match execution {
+                Execution::Exact => sim.expectations_z(compact, theta),
+                Execution::Shots(s) => sim.sampled_expectations_z(compact, theta, s, rng),
+            }
+        } else {
+            let sim = TrajectorySimulator::new(*traj_noise);
+            match execution {
+                Execution::Exact => {
+                    let mut r = rand::rngs::StdRng::seed_from_u64(0x5eed);
+                    sim.mean_expectations_z(compact, theta, 512, &mut r)
+                }
+                Execution::Shots(s) => sim.sampled_expectations_z(compact, theta, s, rng),
+            }
+        };
+        logical_readout.iter().map(|&w| physical[w]).collect()
+    }
+
+    fn outcome_probabilities(&self, prepared: &PreparedCircuit, theta: &[f64]) -> Vec<f64> {
+        let Plan::Device {
+            compact,
+            logical_readout,
+            noise,
+            overhead_ns,
+            ..
+        } = &prepared.plan
+        else {
+            panic!("prepared circuit belongs to a different backend kind");
+        };
+        assert!(
+            compact.num_qubits() <= self.density_matrix_limit,
+            "exact outcome distributions need the density-matrix path \
+             ({} > {} qubits)",
+            compact.num_qubits(),
+            self.density_matrix_limit
+        );
+        self.stats.record(0, overhead_ns / 1e9);
+        let sim = NoisyDensitySimulator::new(noise.clone());
+        let compact_probs = sim.outcome_probabilities(compact, theta);
+        // Marginalize onto the logical readout wires, logical bit order.
+        let n_logical = logical_readout.len();
+        let mut out = vec![0.0; 1 << n_logical];
+        for (s, p) in compact_probs.iter().enumerate() {
+            let mut idx = 0usize;
+            for (l, &w) in logical_readout.iter().enumerate() {
+                if (s >> w) & 1 == 1 {
+                    idx |= 1 << l;
+                }
+            }
+            out[idx] += p;
+        }
+        out
+    }
+
+    fn stats(&self) -> ExecutionStats {
+        self.stats.snapshot()
+    }
+
+    fn reset_stats(&self) {
+        self.stats.reset();
+    }
+}
+
+use rand::SeedableRng;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backends::{fake_lima, fake_santiago};
+    use qoc_sim::circuit::ParamValue;
+    use rand::rngs::StdRng;
+
+    fn qnn_circuit() -> Circuit {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.ry(q, 0.4 + q as f64 * 0.2);
+        }
+        for q in 0..4 {
+            c.rzz(q, (q + 1) % 4, ParamValue::sym(q));
+        }
+        for q in 0..4 {
+            c.ry(q, ParamValue::sym(4 + q));
+        }
+        c
+    }
+
+    #[test]
+    fn noiseless_matches_plain_simulator() {
+        let backend = NoiselessBackend::new();
+        let c = qnn_circuit();
+        let theta = [0.3, -0.2, 0.8, 0.1, 0.5, -0.6, 0.9, 0.0];
+        let mut rng = StdRng::seed_from_u64(1);
+        let got = backend.expectations(&c, &theta, Execution::Exact, &mut rng);
+        let want = StatevectorSimulator::new().expectations_z(&c, &theta);
+        assert_eq!(got, want);
+        assert_eq!(backend.stats().circuits_run, 1);
+    }
+
+    #[test]
+    fn fake_device_exact_tracks_ideal_loosely() {
+        // With realistic error rates the device result should be within a
+        // modest bias band of the ideal expectation.
+        let device = FakeDevice::new(fake_santiago());
+        let c = qnn_circuit();
+        let theta = [0.3, -0.2, 0.8, 0.1, 0.5, -0.6, 0.9, 0.0];
+        let mut rng = StdRng::seed_from_u64(2);
+        let ideal = StatevectorSimulator::new().expectations_z(&c, &theta);
+        let noisy = device.expectations(&c, &theta, Execution::Exact, &mut rng);
+        assert_eq!(noisy.len(), 4);
+        for (i, (a, b)) in ideal.iter().zip(&noisy).enumerate() {
+            assert!(
+                (a - b).abs() < 0.35,
+                "logical qubit {i}: ideal {a} vs noisy {b}"
+            );
+            // Noise shrinks magnitudes; never amplifies past ideal + slack.
+            assert!(b.abs() <= a.abs() + 0.08);
+        }
+    }
+
+    #[test]
+    fn fake_device_shots_are_reproducible_per_seed() {
+        let device = FakeDevice::new(fake_lima());
+        let c = qnn_circuit();
+        let theta = [0.1; 8];
+        let mut rng1 = StdRng::seed_from_u64(7);
+        let mut rng2 = StdRng::seed_from_u64(7);
+        let a = device.expectations(&c, &theta, Execution::Shots(1024), &mut rng1);
+        let b = device.expectations(&c, &theta, Execution::Shots(1024), &mut rng2);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn prepared_circuit_reuse_counts_every_run() {
+        let device = FakeDevice::new(fake_santiago());
+        device.reset_stats();
+        let c = qnn_circuit();
+        let prepared = device.prepare(&c);
+        let mut rng = StdRng::seed_from_u64(3);
+        for k in 0..5 {
+            let theta = [0.1 * k as f64; 8];
+            let _ = device.run_prepared(&prepared, &theta, Execution::Shots(1024), &mut rng);
+        }
+        let stats = device.stats();
+        assert_eq!(stats.circuits_run, 5);
+        assert_eq!(stats.total_shots, 5 * 1024);
+        assert!(stats.estimated_device_seconds > 0.0);
+    }
+
+    #[test]
+    fn outcome_distribution_marginals_match_expectations() {
+        for backend in [
+            Box::new(NoiselessBackend::new()) as Box<dyn QuantumBackend>,
+            Box::new(FakeDevice::new(fake_santiago())),
+        ] {
+            let c = qnn_circuit();
+            let theta = [0.4, -0.2, 0.9, 0.1, 0.3, -0.5, 0.7, 0.2];
+            let prepared = backend.prepare(&c);
+            let mut rng = StdRng::seed_from_u64(4);
+            let ez = backend.run_prepared(&prepared, &theta, Execution::Exact, &mut rng);
+            let probs = backend.outcome_probabilities(&prepared, &theta);
+            assert_eq!(probs.len(), 16);
+            assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+            for q in 0..4 {
+                let marginal: f64 = probs
+                    .iter()
+                    .enumerate()
+                    .map(|(s, p)| if s & (1 << q) == 0 { *p } else { -*p })
+                    .sum();
+                assert!(
+                    (marginal - ez[q]).abs() < 1e-9,
+                    "{}: qubit {q} marginal {marginal} vs ⟨Z⟩ {}",
+                    backend.name(),
+                    ez[q]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn outcome_counts_total_shots() {
+        let device = FakeDevice::new(fake_lima());
+        let c = qnn_circuit();
+        let prepared = device.prepare(&c);
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = device.outcome_counts(&prepared, &[0.1; 8], 777, &mut rng);
+        assert_eq!(counts.values().sum::<u32>(), 777);
+        assert!(counts.keys().all(|&s| s < 16));
+    }
+
+    #[test]
+    fn estimate_job_seconds_scales_with_shots() {
+        let device = FakeDevice::new(fake_santiago());
+        let c = qnn_circuit();
+        let t1 = device.estimate_job_seconds(&c, 1024);
+        let t2 = device.estimate_job_seconds(&c, 4096);
+        assert!(t2 > t1);
+    }
+
+    #[test]
+    fn compaction_keeps_results_logical_width() {
+        let device = FakeDevice::new(fake_lima());
+        let c = qnn_circuit();
+        let prepared = device.prepare(&c);
+        assert_eq!(prepared.logical_qubits(), 4);
+        // lima is T-shaped: the 4-ring needs SWAPs.
+        assert!(prepared.swap_count() > 0);
+        assert!(prepared.executable().num_qubits() <= 5);
+    }
+}

@@ -1,0 +1,274 @@
+//! Fake IBM backends.
+//!
+//! Each constructor reproduces the topology of the named machine and a
+//! calibration snapshot drawn from that machine's publicly reported ranges
+//! (mid-2021/2022, the period of the QOC experiments). Per-qubit values get
+//! a deterministic spread so no two qubits are identical — gradient noise on
+//! hardware is *not* uniform across parameters, and the pruning method's
+//! behaviour depends on that.
+
+use std::collections::BTreeMap;
+
+use crate::calibration::{DeviceCalibration, EdgeCalibration, QubitCalibration};
+use crate::topology::CouplingMap;
+
+/// A named device description: topology plus calibration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceDescription {
+    /// Backend name (e.g. `"ibmq_santiago"`).
+    pub name: String,
+    /// Coupling graph.
+    pub coupling: CouplingMap,
+    /// Calibration snapshot.
+    pub calibration: DeviceCalibration,
+}
+
+/// Deterministic per-index jitter in `[-1, 1]` (golden-ratio hashing), so
+/// fake calibration values vary qubit-to-qubit but are stable run-to-run.
+fn jitter(seed: u64, index: usize) -> f64 {
+    let x = seed
+        .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        .wrapping_add((index as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    let x = (x ^ (x >> 31)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    let frac = ((x >> 11) as f64) / ((1u64 << 53) as f64);
+    2.0 * frac - 1.0
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build(
+    name: &str,
+    seed: u64,
+    num_qubits: usize,
+    edges: &[(usize, usize)],
+    t1_us: f64,
+    t2_us: f64,
+    err_1q: f64,
+    err_cx: f64,
+    readout: f64,
+    cx_dur_ns: f64,
+) -> DeviceDescription {
+    let qubits: Vec<QubitCalibration> = (0..num_qubits)
+        .map(|q| QubitCalibration {
+            t1_us: t1_us * (1.0 + 0.25 * jitter(seed, q)),
+            t2_us: (t2_us * (1.0 + 0.25 * jitter(seed + 1, q))).min(2.0 * t1_us * 0.9),
+            gate_error_1q: err_1q * (1.0 + 0.5 * jitter(seed + 2, q)).max(0.1),
+            gate_duration_1q_ns: 35.5,
+            readout_p1_given0: (readout * (1.0 + 0.4 * jitter(seed + 3, q))).clamp(1e-4, 0.2),
+            readout_p0_given1: (1.4 * readout * (1.0 + 0.4 * jitter(seed + 4, q)))
+                .clamp(1e-4, 0.25),
+        })
+        .collect();
+    let edge_cal: BTreeMap<(usize, usize), EdgeCalibration> = edges
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, b))| {
+            (
+                (a.min(b), a.max(b)),
+                EdgeCalibration {
+                    gate_error_cx: (err_cx * (1.0 + 0.5 * jitter(seed + 5, i))).max(1e-4),
+                    gate_duration_cx_ns: cx_dur_ns * (1.0 + 0.2 * jitter(seed + 6, i)).max(0.5),
+                },
+            )
+        })
+        .collect();
+    DeviceDescription {
+        name: name.to_owned(),
+        coupling: CouplingMap::from_edges(num_qubits, edges),
+        calibration: DeviceCalibration::new(qubits, edge_cal, 5200.0, 250_000.0),
+    }
+}
+
+/// `ibmq_jakarta` — 7-qubit Falcon r5.11H, H-shaped coupling.
+pub fn fake_jakarta() -> DeviceDescription {
+    build(
+        "ibmq_jakarta",
+        11,
+        7,
+        &[(0, 1), (1, 2), (1, 3), (3, 5), (4, 5), (5, 6)],
+        140.0,
+        45.0,
+        2.6e-4,
+        7.7e-3,
+        0.022,
+        363.0,
+    )
+}
+
+/// `ibmq_manila` — 5-qubit Falcon r5.11L, linear coupling.
+pub fn fake_manila() -> DeviceDescription {
+    build(
+        "ibmq_manila",
+        13,
+        5,
+        &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        120.0,
+        60.0,
+        2.8e-4,
+        6.9e-3,
+        0.025,
+        440.0,
+    )
+}
+
+/// `ibmq_santiago` — 5-qubit Falcon r4L, linear coupling.
+pub fn fake_santiago() -> DeviceDescription {
+    build(
+        "ibmq_santiago",
+        17,
+        5,
+        &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        145.0,
+        105.0,
+        2.2e-4,
+        6.3e-3,
+        0.015,
+        480.0,
+    )
+}
+
+/// `ibmq_lima` — 5-qubit Falcon r4T, T-shaped coupling.
+pub fn fake_lima() -> DeviceDescription {
+    build(
+        "ibmq_lima",
+        19,
+        5,
+        &[(0, 1), (1, 2), (1, 3), (3, 4)],
+        100.0,
+        95.0,
+        3.7e-4,
+        9.5e-3,
+        0.034,
+        480.0,
+    )
+}
+
+/// `ibmq_toronto` — 27-qubit Falcon r4, heavy-hex coupling. Used by the
+/// paper's scalability study (Figure 8).
+pub fn fake_toronto() -> DeviceDescription {
+    build(
+        "ibmq_toronto",
+        23,
+        27,
+        &[
+            (0, 1),
+            (1, 2),
+            (1, 4),
+            (2, 3),
+            (3, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (7, 10),
+            (8, 9),
+            (8, 11),
+            (10, 12),
+            (11, 14),
+            (12, 13),
+            (12, 15),
+            (13, 14),
+            (14, 16),
+            (15, 18),
+            (16, 19),
+            (17, 18),
+            (18, 21),
+            (19, 20),
+            (19, 22),
+            (21, 23),
+            (22, 25),
+            (23, 24),
+            (24, 25),
+            (25, 26),
+        ],
+        100.0,
+        90.0,
+        3.2e-4,
+        1.1e-2,
+        0.031,
+        420.0,
+    )
+}
+
+/// All five paper devices, in the order Table 1 uses them.
+pub fn all_paper_devices() -> Vec<DeviceDescription> {
+    vec![
+        fake_jakarta(),
+        fake_manila(),
+        fake_santiago(),
+        fake_lima(),
+        fake_toronto(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topologies_match_the_real_machines() {
+        assert_eq!(fake_jakarta().coupling.num_qubits(), 7);
+        assert_eq!(fake_jakarta().coupling.edges().len(), 6);
+        assert_eq!(fake_manila().coupling.num_qubits(), 5);
+        assert!(fake_manila().coupling.are_coupled(2, 3));
+        assert!(!fake_manila().coupling.are_coupled(0, 4));
+        assert_eq!(fake_lima().coupling.distance(0, 4), 3);
+        assert_eq!(fake_toronto().coupling.num_qubits(), 27);
+        assert_eq!(fake_toronto().coupling.edges().len(), 28);
+    }
+
+    #[test]
+    fn calibration_values_in_published_ranges() {
+        for dev in all_paper_devices() {
+            let cal = &dev.calibration;
+            for q in 0..cal.num_qubits() {
+                let qc = cal.qubit(q);
+                assert!(qc.t1_us > 30.0 && qc.t1_us < 300.0, "{}: T1", dev.name);
+                assert!(qc.t2_us <= 2.0 * qc.t1_us, "{}: T2 bound", dev.name);
+                assert!(
+                    qc.gate_error_1q > 1e-5 && qc.gate_error_1q < 5e-3,
+                    "{}: 1q error",
+                    dev.name
+                );
+                assert!(
+                    qc.readout_p1_given0 < 0.21 && qc.readout_p0_given1 < 0.26,
+                    "{}: readout",
+                    dev.name
+                );
+            }
+            for (_, e) in cal.edges() {
+                assert!(
+                    e.gate_error_cx > 1e-4 && e.gate_error_cx < 5e-2,
+                    "{}: cx error",
+                    dev.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn calibration_is_deterministic() {
+        assert_eq!(fake_santiago(), fake_santiago());
+    }
+
+    #[test]
+    fn devices_differ_from_each_other() {
+        assert_ne!(
+            fake_santiago().calibration.mean_error_cx(),
+            fake_lima().calibration.mean_error_cx()
+        );
+    }
+
+    #[test]
+    fn qubits_within_a_device_differ() {
+        let cal = fake_jakarta().calibration;
+        assert_ne!(cal.qubit(0).t1_us, cal.qubit(1).t1_us);
+    }
+
+    #[test]
+    fn noise_models_build() {
+        for dev in all_paper_devices() {
+            let model = dev.calibration.noise_model();
+            assert!(!model.is_ideal());
+            assert_eq!(model.num_qubits(), dev.coupling.num_qubits());
+        }
+    }
+}

@@ -1,0 +1,53 @@
+//! # qoc-device — fake superconducting backends
+//!
+//! The hardware substrate of the QOC (DAC'22) reproduction. The paper runs
+//! on five IBM machines through qiskit; this crate rebuilds that interface
+//! so the training engine sees the same thing a real device would hand back:
+//!
+//! - [`topology`] — coupling graphs of the real machines;
+//! - [`calibration`] — per-qubit/per-edge error figures in the published
+//!   ranges, and the noise model they imply;
+//! - [`backends`] — `fake_jakarta`, `fake_manila`, `fake_santiago`,
+//!   `fake_lima`, `fake_toronto`;
+//! - [`transpile`] — basis decomposition to `{RZ, SX, X, CX}` (symbolic
+//!   parameters preserved), layout, SWAP routing, peephole optimization;
+//! - [`schedule`] — ASAP gate scheduling and the job latency model behind
+//!   Figure 8;
+//! - [`backend`] — the [`backend::QuantumBackend`] trait with
+//!   [`backend::NoiselessBackend`] and [`backend::FakeDevice`].
+//!
+//! # Quick example
+//!
+//! ```
+//! use qoc_sim::circuit::{Circuit, ParamValue};
+//! use qoc_device::backends::fake_santiago;
+//! use qoc_device::backend::{Execution, FakeDevice, QuantumBackend};
+//! use rand::SeedableRng;
+//!
+//! let mut c = Circuit::new(2);
+//! c.ry(0, ParamValue::sym(0));
+//! c.rzz(0, 1, ParamValue::sym(1));
+//!
+//! let device = FakeDevice::new(fake_santiago());
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+//! let ez = device.expectations(&c, &[0.7, 0.3], Execution::Shots(1024), &mut rng);
+//! assert_eq!(ez.len(), 2);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod backend;
+pub mod backends;
+pub mod calibration;
+pub mod mitigation;
+pub mod rb;
+pub mod schedule;
+pub mod topology;
+pub mod transpile;
+
+pub use backend::{Execution, ExecutionStats, FakeDevice, NoiselessBackend, QuantumBackend};
+pub use backends::DeviceDescription;
+pub use calibration::{DeviceCalibration, EdgeCalibration, QubitCalibration};
+pub use topology::CouplingMap;
+pub use transpile::{transpile, TranspileOptions, TranspiledCircuit};

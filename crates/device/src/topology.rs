@@ -1,0 +1,231 @@
+//! Device coupling graphs.
+//!
+//! Superconducting chips only allow two-qubit gates between physically
+//! coupled qubits; the transpiler must route everything else through SWAPs.
+//! A [`CouplingMap`] is the undirected connectivity graph plus the all-pairs
+//! shortest-path tables the router consults.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Undirected qubit-connectivity graph with precomputed BFS distances.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_device::topology::CouplingMap;
+///
+/// // A 3-qubit line: 0 — 1 — 2.
+/// let map = CouplingMap::from_edges(3, &[(0, 1), (1, 2)]);
+/// assert!(map.are_coupled(1, 2));
+/// assert!(!map.are_coupled(0, 2));
+/// assert_eq!(map.distance(0, 2), 2);
+/// assert_eq!(map.shortest_path(0, 2), vec![0, 1, 2]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    edges: Vec<(usize, usize)>,
+    adjacency: Vec<Vec<usize>>,
+    distance: Vec<Vec<usize>>,
+    next_hop: Vec<Vec<usize>>,
+}
+
+impl CouplingMap {
+    /// Builds a coupling map from an edge list.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range or self-loop edges, or if the graph is
+    /// disconnected (real devices are connected; routing assumes it).
+    pub fn from_edges(num_qubits: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        let mut normalized = Vec::with_capacity(edges.len());
+        for &(a, b) in edges {
+            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert_ne!(a, b, "self-loop edge ({a},{b})");
+            if !adjacency[a].contains(&b) {
+                adjacency[a].push(b);
+                adjacency[b].push(a);
+                normalized.push((a.min(b), a.max(b)));
+            }
+        }
+        for adj in &mut adjacency {
+            adj.sort_unstable();
+        }
+        // All-pairs BFS (devices have ≤ a few dozen qubits).
+        let mut distance = vec![vec![usize::MAX; num_qubits]; num_qubits];
+        let mut next_hop = vec![vec![usize::MAX; num_qubits]; num_qubits];
+        for s in 0..num_qubits {
+            let mut queue = VecDeque::new();
+            distance[s][s] = 0;
+            next_hop[s][s] = s;
+            queue.push_back(s);
+            while let Some(u) = queue.pop_front() {
+                for &v in &adjacency[u] {
+                    if distance[s][v] == usize::MAX {
+                        distance[s][v] = distance[s][u] + 1;
+                        // First hop on the path s → v: either v itself or the
+                        // hop already recorded toward u.
+                        next_hop[s][v] = if u == s { v } else { next_hop[s][u] };
+                        queue.push_back(v);
+                    }
+                }
+            }
+        }
+        if num_qubits > 0 {
+            assert!(
+                distance[0].iter().all(|&d| d != usize::MAX),
+                "coupling graph must be connected"
+            );
+        }
+        CouplingMap {
+            num_qubits,
+            edges: normalized,
+            adjacency,
+            distance,
+            next_hop,
+        }
+    }
+
+    /// A 1-D chain `0 — 1 — … — (n−1)` (the manila/santiago layout).
+    pub fn line(num_qubits: usize) -> Self {
+        let edges: Vec<_> = (0..num_qubits.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        CouplingMap::from_edges(num_qubits, &edges)
+    }
+
+    /// A ring `0 — 1 — … — (n−1) — 0`.
+    pub fn ring(num_qubits: usize) -> Self {
+        assert!(num_qubits >= 3, "a ring needs at least 3 qubits");
+        let mut edges: Vec<_> = (0..num_qubits - 1).map(|i| (i, i + 1)).collect();
+        edges.push((num_qubits - 1, 0));
+        CouplingMap::from_edges(num_qubits, &edges)
+    }
+
+    /// Fully connected graph (an idealized device without routing needs).
+    pub fn full(num_qubits: usize) -> Self {
+        let mut edges = Vec::new();
+        for a in 0..num_qubits {
+            for b in a + 1..num_qubits {
+                edges.push((a, b));
+            }
+        }
+        CouplingMap::from_edges(num_qubits, &edges)
+    }
+
+    /// Number of qubits.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Normalized `(low, high)` edge list.
+    #[inline]
+    pub fn edges(&self) -> &[(usize, usize)] {
+        &self.edges
+    }
+
+    /// Neighbors of qubit `q`, sorted.
+    pub fn neighbors(&self, q: usize) -> &[usize] {
+        &self.adjacency[q]
+    }
+
+    /// Whether `a` and `b` share a coupler.
+    pub fn are_coupled(&self, a: usize, b: usize) -> bool {
+        self.distance[a][b] == 1
+    }
+
+    /// Hop distance between two qubits.
+    pub fn distance(&self, a: usize, b: usize) -> usize {
+        self.distance[a][b]
+    }
+
+    /// One shortest path from `a` to `b`, inclusive of both endpoints.
+    pub fn shortest_path(&self, a: usize, b: usize) -> Vec<usize> {
+        let mut path = vec![a];
+        let mut cur = a;
+        while cur != b {
+            cur = self.next_hop[cur][b];
+            path.push(cur);
+        }
+        path
+    }
+
+    /// The node with the smallest eccentricity-weighted distance sum — a good
+    /// anchor for laying out small logical circuits in a well-connected
+    /// region.
+    pub fn most_central_qubit(&self) -> usize {
+        (0..self.num_qubits)
+            .min_by_key(|&q| self.distance[q].iter().sum::<usize>())
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for CouplingMap {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} qubits, edges: {:?}", self.num_qubits, self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_distances() {
+        let map = CouplingMap::line(5);
+        assert_eq!(map.distance(0, 4), 4);
+        assert_eq!(map.distance(2, 2), 0);
+        assert_eq!(map.shortest_path(4, 1), vec![4, 3, 2, 1]);
+        assert_eq!(map.neighbors(2), &[1, 3]);
+    }
+
+    #[test]
+    fn ring_wraps_around() {
+        let map = CouplingMap::ring(6);
+        assert_eq!(map.distance(0, 5), 1);
+        assert_eq!(map.distance(0, 3), 3);
+        assert_eq!(map.edges().len(), 6);
+    }
+
+    #[test]
+    fn full_graph_distance_one() {
+        let map = CouplingMap::full(4);
+        for a in 0..4 {
+            for b in 0..4 {
+                if a != b {
+                    assert_eq!(map.distance(a, b), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn t_shape_like_lima() {
+        // lima: 0-1, 1-2, 1-3, 3-4.
+        let map = CouplingMap::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        assert_eq!(map.distance(0, 4), 3);
+        assert_eq!(map.shortest_path(2, 4), vec![2, 1, 3, 4]);
+        assert_eq!(map.most_central_qubit(), 1);
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduped() {
+        let map = CouplingMap::from_edges(3, &[(0, 1), (1, 0), (1, 2)]);
+        assert_eq!(map.edges().len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "connected")]
+    fn rejects_disconnected_graph() {
+        let _ = CouplingMap::from_edges(4, &[(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let _ = CouplingMap::from_edges(2, &[(1, 1)]);
+    }
+}

@@ -1,0 +1,449 @@
+//! Basis-gate decomposition.
+//!
+//! IBM superconducting backends natively execute only `{RZ, SX, X, CX}`
+//! (RZ is a virtual frame change). Every other library gate is rewritten
+//! into that basis here. Parametric rotations decompose *symbolically*: the
+//! trainable symbol survives into exactly one RZ angle (as an affine
+//! expression), so a circuit can be transpiled once and re-executed for
+//! every parameter-shift evaluation.
+
+use std::f64::consts::PI;
+
+use qoc_sim::circuit::{Circuit, Operation, ParamValue};
+use qoc_sim::gates::GateKind;
+use qoc_sim::matrix::CMatrix;
+
+/// The hardware-native gate set.
+pub const BASIS_GATES: &[GateKind] = &[GateKind::Rz, GateKind::Sx, GateKind::X, GateKind::Cx];
+
+/// Returns `true` when a gate is hardware-native.
+pub fn is_basis_gate(gate: GateKind) -> bool {
+    BASIS_GATES.contains(&gate) || gate == GateKind::I
+}
+
+/// Extracts U3 Euler angles `(θ, φ, λ)` from an arbitrary 2×2 unitary, such
+/// that `U ≅ U3(θ, φ, λ)` up to global phase.
+pub fn u3_angles(u: &CMatrix) -> (f64, f64, f64) {
+    debug_assert_eq!((u.rows(), u.cols()), (2, 2));
+    let u00 = u[(0, 0)];
+    let u01 = u[(0, 1)];
+    let u10 = u[(1, 0)];
+    let u11 = u[(1, 1)];
+    let theta = 2.0 * u10.norm().atan2(u00.norm());
+    // Strip the global phase so that u00 becomes real non-negative.
+    if u00.norm() > 1e-9 {
+        let alpha = u00.arg();
+        let phi = if u10.norm() > 1e-9 {
+            u10.arg() - alpha
+        } else {
+            0.0
+        };
+        let lam = if u01.norm() > 1e-9 {
+            (-u01).arg() - alpha
+        } else if u11.norm() > 1e-9 {
+            u11.arg() - alpha - phi
+        } else {
+            0.0
+        };
+        (theta, phi, lam)
+    } else {
+        // θ = π: only the anti-diagonal is populated. Fix λ = 0 and put the
+        // whole relative phase into φ = arg(u10) − arg(−u01).
+        let phi = u10.arg() - (-u01).arg();
+        (theta, phi, 0.0)
+    }
+}
+
+/// Emits `U3(θ, φ, λ)` as the hardware sequence
+/// `RZ(λ) · SX · RZ(θ+π) · SX · RZ(φ+π)` (circuit order; equal up to global
+/// phase). Each angle may be symbolic.
+fn push_u3(out: &mut Circuit, q: usize, theta: ParamValue, phi: ParamValue, lam: ParamValue) {
+    push_rz(out, q, lam);
+    out.push(GateKind::Sx, &[q], &[]);
+    push_rz(out, q, theta.shifted(PI));
+    out.push(GateKind::Sx, &[q], &[]);
+    push_rz(out, q, phi.shifted(PI));
+}
+
+/// Pushes an RZ, skipping exact-zero constants.
+fn push_rz(out: &mut Circuit, q: usize, angle: ParamValue) {
+    if let ParamValue::Const(v) = angle {
+        if v == 0.0 {
+            return;
+        }
+    }
+    out.push(GateKind::Rz, &[q], &[angle]);
+}
+
+/// Appends the basis decomposition of one operation to `out`.
+///
+/// # Panics
+///
+/// Panics if the gate kind is unknown to the decomposer (all library gates
+/// are supported).
+pub fn decompose_op(out: &mut Circuit, op: &Operation) {
+    let q = op.qubits.clone();
+    match op.gate {
+        GateKind::I => {}
+        g if is_basis_gate(g) => out.push(op.gate, &q, &op.params),
+        // --- fixed single-qubit gates: numeric Euler angles ---
+        GateKind::H
+        | GateKind::Y
+        | GateKind::Z
+        | GateKind::S
+        | GateKind::Sdg
+        | GateKind::T
+        | GateKind::Tdg
+        | GateKind::Sxdg => {
+            let m = op.gate.matrix(&[]);
+            // Z-family gates are pure phase: emit a single RZ.
+            if m[(0, 1)].norm() < 1e-12 && m[(1, 0)].norm() < 1e-12 {
+                let angle = (m[(1, 1)] / m[(0, 0)]).arg();
+                push_rz(out, q[0], ParamValue::Const(angle));
+            } else {
+                let (t, p, l) = u3_angles(&m);
+                push_u3(
+                    out,
+                    q[0],
+                    ParamValue::Const(t),
+                    ParamValue::Const(p),
+                    ParamValue::Const(l),
+                );
+            }
+        }
+        // --- parametric single-qubit rotations: symbolic Euler angles ---
+        GateKind::Rx => {
+            // RX(θ) = U3(θ, −π/2, π/2).
+            push_u3(
+                out,
+                q[0],
+                op.params[0],
+                ParamValue::Const(-PI / 2.0),
+                ParamValue::Const(PI / 2.0),
+            );
+        }
+        GateKind::Ry => {
+            // RY(θ) = U3(θ, 0, 0).
+            push_u3(
+                out,
+                q[0],
+                op.params[0],
+                ParamValue::Const(0.0),
+                ParamValue::Const(0.0),
+            );
+        }
+        GateKind::Phase => {
+            // P(λ) ≅ RZ(λ) up to global phase.
+            push_rz(out, q[0], op.params[0]);
+        }
+        GateKind::U3 => push_u3(out, q[0], op.params[0], op.params[1], op.params[2]),
+        // --- two-qubit gates ---
+        GateKind::Cz => {
+            // CZ = (I⊗H) CX (I⊗H).
+            decompose_op(
+                out,
+                &Operation {
+                    gate: GateKind::H,
+                    qubits: vec![q[1]],
+                    params: vec![],
+                },
+            );
+            out.push(GateKind::Cx, &q, &[]);
+            decompose_op(
+                out,
+                &Operation {
+                    gate: GateKind::H,
+                    qubits: vec![q[1]],
+                    params: vec![],
+                },
+            );
+        }
+        GateKind::Cy => {
+            // CY = (I⊗S†·? ) — standard: Sdg(t), CX, S(t).
+            push_rz(out, q[1], ParamValue::Const(-PI / 2.0));
+            out.push(GateKind::Cx, &q, &[]);
+            push_rz(out, q[1], ParamValue::Const(PI / 2.0));
+        }
+        GateKind::Swap => {
+            out.push(GateKind::Cx, &[q[0], q[1]], &[]);
+            out.push(GateKind::Cx, &[q[1], q[0]], &[]);
+            out.push(GateKind::Cx, &[q[0], q[1]], &[]);
+        }
+        GateKind::Rzz => {
+            // RZZ(θ) = CX · (I⊗RZ(θ)) · CX.
+            out.push(GateKind::Cx, &q, &[]);
+            push_rz(out, q[1], op.params[0]);
+            out.push(GateKind::Cx, &q, &[]);
+        }
+        GateKind::Rxx => {
+            // RXX = (H⊗H) RZZ (H⊗H).
+            for &w in &q {
+                decompose_op(
+                    out,
+                    &Operation {
+                        gate: GateKind::H,
+                        qubits: vec![w],
+                        params: vec![],
+                    },
+                );
+            }
+            out.push(GateKind::Cx, &q, &[]);
+            push_rz(out, q[1], op.params[0]);
+            out.push(GateKind::Cx, &q, &[]);
+            for &w in &q {
+                decompose_op(
+                    out,
+                    &Operation {
+                        gate: GateKind::H,
+                        qubits: vec![w],
+                        params: vec![],
+                    },
+                );
+            }
+        }
+        GateKind::Ryy => {
+            // RYY = (RX(π/2)⊗RX(π/2)) RZZ (RX(−π/2)⊗RX(−π/2)).
+            for &w in &q {
+                decompose_op(
+                    out,
+                    &Operation {
+                        gate: GateKind::Rx,
+                        qubits: vec![w],
+                        params: vec![ParamValue::Const(PI / 2.0)],
+                    },
+                );
+            }
+            out.push(GateKind::Cx, &q, &[]);
+            push_rz(out, q[1], op.params[0]);
+            out.push(GateKind::Cx, &q, &[]);
+            for &w in &q {
+                decompose_op(
+                    out,
+                    &Operation {
+                        gate: GateKind::Rx,
+                        qubits: vec![w],
+                        params: vec![ParamValue::Const(-PI / 2.0)],
+                    },
+                );
+            }
+        }
+        GateKind::Rzx => {
+            // RZX(θ) with Z on q0, X on q1: (I⊗H) RZZ (I⊗H).
+            decompose_op(
+                out,
+                &Operation {
+                    gate: GateKind::H,
+                    qubits: vec![q[1]],
+                    params: vec![],
+                },
+            );
+            out.push(GateKind::Cx, &q, &[]);
+            push_rz(out, q[1], op.params[0]);
+            out.push(GateKind::Cx, &q, &[]);
+            decompose_op(
+                out,
+                &Operation {
+                    gate: GateKind::H,
+                    qubits: vec![q[1]],
+                    params: vec![],
+                },
+            );
+        }
+        GateKind::Cp => {
+            // CP(λ) = RZ(λ/2)(a) · CX · RZ(−λ/2)(b) · CX · RZ(λ/2)(b).
+            let half = scale_param(op.params[0], 0.5);
+            let neg_half = scale_param(op.params[0], -0.5);
+            push_rz(out, q[0], half);
+            out.push(GateKind::Cx, &q, &[]);
+            push_rz(out, q[1], neg_half);
+            out.push(GateKind::Cx, &q, &[]);
+            push_rz(out, q[1], half);
+        }
+        GateKind::Crx | GateKind::Cry | GateKind::Crz => {
+            // CR_P(θ) = (I⊗V) CRZ-core (I⊗V†) with the standard two-CX core:
+            // RZ(θ/2)(b) · CX · RZ(−θ/2)(b) · CX, conjugated into the right
+            // basis for X/Y.
+            let half = scale_param(op.params[0], 0.5);
+            let neg_half = scale_param(op.params[0], -0.5);
+            let conj: Option<(GateKind, f64)> = match op.gate {
+                GateKind::Crx => Some((GateKind::H, 0.0)),
+                GateKind::Cry => Some((GateKind::Rx, PI / 2.0)),
+                _ => None,
+            };
+            if let Some((g, angle)) = conj {
+                let params = if g.num_params() == 1 {
+                    vec![ParamValue::Const(angle)]
+                } else {
+                    vec![]
+                };
+                decompose_op(
+                    out,
+                    &Operation {
+                        gate: g,
+                        qubits: vec![q[1]],
+                        params,
+                    },
+                );
+            }
+            push_rz(out, q[1], half);
+            out.push(GateKind::Cx, &q, &[]);
+            push_rz(out, q[1], neg_half);
+            out.push(GateKind::Cx, &q, &[]);
+            if let Some((g, angle)) = conj {
+                let (gi, pi) = g.inverse(&if g.num_params() == 1 {
+                    vec![angle]
+                } else {
+                    vec![]
+                });
+                let params: Vec<ParamValue> = pi.into_iter().map(ParamValue::Const).collect();
+                decompose_op(
+                    out,
+                    &Operation {
+                        gate: gi,
+                        qubits: vec![q[1]],
+                        params,
+                    },
+                );
+            }
+        }
+        other => unreachable!("decomposer missing gate {other}"),
+    }
+}
+
+fn scale_param(p: ParamValue, k: f64) -> ParamValue {
+    match p {
+        ParamValue::Const(v) => ParamValue::Const(v * k),
+        ParamValue::Sym {
+            index,
+            scale,
+            offset,
+        } => ParamValue::Sym {
+            index,
+            scale: scale * k,
+            offset: offset * k,
+        },
+    }
+}
+
+/// Rewrites an entire circuit into the `{RZ, SX, X, CX}` basis, preserving
+/// symbolic parameters.
+pub fn decompose_circuit(circuit: &Circuit) -> Circuit {
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in circuit.ops() {
+        decompose_op(&mut out, op);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_sim::gates::ALL_GATES;
+    use qoc_sim::simulator::StatevectorSimulator;
+
+    fn random_params(g: GateKind, seed: usize) -> Vec<f64> {
+        (0..g.num_params())
+            .map(|k| 0.31 + 0.77 * (seed + k) as f64)
+            .collect()
+    }
+
+    #[test]
+    fn every_gate_decomposes_equivalently() {
+        let sim = StatevectorSimulator::new();
+        for (i, &g) in ALL_GATES.iter().enumerate() {
+            let n = g.num_qubits();
+            // Pre-rotate into a generic state so equivalence is not masked
+            // by special input states.
+            let mut c = Circuit::new(n);
+            c.ry(0, 0.83);
+            if n == 2 {
+                c.ry(1, -1.21);
+                c.rzz(0, 1, 0.37);
+            }
+            let params: Vec<ParamValue> = random_params(g, i)
+                .into_iter()
+                .map(ParamValue::Const)
+                .collect();
+            let mut full = c.clone();
+            full.push(g, &(0..n).collect::<Vec<_>>(), &params);
+
+            let mut decomposed = Circuit::new(n);
+            for op in full.ops() {
+                decompose_op(&mut decomposed, op);
+            }
+            for op in decomposed.ops() {
+                assert!(
+                    is_basis_gate(op.gate),
+                    "{g} decomposition leaked non-basis gate {}",
+                    op.gate
+                );
+            }
+            let a = sim.run(&full, &[]);
+            let b = sim.run(&decomposed, &[]);
+            assert!(
+                a.approx_eq_up_to_phase(&b, 1e-9),
+                "{g}: fidelity {} after decomposition",
+                a.fidelity(&b)
+            );
+        }
+    }
+
+    #[test]
+    fn symbolic_parameters_survive() {
+        let mut c = Circuit::new(2);
+        c.rx(0, ParamValue::sym(0));
+        c.rzz(0, 1, ParamValue::sym(1));
+        c.ry(1, ParamValue::sym(2));
+        let d = decompose_circuit(&c);
+        assert_eq!(d.num_symbols(), 3);
+        // Each symbol lands in exactly one RZ with scale 1.
+        for s in 0..3 {
+            let occ = d.symbol_occurrences(s);
+            assert_eq!(occ.len(), 1, "symbol {s} occurrences");
+            let (i, slot) = occ[0];
+            assert_eq!(d.ops()[i].gate, GateKind::Rz);
+            match d.ops()[i].params[slot] {
+                ParamValue::Sym { scale, .. } => assert_eq!(scale, 1.0),
+                _ => panic!("expected symbolic RZ"),
+            }
+        }
+        // Binding matches the original semantics.
+        let theta = [0.9, -0.3, 1.7];
+        let sim = StatevectorSimulator::new();
+        let a = sim.run(&c, &theta);
+        let b = sim.run(&d, &theta);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+
+    #[test]
+    fn u3_angles_round_trip() {
+        for &g in &[GateKind::H, GateKind::Sx, GateKind::T, GateKind::Y] {
+            let m = g.matrix(&[]);
+            let (t, p, l) = u3_angles(&m);
+            let rebuilt = GateKind::U3.matrix(&[t, p, l]);
+            assert!(
+                m.approx_eq_up_to_phase(&rebuilt, 1e-9),
+                "u3 extraction failed for {g}"
+            );
+        }
+    }
+
+    #[test]
+    fn z_family_becomes_single_rz() {
+        for &g in &[GateKind::Z, GateKind::S, GateKind::Sdg, GateKind::T, GateKind::Tdg] {
+            let mut c = Circuit::new(1);
+            c.push(g, &[0], &[]);
+            let d = decompose_circuit(&c);
+            assert_eq!(d.len(), 1, "{g} should become one RZ");
+            assert_eq!(d.ops()[0].gate, GateKind::Rz);
+        }
+    }
+
+    #[test]
+    fn rzz_uses_two_cx() {
+        let mut c = Circuit::new(2);
+        c.rzz(0, 1, 0.4);
+        let d = decompose_circuit(&c);
+        assert_eq!(d.two_qubit_count(), 2);
+    }
+}

@@ -1,0 +1,207 @@
+//! Initial qubit placement.
+//!
+//! Chooses which physical qubits host the logical wires. The heuristic
+//! anchors on the most connected region of the chip (BFS from the most
+//! central qubit) and assigns the busiest logical wires — by two-qubit
+//! interaction count — to the physical qubits with the most neighbors
+//! inside the selected region.
+
+use qoc_sim::circuit::Circuit;
+
+use crate::topology::CouplingMap;
+
+/// A logical→physical wire assignment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Layout {
+    logical_to_physical: Vec<usize>,
+}
+
+impl Layout {
+    /// The identity layout on `n` wires.
+    pub fn trivial(n: usize) -> Self {
+        Layout {
+            logical_to_physical: (0..n).collect(),
+        }
+    }
+
+    /// Builds a layout from an explicit assignment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the assignment maps two logical wires to one physical qubit.
+    pub fn from_assignment(logical_to_physical: Vec<usize>) -> Self {
+        let mut seen = logical_to_physical.clone();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(
+            seen.len(),
+            logical_to_physical.len(),
+            "layout maps two logical wires to the same physical qubit"
+        );
+        Layout {
+            logical_to_physical,
+        }
+    }
+
+    /// Physical qubit hosting logical wire `l`.
+    #[inline]
+    pub fn physical(&self, l: usize) -> usize {
+        self.logical_to_physical[l]
+    }
+
+    /// The full logical→physical vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.logical_to_physical
+    }
+
+    /// Number of logical wires.
+    pub fn num_logical(&self) -> usize {
+        self.logical_to_physical.len()
+    }
+
+    /// Swaps the logical occupants of two *physical* qubits (used by the
+    /// router as it inserts SWAP gates). Physical qubits not currently
+    /// hosting a logical wire are handled transparently.
+    pub fn swap_physical(&mut self, a: usize, b: usize) {
+        for p in &mut self.logical_to_physical {
+            if *p == a {
+                *p = b;
+            } else if *p == b {
+                *p = a;
+            }
+        }
+    }
+}
+
+/// Counts two-qubit interactions per logical wire.
+fn interaction_degree(circuit: &Circuit) -> Vec<usize> {
+    let mut deg = vec![0usize; circuit.num_qubits()];
+    for op in circuit.ops() {
+        if op.qubits.len() == 2 {
+            deg[op.qubits[0]] += 1;
+            deg[op.qubits[1]] += 1;
+        }
+    }
+    deg
+}
+
+/// Picks an initial layout for `circuit` on `device`.
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than the device.
+pub fn select_layout(circuit: &Circuit, device: &CouplingMap) -> Layout {
+    let n = circuit.num_qubits();
+    assert!(
+        n <= device.num_qubits(),
+        "circuit needs {n} qubits, device has {}",
+        device.num_qubits()
+    );
+    // BFS region from the most central physical qubit.
+    let anchor = device.most_central_qubit();
+    let mut region = Vec::with_capacity(n);
+    let mut frontier = std::collections::VecDeque::new();
+    let mut seen = vec![false; device.num_qubits()];
+    frontier.push_back(anchor);
+    seen[anchor] = true;
+    while let Some(p) = frontier.pop_front() {
+        region.push(p);
+        if region.len() == n {
+            break;
+        }
+        for &nb in device.neighbors(p) {
+            if !seen[nb] {
+                seen[nb] = true;
+                frontier.push_back(nb);
+            }
+        }
+    }
+    assert_eq!(region.len(), n, "device region too small (disconnected?)");
+
+    // Busiest logical wire → most connected physical qubit inside the region.
+    let mut logical_order: Vec<usize> = (0..n).collect();
+    let deg = interaction_degree(circuit);
+    logical_order.sort_by_key(|&l| std::cmp::Reverse(deg[l]));
+    let mut physical_order = region.clone();
+    physical_order.sort_by_key(|&p| {
+        std::cmp::Reverse(
+            device
+                .neighbors(p)
+                .iter()
+                .filter(|nb| region.contains(nb))
+                .count(),
+        )
+    });
+
+    let mut assignment = vec![usize::MAX; n];
+    for (l, p) in logical_order.into_iter().zip(physical_order) {
+        assignment[l] = p;
+    }
+    Layout::from_assignment(assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring_circuit(n: usize) -> Circuit {
+        let mut c = Circuit::new(n);
+        for q in 0..n {
+            c.rzz(q, (q + 1) % n, 0.3);
+        }
+        c
+    }
+
+    #[test]
+    fn trivial_layout_is_identity() {
+        let l = Layout::trivial(4);
+        assert_eq!(l.as_slice(), &[0, 1, 2, 3]);
+        assert_eq!(l.physical(2), 2);
+    }
+
+    #[test]
+    fn swap_physical_updates_assignment() {
+        let mut l = Layout::from_assignment(vec![2, 0, 3]);
+        l.swap_physical(0, 3);
+        assert_eq!(l.as_slice(), &[2, 3, 0]);
+        // Swapping with an unoccupied physical qubit just relocates.
+        l.swap_physical(2, 4);
+        assert_eq!(l.as_slice(), &[4, 3, 0]);
+    }
+
+    #[test]
+    fn select_layout_covers_distinct_qubits() {
+        let device = CouplingMap::line(5);
+        let layout = select_layout(&ring_circuit(4), &device);
+        let mut phys = layout.as_slice().to_vec();
+        phys.sort_unstable();
+        phys.dedup();
+        assert_eq!(phys.len(), 4);
+        assert!(phys.iter().all(|&p| p < 5));
+    }
+
+    #[test]
+    fn layout_prefers_connected_region() {
+        // On a T-shaped device the 3-qubit circuit should sit on the hub.
+        let device = CouplingMap::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        let mut c = Circuit::new(3);
+        c.rzz(0, 1, 0.1);
+        c.rzz(1, 2, 0.1);
+        let layout = select_layout(&c, &device);
+        // Logical 1 (degree 2) should land on physical 1 (the hub).
+        assert_eq!(layout.physical(1), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "same physical qubit")]
+    fn rejects_duplicate_assignment() {
+        let _ = Layout::from_assignment(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "device has")]
+    fn rejects_oversized_circuit() {
+        let device = CouplingMap::line(3);
+        let _ = select_layout(&ring_circuit(4), &device);
+    }
+}

@@ -1,0 +1,224 @@
+//! The transpiler: logical circuits → hardware-executable circuits.
+//!
+//! Pipeline (mirroring what qiskit does between "created" and "queued" in
+//! the paper's Figure 4 flow):
+//!
+//! 1. [`decompose`] every gate into the native `{RZ, SX, X, CX}` basis,
+//!    keeping trainable parameters symbolic;
+//! 2. select an initial [`layout`] of logical wires onto physical qubits;
+//! 3. [`routing`]: insert SWAPs so every CX touches a coupled pair;
+//! 4. decompose the inserted SWAPs and [`optimize`] the result.
+
+pub mod decompose;
+pub mod layout;
+pub mod optimize;
+pub mod routing;
+
+use qoc_sim::circuit::Circuit;
+
+use crate::topology::CouplingMap;
+use layout::Layout;
+
+/// Transpiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TranspileOptions {
+    /// Run peephole optimization after routing.
+    pub optimize: bool,
+    /// Use the interaction-aware layout heuristic (otherwise trivial).
+    pub smart_layout: bool,
+}
+
+impl Default for TranspileOptions {
+    fn default() -> Self {
+        TranspileOptions {
+            optimize: true,
+            smart_layout: true,
+        }
+    }
+}
+
+/// A hardware-ready circuit plus the wire bookkeeping needed to interpret
+/// its measurement results.
+#[derive(Debug, Clone)]
+pub struct TranspiledCircuit {
+    /// Basis-gate circuit on physical wires (width = device qubits).
+    pub circuit: Circuit,
+    /// Logical→physical mapping at circuit entry.
+    pub initial_layout: Vec<usize>,
+    /// Logical→physical mapping at measurement: logical qubit `l` is read
+    /// out on physical qubit `final_layout[l]`.
+    pub final_layout: Vec<usize>,
+    /// Number of routing SWAPs that were inserted.
+    pub swap_count: usize,
+}
+
+impl TranspiledCircuit {
+    /// Maps physical-wire measurement expectations back to logical order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `physical_values` is narrower than the device.
+    pub fn to_logical(&self, physical_values: &[f64]) -> Vec<f64> {
+        self.final_layout
+            .iter()
+            .map(|&p| physical_values[p])
+            .collect()
+    }
+}
+
+/// Transpiles `circuit` for a device with the given coupling map.
+///
+/// # Panics
+///
+/// Panics if the circuit is wider than the device.
+pub fn transpile(
+    circuit: &Circuit,
+    device: &CouplingMap,
+    options: TranspileOptions,
+) -> TranspiledCircuit {
+    // 1. Basis decomposition on logical wires.
+    let decomposed = decompose::decompose_circuit(circuit);
+    // 2. Layout.
+    let initial = if options.smart_layout {
+        layout::select_layout(&decomposed, device)
+    } else {
+        Layout::trivial(decomposed.num_qubits())
+    };
+    // 3. Routing.
+    let routed = routing::route(&decomposed, device, &initial);
+    // 4. SWAP decomposition (+ optional cleanup).
+    let mut physical = decompose::decompose_circuit(&routed.circuit);
+    if options.optimize {
+        physical = optimize::optimize(&physical);
+    }
+    TranspiledCircuit {
+        circuit: physical,
+        initial_layout: routed.initial_layout.as_slice().to_vec(),
+        final_layout: routed.final_layout.as_slice().to_vec(),
+        swap_count: routed.swap_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use decompose::is_basis_gate;
+    use qoc_sim::circuit::ParamValue;
+    use qoc_sim::simulator::StatevectorSimulator;
+
+    fn paper_mnist2_circuit() -> Circuit {
+        // Encoder: 4RY + 4RZ + 4RX + 4RY const angles; ansatz: RZZ ring + RY.
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.ry(q, 0.3 + q as f64 * 0.1);
+        }
+        for q in 0..4 {
+            c.rz(q, -0.2 + q as f64 * 0.15);
+        }
+        for q in 0..4 {
+            c.rx(q, 0.5 - q as f64 * 0.12);
+        }
+        for q in 0..4 {
+            c.ry(q, 0.1 * q as f64);
+        }
+        for q in 0..4 {
+            c.rzz(q, (q + 1) % 4, ParamValue::sym(q));
+        }
+        for q in 0..4 {
+            c.ry(q, ParamValue::sym(4 + q));
+        }
+        c
+    }
+
+    fn assert_expectations_match(
+        original: &Circuit,
+        transpiled: &TranspiledCircuit,
+        theta: &[f64],
+    ) {
+        let sim = StatevectorSimulator::new();
+        let logical = sim.expectations_z(original, theta);
+        let physical = sim.expectations_z(&transpiled.circuit, theta);
+        let mapped = transpiled.to_logical(&physical);
+        for (q, (a, b)) in logical.iter().zip(&mapped).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-9,
+                "logical qubit {q}: {a} vs {b} after transpilation"
+            );
+        }
+    }
+
+    #[test]
+    fn full_pipeline_on_line_device() {
+        let device = CouplingMap::line(5);
+        let c = paper_mnist2_circuit();
+        let t = transpile(&c, &device, TranspileOptions::default());
+        for op in t.circuit.ops() {
+            assert!(is_basis_gate(op.gate), "leaked {}", op.gate);
+        }
+        // The ring entangler on a line needs routing.
+        assert!(t.swap_count > 0);
+        let theta = [0.3, -0.7, 1.1, 0.2, 0.9, -0.4, 0.6, 1.3];
+        assert_expectations_match(&c, &t, &theta);
+    }
+
+    #[test]
+    fn full_pipeline_on_t_device() {
+        let device = CouplingMap::from_edges(5, &[(0, 1), (1, 2), (1, 3), (3, 4)]);
+        let c = paper_mnist2_circuit();
+        let t = transpile(&c, &device, TranspileOptions::default());
+        let theta = [0.5, 0.5, -0.5, 0.25, 0.0, 1.0, -1.0, 0.75];
+        assert_expectations_match(&c, &t, &theta);
+    }
+
+    #[test]
+    fn optimization_reduces_gate_count() {
+        let device = CouplingMap::line(5);
+        let c = paper_mnist2_circuit();
+        let with = transpile(&c, &device, TranspileOptions::default());
+        let without = transpile(
+            &c,
+            &device,
+            TranspileOptions {
+                optimize: false,
+                smart_layout: true,
+            },
+        );
+        assert!(with.circuit.len() < without.circuit.len());
+        let theta = [0.1; 8];
+        assert_expectations_match(&c, &with, &theta);
+        assert_expectations_match(&c, &without, &theta);
+    }
+
+    #[test]
+    fn symbols_survive_the_pipeline() {
+        let device = CouplingMap::line(5);
+        let c = paper_mnist2_circuit();
+        let t = transpile(&c, &device, TranspileOptions::default());
+        assert_eq!(t.circuit.num_symbols(), c.num_symbols());
+        // Every trainable symbol still has occurrences, all in RZ gates.
+        for s in 0..c.num_symbols() {
+            let occ = t.circuit.symbol_occurrences(s);
+            assert!(!occ.is_empty(), "symbol {s} vanished");
+        }
+    }
+
+    #[test]
+    fn trivial_layout_keeps_wire_identity_without_routing() {
+        let device = CouplingMap::line(3);
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.cx(0, 1);
+        c.cx(1, 2);
+        let t = transpile(
+            &c,
+            &device,
+            TranspileOptions {
+                optimize: true,
+                smart_layout: false,
+            },
+        );
+        assert_eq!(t.initial_layout, vec![0, 1, 2]);
+        assert_eq!(t.final_layout, vec![0, 1, 2]);
+        assert_eq!(t.swap_count, 0);
+    }
+}

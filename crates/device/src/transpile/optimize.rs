@@ -1,0 +1,348 @@
+//! Peephole circuit optimization.
+//!
+//! Cheap cleanups after decomposition and routing: merge runs of RZ on the
+//! same wire, drop zero rotations, and cancel adjacent self-inverse pairs
+//! (CX·CX, X·X). These passes matter on hardware — every removed gate is
+//! removed noise.
+
+use qoc_sim::circuit::{Circuit, Operation, ParamValue};
+use qoc_sim::gates::GateKind;
+
+/// Tries to fold `b` into `a` when both are RZ on the same wire. Returns the
+/// merged parameter on success.
+fn merge_rz(a: &ParamValue, b: &ParamValue) -> Option<ParamValue> {
+    match (*a, *b) {
+        (ParamValue::Const(x), ParamValue::Const(y)) => Some(ParamValue::Const(x + y)),
+        (
+            ParamValue::Sym {
+                index: i,
+                scale: s,
+                offset: o,
+            },
+            ParamValue::Const(y),
+        ) => Some(ParamValue::Sym {
+            index: i,
+            scale: s,
+            offset: o + y,
+        }),
+        (
+            ParamValue::Const(x),
+            ParamValue::Sym {
+                index: i,
+                scale: s,
+                offset: o,
+            },
+        ) => Some(ParamValue::Sym {
+            index: i,
+            scale: s,
+            offset: o + x,
+        }),
+        (
+            ParamValue::Sym {
+                index: i,
+                scale: s1,
+                offset: o1,
+            },
+            ParamValue::Sym {
+                index: j,
+                scale: s2,
+                offset: o2,
+            },
+        ) if i == j => Some(ParamValue::Sym {
+            index: i,
+            scale: s1 + s2,
+            offset: o1 + o2,
+        }),
+        _ => None,
+    }
+}
+
+fn is_zero_rz(op: &Operation) -> bool {
+    op.gate == GateKind::Rz
+        && match op.params[0] {
+            ParamValue::Const(v) => v.abs() < 1e-15,
+            ParamValue::Sym { scale, offset, .. } => scale == 0.0 && offset.abs() < 1e-15,
+        }
+}
+
+fn disjoint(a: &Operation, b: &Operation) -> bool {
+    a.qubits.iter().all(|q| !b.qubits.contains(q))
+}
+
+/// Finds the most recent op in `out` sharing a wire with `op`; gates on
+/// disjoint wires trivially commute and are skipped over.
+fn last_blocking(out: &[Operation], op: &Operation) -> Option<usize> {
+    out.iter().rposition(|prev| !disjoint(prev, op))
+}
+
+/// One pass of peephole rewrites; returns `true` if anything changed.
+fn pass(circuit: &mut Vec<Operation>) -> bool {
+    let mut changed = false;
+    let mut out: Vec<Operation> = Vec::with_capacity(circuit.len());
+    for op in circuit.drain(..) {
+        if is_zero_rz(&op) {
+            changed = true;
+            continue;
+        }
+        if let Some(i) = last_blocking(&out, &op) {
+            let prev = &out[i];
+            // Merge RZ·RZ on the same wire.
+            if prev.gate == GateKind::Rz && op.gate == GateKind::Rz && prev.qubits == op.qubits {
+                if let Some(merged) = merge_rz(&prev.params[0], &op.params[0]) {
+                    let qubits = prev.qubits.clone();
+                    out.remove(i);
+                    let merged_op = Operation {
+                        gate: GateKind::Rz,
+                        qubits,
+                        params: vec![merged],
+                    };
+                    if !is_zero_rz(&merged_op) {
+                        out.push(merged_op);
+                    }
+                    changed = true;
+                    continue;
+                }
+            }
+            // Cancel self-inverse pairs on identical wires.
+            let self_inverse =
+                matches!(op.gate, GateKind::Cx | GateKind::X | GateKind::Cz | GateKind::Swap);
+            if self_inverse && prev.gate == op.gate && prev.qubits == op.qubits {
+                out.remove(i);
+                changed = true;
+                continue;
+            }
+        }
+        out.push(op);
+    }
+    *circuit = out;
+    changed
+}
+
+/// Fuses maximal runs of *constant* single-qubit gates on each wire into a
+/// resynthesized `RZ·SX·RZ·SX·RZ` sequence when that is shorter. Symbolic
+/// gates act as barriers (their angles are not known at compile time).
+pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
+    use super::decompose::u3_angles;
+    use qoc_sim::gates::GateKind;
+    use qoc_sim::matrix::CMatrix;
+
+    let ops = circuit.ops();
+    let n = circuit.num_qubits();
+    let mut consumed = vec![false; ops.len()];
+    let mut out = Circuit::new(n);
+
+    // For each op in order: if it starts a fusable run on its wire, collect
+    // the run (following ops on the same wire with nothing blocking — since
+    // all run members are consecutive *on that wire*, any interleaved op on
+    // other wires is unaffected by reordering the fused product to the run
+    // head's position only if no member wire overlaps; single-qubit runs on
+    // one wire always satisfy that).
+    for start in 0..ops.len() {
+        if consumed[start] {
+            continue;
+        }
+        let op = &ops[start];
+        let is_const_1q = |o: &qoc_sim::circuit::Operation| {
+            o.qubits.len() == 1
+                && o.params
+                    .iter()
+                    .all(|p| matches!(p, qoc_sim::circuit::ParamValue::Const(_)))
+        };
+        if !is_const_1q(op) {
+            out.push(op.gate, &op.qubits, &op.params);
+            continue;
+        }
+        let wire = op.qubits[0];
+        // Collect the maximal run of const-1q ops on this wire, stopping at
+        // the first other kind of op touching the wire.
+        let mut run = vec![start];
+        for (j, later) in ops.iter().enumerate().skip(start + 1) {
+            if consumed[j] || !later.qubits.contains(&wire) {
+                continue;
+            }
+            if is_const_1q(later) {
+                run.push(j);
+            } else {
+                break;
+            }
+        }
+        if run.len() < 3 {
+            // Not worth resynthesizing (result can be up to 5 gates).
+            out.push(op.gate, &op.qubits, &op.params);
+            continue;
+        }
+        // Fuse: product in application order (later ops multiply on the
+        // left).
+        let mut matrix = CMatrix::identity(2);
+        for &j in &run {
+            let angles: Vec<f64> = ops[j]
+                .params
+                .iter()
+                .map(|p| p.eval(&[]))
+                .collect();
+            matrix = &ops[j].gate.matrix(&angles) * &matrix;
+            consumed[j] = true;
+        }
+        let (t, p, l) = u3_angles(&matrix);
+        // Emit RZ(l), SX, RZ(t+π), SX, RZ(p+π), skipping zero RZs.
+        let push_rz = |c: &mut Circuit, angle: f64| {
+            if angle.abs() > 1e-12 {
+                c.rz(wire, angle);
+            }
+        };
+        push_rz(&mut out, l);
+        out.push(GateKind::Sx, &[wire], &[]);
+        push_rz(&mut out, t + std::f64::consts::PI);
+        out.push(GateKind::Sx, &[wire], &[]);
+        push_rz(&mut out, p + std::f64::consts::PI);
+    }
+    out
+}
+
+/// Runs peephole passes to a fixed point, then single-qubit run fusion,
+/// then peephole again (fusion exposes new RZ merges).
+///
+/// A pair merges or cancels when no gate *sharing a wire with it* sits
+/// between the two in program order; gates on disjoint wires commute and
+/// are skipped over. Conservative but always sound.
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut ops: Vec<Operation> = circuit.ops().to_vec();
+    while pass(&mut ops) {}
+    let mut mid = Circuit::new(circuit.num_qubits());
+    for op in &ops {
+        mid.push(op.gate, &op.qubits, &op.params);
+    }
+    let fused = fuse_1q_runs(&mid);
+    let mut ops: Vec<Operation> = fused.ops().to_vec();
+    while pass(&mut ops) {}
+    let mut out = Circuit::new(circuit.num_qubits());
+    for op in &ops {
+        out.push(op.gate, &op.qubits, &op.params);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_sim::simulator::StatevectorSimulator;
+
+    #[test]
+    fn merges_rz_runs() {
+        let mut c = Circuit::new(1);
+        c.rz(0, 0.3);
+        c.rz(0, 0.5);
+        c.rz(0, -0.8);
+        let o = optimize(&c);
+        assert!(o.is_empty(), "0.3+0.5-0.8 = 0 should vanish, got {o}");
+    }
+
+    #[test]
+    fn merges_symbolic_with_const() {
+        let mut c = Circuit::new(1);
+        c.rz(0, ParamValue::sym(0));
+        c.rz(0, 0.25);
+        let o = optimize(&c);
+        assert_eq!(o.len(), 1);
+        match o.ops()[0].params[0] {
+            ParamValue::Sym { scale, offset, .. } => {
+                assert_eq!(scale, 1.0);
+                assert_eq!(offset, 0.25);
+            }
+            _ => panic!("expected merged symbolic RZ"),
+        }
+    }
+
+    #[test]
+    fn different_symbols_do_not_merge() {
+        let mut c = Circuit::new(1);
+        c.rz(0, ParamValue::sym(0));
+        c.rz(0, ParamValue::sym(1));
+        assert_eq!(optimize(&c).len(), 2);
+    }
+
+    #[test]
+    fn cancels_cx_pairs() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.cx(0, 1);
+        c.x(0);
+        c.x(0);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn keeps_reversed_cx() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.cx(1, 0);
+        assert_eq!(optimize(&c).len(), 2);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.cx(0, 1);
+        c.h(0);
+        c.cx(0, 1);
+        assert_eq!(optimize(&c).len(), 3);
+    }
+
+    #[test]
+    fn fusion_shrinks_long_1q_runs() {
+        use qoc_sim::gates::GateKind;
+        let mut c = Circuit::new(2);
+        // 6 consecutive constant 1q gates on wire 0 (+ a bystander on 1).
+        c.h(0);
+        c.rz(0, 0.3);
+        c.ry(1, 0.9);
+        c.push(GateKind::Sx, &[0], &[]);
+        c.rz(0, -0.7);
+        c.push(GateKind::T, &[0], &[]);
+        c.h(0);
+        let fused = fuse_1q_runs(&c);
+        assert!(fused.len() < c.len(), "{} -> {}", c.len(), fused.len());
+        let sim = StatevectorSimulator::new();
+        let a = sim.run(&c, &[]);
+        let b = sim.run(&fused, &[]);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+
+    #[test]
+    fn fusion_respects_symbolic_barriers() {
+        let mut c = Circuit::new(1);
+        c.h(0);
+        c.rz(0, 0.2);
+        c.rx(0, ParamValue::sym(0)); // barrier: unknown angle
+        c.h(0);
+        c.rz(0, 0.4);
+        let fused = fuse_1q_runs(&c);
+        // Symbol still present exactly once.
+        assert_eq!(fused.symbol_occurrences(0).len(), 1);
+        let sim = StatevectorSimulator::new();
+        let a = sim.run(&c, &[0.77]);
+        let b = sim.run(&fused, &[0.77]);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+
+    #[test]
+    fn optimization_preserves_semantics() {
+        let mut c = Circuit::new(3);
+        c.rz(0, 0.4);
+        c.rz(0, ParamValue::sym(0));
+        c.h(1);
+        c.cx(1, 2);
+        c.cx(1, 2);
+        c.rz(2, 0.0);
+        c.x(2);
+        c.x(2);
+        c.ry(1, ParamValue::sym(1));
+        let o = optimize(&c);
+        assert!(o.len() < c.len());
+        let sim = StatevectorSimulator::new();
+        let theta = [0.7, -1.2];
+        let a = sim.run(&c, &theta);
+        let b = sim.run(&o, &theta);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+}

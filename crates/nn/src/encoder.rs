@@ -1,0 +1,177 @@
+//! Classical-data encoders.
+//!
+//! "To embed classical image and vowel features to the quantum states, we
+//! first flatten them and then encode them with rotation gates... we put the
+//! 16 classical input values to the phases of 16 rotation gates" (Section
+//! 4.1). An encoder is an ordered list of `(rotation gate, wire)` slots;
+//! input value `k` becomes the constant angle of slot `k`.
+
+use serde::{Deserialize, Serialize};
+
+use qoc_sim::circuit::{Circuit, ParamValue};
+use qoc_sim::gates::GateKind;
+
+/// A rotation-gate data encoder.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_nn::encoder::RotationEncoder;
+///
+/// let enc = RotationEncoder::image16(4);
+/// assert_eq!(enc.input_dim(), 16);
+/// let mut c = qoc_sim::circuit::Circuit::new(4);
+/// enc.encode(&mut c, &vec![0.1; 16]);
+/// assert_eq!(c.len(), 16);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RotationEncoder {
+    num_qubits: usize,
+    slots: Vec<(GateKind, usize)>,
+}
+
+impl RotationEncoder {
+    /// Builds an encoder from explicit slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a slot uses a non-rotation gate or an out-of-range wire.
+    pub fn new(num_qubits: usize, slots: Vec<(GateKind, usize)>) -> Self {
+        for &(gate, wire) in &slots {
+            assert!(
+                matches!(gate, GateKind::Rx | GateKind::Ry | GateKind::Rz),
+                "encoder slots must be RX/RY/RZ, got {gate}"
+            );
+            assert!(wire < num_qubits, "encoder wire {wire} out of range");
+        }
+        RotationEncoder { num_qubits, slots }
+    }
+
+    /// The paper's 16-value image encoder on `n` qubits: an RY layer, an RZ
+    /// layer, an RX layer, and a final RY layer (4 gates each at `n = 4`).
+    pub fn image16(num_qubits: usize) -> Self {
+        let mut slots = Vec::with_capacity(4 * num_qubits);
+        for gate in [GateKind::Ry, GateKind::Rz, GateKind::Rx, GateKind::Ry] {
+            for q in 0..num_qubits {
+                slots.push((gate, q));
+            }
+        }
+        RotationEncoder::new(num_qubits, slots)
+    }
+
+    /// The paper's 10-value vowel encoder: 4 RY, 4 RZ, and 2 RX gates.
+    pub fn vowel10(num_qubits: usize) -> Self {
+        assert_eq!(num_qubits, 4, "the paper's vowel encoder is 4-qubit");
+        let mut slots = Vec::with_capacity(10);
+        for q in 0..4 {
+            slots.push((GateKind::Ry, q));
+        }
+        for q in 0..4 {
+            slots.push((GateKind::Rz, q));
+        }
+        for q in 0..2 {
+            slots.push((GateKind::Rx, q));
+        }
+        RotationEncoder::new(num_qubits, slots)
+    }
+
+    /// Number of classical input values consumed.
+    pub fn input_dim(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of qubits spanned.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The encoder's gate slots.
+    pub fn slots(&self) -> &[(GateKind, usize)] {
+        &self.slots
+    }
+
+    /// Appends the encoding gates for one input vector as constant-angle
+    /// rotations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the input length does not match [`Self::input_dim`] or the
+    /// circuit is narrower than the encoder.
+    pub fn encode(&self, circuit: &mut Circuit, input: &[f64]) {
+        assert_eq!(
+            input.len(),
+            self.slots.len(),
+            "encoder expects {} values, got {}",
+            self.slots.len(),
+            input.len()
+        );
+        assert!(
+            circuit.num_qubits() >= self.num_qubits,
+            "circuit too narrow for encoder"
+        );
+        for (&(gate, wire), &value) in self.slots.iter().zip(input) {
+            circuit.push(gate, &[wire], &[ParamValue::Const(value)]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_sim::simulator::StatevectorSimulator;
+
+    #[test]
+    fn image16_layout() {
+        let enc = RotationEncoder::image16(4);
+        assert_eq!(enc.input_dim(), 16);
+        assert_eq!(enc.slots()[0], (GateKind::Ry, 0));
+        assert_eq!(enc.slots()[4], (GateKind::Rz, 0));
+        assert_eq!(enc.slots()[8], (GateKind::Rx, 0));
+        assert_eq!(enc.slots()[12], (GateKind::Ry, 0));
+    }
+
+    #[test]
+    fn vowel10_layout() {
+        let enc = RotationEncoder::vowel10(4);
+        assert_eq!(enc.input_dim(), 10);
+        let kinds: Vec<_> = enc.slots().iter().map(|s| s.0).collect();
+        assert_eq!(kinds.iter().filter(|&&k| k == GateKind::Ry).count(), 4);
+        assert_eq!(kinds.iter().filter(|&&k| k == GateKind::Rz).count(), 4);
+        assert_eq!(kinds.iter().filter(|&&k| k == GateKind::Rx).count(), 2);
+    }
+
+    #[test]
+    fn different_inputs_give_different_states() {
+        let enc = RotationEncoder::image16(4);
+        let sim = StatevectorSimulator::new();
+        let mut c1 = Circuit::new(4);
+        enc.encode(&mut c1, &[0.3; 16]);
+        let mut c2 = Circuit::new(4);
+        enc.encode(&mut c2, &[0.9; 16]);
+        let a = sim.run(&c1, &[]);
+        let b = sim.run(&c2, &[]);
+        assert!(a.fidelity(&b) < 0.999);
+    }
+
+    #[test]
+    fn encoding_adds_no_symbols() {
+        let enc = RotationEncoder::vowel10(4);
+        let mut c = Circuit::new(4);
+        enc.encode(&mut c, &[0.5; 10]);
+        assert_eq!(c.num_symbols(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 16 values")]
+    fn rejects_wrong_input_size() {
+        let enc = RotationEncoder::image16(4);
+        let mut c = Circuit::new(4);
+        enc.encode(&mut c, &[0.0; 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be RX/RY/RZ")]
+    fn rejects_non_rotation_slot() {
+        let _ = RotationEncoder::new(2, vec![(GateKind::H, 0)]);
+    }
+}

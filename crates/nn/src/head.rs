@@ -1,0 +1,149 @@
+//! Measurement heads: qubit expectations → class logits.
+//!
+//! "For 2-class, we sum the qubit 0 and 1, 2 and 3 respectively to get 2
+//! output values. For 4-class, we just use the four expectation values as 4
+//! output values" (Section 4.1). Both heads are fixed linear maps, so their
+//! Jacobian is a constant matrix — the only classical backpropagation the
+//! training engine needs below the softmax.
+
+use serde::{Deserialize, Serialize};
+
+/// A fixed linear readout head.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MeasurementHead {
+    /// 2 logits from 4 qubits: `(z₀+z₁, z₂+z₃)`.
+    TwoClassPairSum,
+    /// k logits = k qubit expectations, identity map.
+    Identity,
+}
+
+impl MeasurementHead {
+    /// The head the paper uses for a task with `num_classes` classes.
+    pub fn for_classes(num_classes: usize) -> Self {
+        match num_classes {
+            2 => MeasurementHead::TwoClassPairSum,
+            _ => MeasurementHead::Identity,
+        }
+    }
+
+    /// Number of logits produced from `num_qubits` expectations.
+    pub fn num_outputs(&self, num_qubits: usize) -> usize {
+        match self {
+            MeasurementHead::TwoClassPairSum => {
+                assert_eq!(num_qubits, 4, "pair-sum head expects 4 qubits");
+                2
+            }
+            MeasurementHead::Identity => num_qubits,
+        }
+    }
+
+    /// Applies the head: expectations → logits.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the expectation width does not match the head.
+    pub fn apply(&self, expectations: &[f64]) -> Vec<f64> {
+        match self {
+            MeasurementHead::TwoClassPairSum => {
+                assert_eq!(expectations.len(), 4, "pair-sum head expects 4 values");
+                vec![
+                    expectations[0] + expectations[1],
+                    expectations[2] + expectations[3],
+                ]
+            }
+            MeasurementHead::Identity => expectations.to_vec(),
+        }
+    }
+
+    /// The constant Jacobian `∂logits/∂expectations` as a row-major
+    /// `num_outputs × num_qubits` matrix.
+    pub fn jacobian(&self, num_qubits: usize) -> Vec<Vec<f64>> {
+        match self {
+            MeasurementHead::TwoClassPairSum => {
+                assert_eq!(num_qubits, 4, "pair-sum head expects 4 qubits");
+                vec![
+                    vec![1.0, 1.0, 0.0, 0.0],
+                    vec![0.0, 0.0, 1.0, 1.0],
+                ]
+            }
+            MeasurementHead::Identity => (0..num_qubits)
+                .map(|i| {
+                    (0..num_qubits)
+                        .map(|j| if i == j { 1.0 } else { 0.0 })
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Pulls a gradient w.r.t. logits back to a gradient w.r.t. qubit
+    /// expectations: `gᵀ·J`.
+    pub fn backward(&self, grad_logits: &[f64], num_qubits: usize) -> Vec<f64> {
+        let jac = self.jacobian(num_qubits);
+        assert_eq!(grad_logits.len(), jac.len(), "gradient width mismatch");
+        let mut out = vec![0.0; num_qubits];
+        for (g, row) in grad_logits.iter().zip(&jac) {
+            for (o, j) in out.iter_mut().zip(row) {
+                *o += g * j;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_sum_sums_pairs() {
+        let head = MeasurementHead::TwoClassPairSum;
+        assert_eq!(head.apply(&[0.1, 0.2, 0.3, 0.4]), vec![0.30000000000000004, 0.7]);
+        assert_eq!(head.num_outputs(4), 2);
+    }
+
+    #[test]
+    fn identity_passes_through() {
+        let head = MeasurementHead::Identity;
+        assert_eq!(head.apply(&[0.5, -0.5]), vec![0.5, -0.5]);
+        assert_eq!(head.num_outputs(4), 4);
+    }
+
+    #[test]
+    fn for_classes_selects_paper_heads() {
+        assert_eq!(MeasurementHead::for_classes(2), MeasurementHead::TwoClassPairSum);
+        assert_eq!(MeasurementHead::for_classes(4), MeasurementHead::Identity);
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference() {
+        for head in [MeasurementHead::TwoClassPairSum, MeasurementHead::Identity] {
+            let x = [0.2, -0.1, 0.7, 0.05];
+            let jac = head.jacobian(4);
+            let eps = 1e-7;
+            for j in 0..4 {
+                let mut xp = x;
+                xp[j] += eps;
+                let fp = head.apply(&xp);
+                let f0 = head.apply(&x);
+                for (i, row) in jac.iter().enumerate() {
+                    let fd = (fp[i] - f0[i]) / eps;
+                    assert!((fd - row[j]).abs() < 1e-6, "{head:?} J[{i}][{j}]");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn backward_is_jacobian_transpose() {
+        let head = MeasurementHead::TwoClassPairSum;
+        let g = head.backward(&[1.0, -2.0], 4);
+        assert_eq!(g, vec![1.0, 1.0, -2.0, -2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expects 4")]
+    fn pair_sum_rejects_wrong_width() {
+        let _ = MeasurementHead::TwoClassPairSum.apply(&[0.0; 3]);
+    }
+}

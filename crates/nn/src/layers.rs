@@ -1,0 +1,201 @@
+//! Trainable ansatz layers.
+//!
+//! Section 4.1 defines 7 layer kinds: RX/RY/RZ layers (one rotation per
+//! wire), RZZ/RXX/RZX ring layers (gates on all logically adjacent wires
+//! plus the wrap-around pair), and a CZ layer (CZ on all adjacent wires, no
+//! parameters).
+
+use serde::{Deserialize, Serialize};
+
+use qoc_sim::circuit::{Circuit, ParamValue};
+use qoc_sim::gates::GateKind;
+
+/// One ansatz layer kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Layer {
+    /// RX on every wire (n parameters).
+    Rx,
+    /// RY on every wire (n parameters).
+    Ry,
+    /// RZ on every wire (n parameters).
+    Rz,
+    /// RZZ on every adjacent pair and the wrap-around pair (n parameters).
+    RzzRing,
+    /// RXX ring (n parameters).
+    RxxRing,
+    /// RZX ring (n parameters).
+    RzxRing,
+    /// CZ on every adjacent pair (no parameters).
+    Cz,
+}
+
+impl Layer {
+    /// Number of trainable parameters this layer adds on `n` qubits.
+    pub fn num_params(self, num_qubits: usize) -> usize {
+        match self {
+            Layer::Cz => 0,
+            Layer::RzzRing | Layer::RxxRing | Layer::RzxRing => ring_size(num_qubits),
+            _ => num_qubits,
+        }
+    }
+
+    /// Appends the layer's gates, consuming parameter indices starting at
+    /// `first_param`. Returns the next free parameter index.
+    ///
+    /// # Panics
+    ///
+    /// Panics for circuits narrower than 2 qubits when a two-qubit layer is
+    /// requested.
+    pub fn build(self, circuit: &mut Circuit, first_param: usize) -> usize {
+        let n = circuit.num_qubits();
+        let mut p = first_param;
+        match self {
+            Layer::Rx | Layer::Ry | Layer::Rz => {
+                let gate = match self {
+                    Layer::Rx => GateKind::Rx,
+                    Layer::Ry => GateKind::Ry,
+                    _ => GateKind::Rz,
+                };
+                for q in 0..n {
+                    circuit.push(gate, &[q], &[ParamValue::sym(p)]);
+                    p += 1;
+                }
+            }
+            Layer::RzzRing | Layer::RxxRing | Layer::RzxRing => {
+                assert!(n >= 2, "ring layers need at least 2 qubits");
+                let gate = match self {
+                    Layer::RzzRing => GateKind::Rzz,
+                    Layer::RxxRing => GateKind::Rxx,
+                    _ => GateKind::Rzx,
+                };
+                for (a, b) in ring_pairs(n) {
+                    circuit.push(gate, &[a, b], &[ParamValue::sym(p)]);
+                    p += 1;
+                }
+            }
+            Layer::Cz => {
+                assert!(n >= 2, "CZ layers need at least 2 qubits");
+                for q in 0..n - 1 {
+                    circuit.push(GateKind::Cz, &[q, q + 1], &[]);
+                }
+            }
+        }
+        p
+    }
+}
+
+/// Number of gates in a ring layer: adjacent pairs plus the wrap-around,
+/// except at `n = 2` where the wrap would duplicate the only pair.
+fn ring_size(num_qubits: usize) -> usize {
+    match num_qubits {
+        0 | 1 => 0,
+        2 => 1,
+        n => n,
+    }
+}
+
+/// The `(wire, wire)` pairs of a ring layer: "RZZ gates to all logical
+/// adjacent wires and the logical farthest wires to form a ring connection".
+pub fn ring_pairs(num_qubits: usize) -> Vec<(usize, usize)> {
+    match num_qubits {
+        0 | 1 => Vec::new(),
+        2 => vec![(0, 1)],
+        n => {
+            let mut pairs: Vec<(usize, usize)> = (0..n - 1).map(|q| (q, q + 1)).collect();
+            pairs.push((n - 1, 0));
+            pairs
+        }
+    }
+}
+
+/// Builds a full ansatz from a layer sequence; returns the total parameter
+/// count.
+pub fn build_ansatz(circuit: &mut Circuit, layers: &[Layer]) -> usize {
+    let mut p = 0;
+    for layer in layers {
+        p = layer.build(circuit, p);
+    }
+    p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_pairs_match_paper_example() {
+        // "an RZZ layer in a 4-qubit circuit contains 4 RZZ gates which lie
+        // on wires 1 and 2, 2 and 3, 3 and 4, 4 and 1" (1-indexed).
+        assert_eq!(ring_pairs(4), vec![(0, 1), (1, 2), (2, 3), (3, 0)]);
+        assert_eq!(ring_pairs(2), vec![(0, 1)]);
+        assert!(ring_pairs(1).is_empty());
+    }
+
+    #[test]
+    fn rotation_layer_adds_one_param_per_wire() {
+        let mut c = Circuit::new(4);
+        let next = Layer::Ry.build(&mut c, 0);
+        assert_eq!(next, 4);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.num_symbols(), 4);
+    }
+
+    #[test]
+    fn rzz_ring_on_four_qubits() {
+        let mut c = Circuit::new(4);
+        let next = Layer::RzzRing.build(&mut c, 2);
+        assert_eq!(next, 6);
+        assert_eq!(c.len(), 4);
+        assert!(c.ops().iter().all(|op| op.gate == GateKind::Rzz));
+        assert_eq!(c.ops()[3].qubits, vec![3, 0]);
+    }
+
+    #[test]
+    fn cz_layer_has_no_params() {
+        let mut c = Circuit::new(4);
+        let next = Layer::Cz.build(&mut c, 5);
+        assert_eq!(next, 5);
+        assert_eq!(c.len(), 3); // adjacent only, no wrap
+        assert_eq!(Layer::Cz.num_params(4), 0);
+    }
+
+    #[test]
+    fn build_ansatz_counts_paper_architectures() {
+        // MNIST-4: 3 × (RX+RY+RZ+CZ) = 36 params.
+        let mut c = Circuit::new(4);
+        let layers: Vec<Layer> = (0..3)
+            .flat_map(|_| [Layer::Rx, Layer::Ry, Layer::Rz, Layer::Cz])
+            .collect();
+        assert_eq!(build_ansatz(&mut c, &layers), 36);
+        // Fashion-4: 3 × (RZZ+RY) = 24 params.
+        let mut c = Circuit::new(4);
+        let layers: Vec<Layer> = (0..3).flat_map(|_| [Layer::RzzRing, Layer::Ry]).collect();
+        assert_eq!(build_ansatz(&mut c, &layers), 24);
+        // Vowel-4: 2 × (RZZ+RXX) = 16 params.
+        let mut c = Circuit::new(4);
+        let layers: Vec<Layer> = (0..2).flat_map(|_| [Layer::RzzRing, Layer::RxxRing]).collect();
+        assert_eq!(build_ansatz(&mut c, &layers), 16);
+        // MNIST-2/Fashion-2: RZZ+RY = 8 params.
+        let mut c = Circuit::new(4);
+        assert_eq!(build_ansatz(&mut c, &[Layer::RzzRing, Layer::Ry]), 8);
+    }
+
+    #[test]
+    fn num_params_matches_build() {
+        for layer in [
+            Layer::Rx,
+            Layer::Ry,
+            Layer::Rz,
+            Layer::RzzRing,
+            Layer::RxxRing,
+            Layer::RzxRing,
+            Layer::Cz,
+        ] {
+            for n in 2..=5 {
+                let mut c = Circuit::new(n);
+                let built = layer.build(&mut c, 0);
+                assert_eq!(built, layer.num_params(n), "{layer:?} on {n} qubits");
+            }
+        }
+    }
+}

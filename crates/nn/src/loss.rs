@@ -1,0 +1,137 @@
+//! Softmax cross-entropy loss with its analytic backward pass.
+//!
+//! The QOC pipeline backpropagates "only from the loss to the logits"
+//! (Section 3.2) — everything below the logits goes through the quantum
+//! parameter-shift rule. For softmax + cross-entropy that classical segment
+//! has the closed form `∂L/∂logits = softmax(logits) − onehot(target)`.
+
+/// Numerically stable softmax.
+pub fn softmax(logits: &[f64]) -> Vec<f64> {
+    let max = logits.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| e / sum).collect()
+}
+
+/// Cross-entropy of a softmax distribution against a class index.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn cross_entropy(logits: &[f64], target: usize) -> f64 {
+    assert!(target < logits.len(), "target {target} out of range");
+    let p = softmax(logits);
+    -(p[target].max(1e-300)).ln()
+}
+
+/// Loss and its gradient w.r.t. the logits: `(L, softmax(logits) − onehot)`.
+///
+/// # Panics
+///
+/// Panics if `target` is out of range.
+pub fn loss_and_grad(logits: &[f64], target: usize) -> (f64, Vec<f64>) {
+    assert!(target < logits.len(), "target {target} out of range");
+    let p = softmax(logits);
+    let loss = -(p[target].max(1e-300)).ln();
+    let mut grad = p;
+    grad[target] -= 1.0;
+    (loss, grad)
+}
+
+/// Mean loss and mean logit-gradients over a batch of `(logits, target)`
+/// pairs. Returns `(mean_loss, per_example_grads)` where each gradient is
+/// already divided by the batch size (so summing the per-example parameter
+/// gradients yields the batch-mean gradient).
+pub fn batch_loss_and_grads(batch: &[(Vec<f64>, usize)]) -> (f64, Vec<Vec<f64>>) {
+    assert!(!batch.is_empty(), "empty batch");
+    let n = batch.len() as f64;
+    let mut total = 0.0;
+    let mut grads = Vec::with_capacity(batch.len());
+    for (logits, target) in batch {
+        let (l, mut g) = loss_and_grad(logits, *target);
+        total += l;
+        for x in &mut g {
+            *x /= n;
+        }
+        grads.push(g);
+    }
+    (total / n, grads)
+}
+
+/// Index of the largest logit.
+pub fn argmax(values: &[f64]) -> usize {
+    values
+        .iter()
+        .enumerate()
+        .max_by(|(_, a), (_, b)| a.total_cmp(b))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable() {
+        let a = softmax(&[1.0, 2.0]);
+        let b = softmax(&[1001.0, 1002.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let huge = softmax(&[1e9, -1e9]);
+        assert!(huge[0].is_finite() && (huge[0] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let l = cross_entropy(&[0.5; 4], 2);
+        assert!((l - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matches_finite_difference() {
+        let logits = [0.3, -0.8, 1.2, 0.1];
+        let target = 2;
+        let (_, grad) = loss_and_grad(&logits, target);
+        let eps = 1e-7;
+        for j in 0..4 {
+            let mut lp = logits;
+            lp[j] += eps;
+            let fd = (cross_entropy(&lp, target) - cross_entropy(&logits, target)) / eps;
+            assert!((fd - grad[j]).abs() < 1e-5, "grad[{j}]: fd {fd} vs {}", grad[j]);
+        }
+    }
+
+    #[test]
+    fn grad_sums_to_zero() {
+        let (_, grad) = loss_and_grad(&[0.1, 0.2, 0.3], 0);
+        assert!(grad.iter().sum::<f64>().abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_mean_matches_manual() {
+        let batch = vec![(vec![1.0, 0.0], 0), (vec![0.0, 1.0], 0)];
+        let (loss, grads) = batch_loss_and_grads(&batch);
+        let manual =
+            (cross_entropy(&[1.0, 0.0], 0) + cross_entropy(&[0.0, 1.0], 0)) / 2.0;
+        assert!((loss - manual).abs() < 1e-12);
+        assert_eq!(grads.len(), 2);
+        // Per-example grads carry the 1/n factor.
+        let (_, g0) = loss_and_grad(&[1.0, 0.0], 0);
+        assert!((grads[0][0] - g0[0] / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_picks_largest() {
+        assert_eq!(argmax(&[0.1, 0.9, 0.5]), 1);
+        assert_eq!(argmax(&[-1.0, -2.0]), 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Classification metrics.
+
+use serde::{Deserialize, Serialize};
+
+/// Fraction of predictions equal to their targets.
+///
+/// # Panics
+///
+/// Panics on a length mismatch or empty input.
+pub fn accuracy(predictions: &[usize], targets: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), targets.len(), "length mismatch");
+    assert!(!predictions.is_empty(), "empty prediction set");
+    let correct = predictions
+        .iter()
+        .zip(targets)
+        .filter(|(p, t)| p == t)
+        .count();
+    correct as f64 / predictions.len() as f64
+}
+
+/// A `k × k` confusion matrix: `counts[true][predicted]`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    counts: Vec<Vec<usize>>,
+}
+
+impl ConfusionMatrix {
+    /// Builds the matrix from parallel prediction/target slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics on mismatched lengths or out-of-range labels.
+    pub fn from_predictions(predictions: &[usize], targets: &[usize], num_classes: usize) -> Self {
+        assert_eq!(predictions.len(), targets.len(), "length mismatch");
+        let mut counts = vec![vec![0usize; num_classes]; num_classes];
+        for (&p, &t) in predictions.iter().zip(targets) {
+            assert!(p < num_classes && t < num_classes, "label out of range");
+            counts[t][p] += 1;
+        }
+        ConfusionMatrix { counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Count of examples with true class `t` predicted as `p`.
+    pub fn count(&self, t: usize, p: usize) -> usize {
+        self.counts[t][p]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f64 {
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        diag as f64 / total as f64
+    }
+
+    /// Per-class recall (diagonal / row sum), `None` for absent classes.
+    pub fn recall(&self, class: usize) -> Option<f64> {
+        let row: usize = self.counts[class].iter().sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.counts[class][class] as f64 / row as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 1, 0], &[0, 1, 0, 0]), 0.75);
+        assert_eq!(accuracy(&[2], &[2]), 1.0);
+    }
+
+    #[test]
+    fn confusion_matrix_entries() {
+        let cm = ConfusionMatrix::from_predictions(&[0, 1, 1, 0, 1], &[0, 1, 0, 0, 1], 2);
+        assert_eq!(cm.count(0, 0), 2);
+        assert_eq!(cm.count(0, 1), 1);
+        assert_eq!(cm.count(1, 1), 2);
+        assert_eq!(cm.count(1, 0), 0);
+        assert!((cm.accuracy() - 0.8).abs() < 1e-12);
+        assert!((cm.recall(0).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(cm.recall(1), Some(1.0));
+    }
+
+    #[test]
+    fn recall_none_for_absent_class() {
+        let cm = ConfusionMatrix::from_predictions(&[0], &[0], 3);
+        assert_eq!(cm.recall(2), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accuracy_rejects_mismatch() {
+        let _ = accuracy(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests of the QNN layer: loss calculus, head linearity, and
+//! model/template consistency over random inputs.
+
+use proptest::prelude::*;
+
+use qoc_nn::head::MeasurementHead;
+use qoc_nn::layers::{ring_pairs, Layer};
+use qoc_nn::loss::{argmax, batch_loss_and_grads, cross_entropy, loss_and_grad, softmax};
+use qoc_nn::model::QnnModel;
+use qoc_sim::circuit::Circuit;
+use qoc_sim::simulator::StatevectorSimulator;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_is_a_distribution(logits in proptest::collection::vec(-30.0f64..30.0, 1..8)) {
+        let p = softmax(&logits);
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(p.iter().all(|&x| x >= 0.0));
+        // argmax of softmax equals argmax of logits.
+        prop_assert_eq!(argmax(&p), argmax(&logits));
+    }
+
+    #[test]
+    fn cross_entropy_is_nonnegative_and_grad_sums_zero(
+        logits in proptest::collection::vec(-10.0f64..10.0, 2..6),
+        t in 0usize..6,
+    ) {
+        let target = t % logits.len();
+        let (loss, grad) = loss_and_grad(&logits, target);
+        prop_assert!(loss >= 0.0);
+        prop_assert!((grad.iter().sum::<f64>()).abs() < 1e-9);
+        prop_assert!((loss - cross_entropy(&logits, target)).abs() < 1e-12);
+        // Gradient on the target coordinate is always negative (p_t < 1).
+        prop_assert!(grad[target] <= 0.0);
+    }
+
+    #[test]
+    fn batch_loss_is_mean_of_singles(
+        l1 in proptest::collection::vec(-5.0f64..5.0, 3),
+        l2 in proptest::collection::vec(-5.0f64..5.0, 3),
+        t1 in 0usize..3,
+        t2 in 0usize..3,
+    ) {
+        let batch = vec![(l1.clone(), t1), (l2.clone(), t2)];
+        let (mean, grads) = batch_loss_and_grads(&batch);
+        let manual = (cross_entropy(&l1, t1) + cross_entropy(&l2, t2)) / 2.0;
+        prop_assert!((mean - manual).abs() < 1e-12);
+        prop_assert_eq!(grads.len(), 2);
+    }
+
+    #[test]
+    fn heads_are_linear(
+        a in proptest::collection::vec(-1.0f64..1.0, 4),
+        b in proptest::collection::vec(-1.0f64..1.0, 4),
+        s in -3.0f64..3.0,
+    ) {
+        for head in [MeasurementHead::TwoClassPairSum, MeasurementHead::Identity] {
+            let lhs: Vec<f64> = a.iter().zip(&b).map(|(x, y)| x + s * y).collect();
+            let combined = head.apply(&lhs);
+            let fa = head.apply(&a);
+            let fb = head.apply(&b);
+            for (c, (x, y)) in combined.iter().zip(fa.iter().zip(&fb)) {
+                prop_assert!((c - (x + s * y)).abs() < 1e-9, "{head:?} not linear");
+            }
+        }
+    }
+
+    #[test]
+    fn head_backward_is_adjoint_of_apply(
+        x in proptest::collection::vec(-1.0f64..1.0, 4),
+        g in proptest::collection::vec(-1.0f64..1.0, 4),
+    ) {
+        for head in [MeasurementHead::TwoClassPairSum, MeasurementHead::Identity] {
+            let y = head.apply(&x);
+            let g_out = &g[..y.len()];
+            // ⟨g, J·x⟩ = ⟨Jᵀ·g, x⟩ for linear heads.
+            let lhs: f64 = g_out.iter().zip(&y).map(|(a, b)| a * b).sum();
+            let pulled = head.backward(g_out, 4);
+            let rhs: f64 = pulled.iter().zip(&x).map(|(a, b)| a * b).sum();
+            prop_assert!((lhs - rhs).abs() < 1e-9, "{head:?} adjoint mismatch");
+        }
+    }
+
+    #[test]
+    fn ring_pairs_cover_every_wire(n in 2usize..10) {
+        let pairs = ring_pairs(n);
+        let mut seen = vec![0usize; n];
+        for (a, b) in &pairs {
+            prop_assert!(a != b);
+            seen[*a] += 1;
+            seen[*b] += 1;
+        }
+        // Every wire appears (twice for n ≥ 3, once for n = 2).
+        prop_assert!(seen.iter().all(|&s| s >= 1));
+    }
+
+    #[test]
+    fn layer_param_counts_are_consistent(n in 2usize..6) {
+        for layer in [
+            Layer::Rx, Layer::Ry, Layer::Rz,
+            Layer::RzzRing, Layer::RxxRing, Layer::RzxRing, Layer::Cz,
+        ] {
+            let mut c = Circuit::new(n);
+            let built = layer.build(&mut c, 0);
+            prop_assert_eq!(built, layer.num_params(n));
+            prop_assert_eq!(c.num_symbols(), layer.num_params(n));
+        }
+    }
+
+    #[test]
+    fn model_templates_respond_to_inputs(
+        x1 in 0.0f64..3.0,
+        x2 in 0.0f64..3.0,
+    ) {
+        prop_assume!((x1 - x2).abs() > 0.3);
+        let model = QnnModel::fashion4();
+        let sim = StatevectorSimulator::new();
+        let params = vec![0.2; model.num_params()];
+        let a = sim.expectations_z(
+            model.circuit(),
+            &model.symbol_vector(&params, &[x1; 16]),
+        );
+        let b = sim.expectations_z(
+            model.circuit(),
+            &model.symbol_vector(&params, &[x2; 16]),
+        );
+        let diff: f64 = a.iter().zip(&b).map(|(p, q)| (p - q).abs()).sum();
+        prop_assert!(diff > 1e-4, "model ignores its input");
+    }
+}

@@ -1,0 +1,260 @@
+//! Standard noise channels of superconducting hardware.
+//!
+//! These are the error processes the QOC paper's Section 2 lists for NISQ
+//! machines: stochastic gate errors (depolarizing, Pauli flips), decoherence
+//! (amplitude/phase damping, thermal relaxation from T1/T2), and coherent
+//! control errors (systematic over-rotation).
+
+use qoc_sim::complex::{c64, Complex64};
+use qoc_sim::gates::GateKind;
+use qoc_sim::matrix::CMatrix;
+
+use crate::kraus::KrausChannel;
+
+fn scaled(m: CMatrix, k: f64) -> CMatrix {
+    m.scaled(Complex64::real(k))
+}
+
+fn check_prob(p: f64, what: &str) {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "{what} must be a probability in [0, 1], got {p}"
+    );
+}
+
+/// Single-qubit depolarizing channel: with probability `p` the qubit state is
+/// replaced by a uniformly random Pauli error (X, Y or Z each with `p/3`).
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn depolarizing_1q(p: f64) -> KrausChannel {
+    check_prob(p, "depolarizing probability");
+    let ops = vec![
+        scaled(CMatrix::identity(2), (1.0 - p).sqrt()),
+        scaled(GateKind::X.matrix(&[]), (p / 3.0).sqrt()),
+        scaled(GateKind::Y.matrix(&[]), (p / 3.0).sqrt()),
+        scaled(GateKind::Z.matrix(&[]), (p / 3.0).sqrt()),
+    ];
+    KrausChannel::new(format!("depolarizing({p})"), ops).expect("valid by construction")
+}
+
+/// Two-qubit depolarizing channel: probability `p` spread uniformly over the
+/// 15 non-identity two-qubit Paulis. This is the standard model for CX error.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn depolarizing_2q(p: f64) -> KrausChannel {
+    check_prob(p, "depolarizing probability");
+    let paulis = [
+        CMatrix::identity(2),
+        GateKind::X.matrix(&[]),
+        GateKind::Y.matrix(&[]),
+        GateKind::Z.matrix(&[]),
+    ];
+    let mut ops = Vec::with_capacity(16);
+    for (i, a) in paulis.iter().enumerate() {
+        for (j, b) in paulis.iter().enumerate() {
+            let w = if i == 0 && j == 0 {
+                (1.0 - p).sqrt()
+            } else {
+                (p / 15.0).sqrt()
+            };
+            ops.push(scaled(a.kron(b), w));
+        }
+    }
+    KrausChannel::new(format!("depolarizing2q({p})"), ops).expect("valid by construction")
+}
+
+/// Bit-flip channel: X error with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn bit_flip(p: f64) -> KrausChannel {
+    check_prob(p, "bit-flip probability");
+    let ops = vec![
+        scaled(CMatrix::identity(2), (1.0 - p).sqrt()),
+        scaled(GateKind::X.matrix(&[]), p.sqrt()),
+    ];
+    KrausChannel::new(format!("bit_flip({p})"), ops).expect("valid by construction")
+}
+
+/// Phase-flip channel: Z error with probability `p`.
+///
+/// # Panics
+///
+/// Panics if `p ∉ [0, 1]`.
+pub fn phase_flip(p: f64) -> KrausChannel {
+    check_prob(p, "phase-flip probability");
+    let ops = vec![
+        scaled(CMatrix::identity(2), (1.0 - p).sqrt()),
+        scaled(GateKind::Z.matrix(&[]), p.sqrt()),
+    ];
+    KrausChannel::new(format!("phase_flip({p})"), ops).expect("valid by construction")
+}
+
+/// Amplitude damping: spontaneous relaxation `|1⟩ → |0⟩` with probability
+/// `gamma` (energy loss to the environment, the T1 process).
+///
+/// # Panics
+///
+/// Panics if `gamma ∉ [0, 1]`.
+pub fn amplitude_damping(gamma: f64) -> KrausChannel {
+    check_prob(gamma, "damping gamma");
+    let k0 = CMatrix::from_rows(&[
+        &[Complex64::ONE, Complex64::ZERO],
+        &[Complex64::ZERO, c64((1.0 - gamma).sqrt(), 0.0)],
+    ]);
+    let k1 = CMatrix::from_rows(&[
+        &[Complex64::ZERO, c64(gamma.sqrt(), 0.0)],
+        &[Complex64::ZERO, Complex64::ZERO],
+    ]);
+    KrausChannel::new(format!("amplitude_damping({gamma})"), vec![k0, k1])
+        .expect("valid by construction")
+}
+
+/// Phase damping: loss of coherence without energy exchange (the pure-T2
+/// process). Off-diagonal density elements shrink by `√(1−lambda)`.
+///
+/// # Panics
+///
+/// Panics if `lambda ∉ [0, 1]`.
+pub fn phase_damping(lambda: f64) -> KrausChannel {
+    check_prob(lambda, "damping lambda");
+    let k0 = CMatrix::from_rows(&[
+        &[Complex64::ONE, Complex64::ZERO],
+        &[Complex64::ZERO, c64((1.0 - lambda).sqrt(), 0.0)],
+    ]);
+    let k1 = CMatrix::from_rows(&[
+        &[Complex64::ZERO, Complex64::ZERO],
+        &[Complex64::ZERO, c64(lambda.sqrt(), 0.0)],
+    ]);
+    KrausChannel::new(format!("phase_damping({lambda})"), vec![k0, k1])
+        .expect("valid by construction")
+}
+
+/// Thermal relaxation over a gate of `duration_ns` on a qubit with the given
+/// `t1_us`/`t2_us` times: amplitude damping with `γ = 1 − e^{−t/T1}` composed
+/// with the pure dephasing needed so off-diagonals decay as `e^{−t/T2}`.
+///
+/// # Panics
+///
+/// Panics if `t1_us <= 0`, `t2_us <= 0`, or `t2_us > 2·t1_us` (unphysical).
+pub fn thermal_relaxation(t1_us: f64, t2_us: f64, duration_ns: f64) -> KrausChannel {
+    assert!(t1_us > 0.0 && t2_us > 0.0, "T1 and T2 must be positive");
+    assert!(
+        t2_us <= 2.0 * t1_us + 1e-12,
+        "T2 = {t2_us} exceeds the physical limit 2·T1 = {}",
+        2.0 * t1_us
+    );
+    let t_us = duration_ns / 1000.0;
+    let gamma = 1.0 - (-t_us / t1_us).exp();
+    // Amplitude damping alone shrinks coherences by e^{-t/(2T1)}; the rest of
+    // the e^{-t/T2} decay comes from pure dephasing at rate 1/Tφ = 1/T2 − 1/(2T1).
+    let inv_tphi = (1.0 / t2_us - 1.0 / (2.0 * t1_us)).max(0.0);
+    let lambda = 1.0 - (-2.0 * t_us * inv_tphi).exp();
+    let ch = phase_damping(lambda).compose_after(&amplitude_damping(gamma));
+    KrausChannel::new(
+        format!("thermal_relaxation(t1={t1_us}us,t2={t2_us}us,{duration_ns}ns)"),
+        ch.operators().to_vec(),
+    )
+    .expect("valid by construction")
+}
+
+/// Coherent over-rotation: a systematic unitary error `e^{-iεH/2}` about the
+/// given rotation generator (miscalibrated control amplitude).
+///
+/// # Panics
+///
+/// Panics if `axis` has no involutory generator (see
+/// [`GateKind::generator`]).
+pub fn coherent_overrotation(axis: GateKind, epsilon: f64) -> KrausChannel {
+    let u = axis.matrix(&[epsilon]);
+    assert!(
+        axis.generator().is_some(),
+        "{axis} is not a rotation gate with a Hermitian generator"
+    );
+    KrausChannel::new(format!("overrotation({axis},{epsilon})"), vec![u])
+        .expect("unitary is a valid channel")
+}
+
+/// Converts an average gate *error rate* (as reported by randomized
+/// benchmarking, e.g. IBM calibration data) into the uniform-Pauli
+/// depolarizing probability that produces it.
+///
+/// With dimension `d = 2ᵏ`, an error rate `r` corresponds to the fully
+/// depolarizing parameter `λ = r·d/(d−1)`, and the uniform-Pauli probability
+/// is `p = λ·(d²−1)/d² = r·(d+1)/d`: `3/2·r` for 1 qubit, `5/4·r` for 2.
+pub fn error_rate_to_depolarizing_prob(error: f64, num_qubits: usize) -> f64 {
+    let d = (1usize << num_qubits) as f64;
+    (error * (d + 1.0) / d).min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_channels_trace_preserving() {
+        let chans = [
+            depolarizing_1q(0.02),
+            depolarizing_2q(0.03),
+            bit_flip(0.1),
+            phase_flip(0.1),
+            amplitude_damping(0.2),
+            phase_damping(0.15),
+            thermal_relaxation(100.0, 80.0, 300.0),
+            coherent_overrotation(GateKind::Rx, 0.05),
+        ];
+        for ch in &chans {
+            assert!(ch.is_trace_preserving(1e-9), "{ch} not CPTP");
+        }
+    }
+
+    #[test]
+    fn depolarizing_zero_is_identity_like() {
+        let ch = depolarizing_1q(0.0);
+        // Only the identity Kraus op has nonzero weight.
+        assert!((ch.operators()[0][(0, 0)].re - 1.0).abs() < 1e-12);
+        for k in &ch.operators()[1..] {
+            assert!(k.frobenius_distance(&CMatrix::zeros(2, 2)) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn depolarizing_2q_has_16_ops() {
+        assert_eq!(depolarizing_2q(0.01).operators().len(), 16);
+        assert_eq!(depolarizing_2q(0.01).num_qubits(), 2);
+    }
+
+    #[test]
+    fn thermal_relaxation_limits() {
+        // Zero duration → identity channel (γ = λ = 0).
+        let ch = thermal_relaxation(100.0, 100.0, 0.0);
+        assert!(ch.operators()[0]
+            .approx_eq(&CMatrix::identity(2), 1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "physical limit")]
+    fn thermal_relaxation_rejects_t2_over_2t1() {
+        let _ = thermal_relaxation(50.0, 120.0, 100.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_bad_probability() {
+        let _ = bit_flip(1.5);
+    }
+
+    #[test]
+    fn error_rate_conversion_ranges() {
+        // 1q: p = 3/2 · error.
+        assert!((error_rate_to_depolarizing_prob(0.001, 1) - 0.0015).abs() < 1e-9);
+        // 2q: p = 20/15 · error? p = error·d²/(d²−1)·…, spot-check monotone & ≥ error.
+        let p2 = error_rate_to_depolarizing_prob(0.01, 2);
+        assert!(p2 > 0.01 && p2 < 0.02, "got {p2}");
+    }
+}

@@ -1,0 +1,239 @@
+//! Kraus-operator representation of quantum channels.
+//!
+//! A completely-positive trace-preserving (CPTP) map is given by operators
+//! `{K₀, K₁, …}` with `Σ Kᵢ†Kᵢ = I`; it acts on a density matrix as
+//! `ρ ↦ Σ Kᵢ ρ Kᵢ†`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use qoc_sim::matrix::CMatrix;
+
+/// A quantum channel in Kraus form.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_noise::kraus::KrausChannel;
+/// use qoc_noise::channels::depolarizing_1q;
+///
+/// let ch = depolarizing_1q(0.01);
+/// assert!(ch.is_trace_preserving(1e-12));
+/// assert_eq!(ch.num_qubits(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KrausChannel {
+    label: String,
+    ops: Vec<CMatrix>,
+}
+
+impl KrausChannel {
+    /// Builds a channel from Kraus operators.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KrausError`] if the list is empty, operator shapes disagree
+    /// or are not square powers of two, or the completeness relation
+    /// `Σ K†K = I` fails beyond `1e-9`.
+    pub fn new(label: impl Into<String>, ops: Vec<CMatrix>) -> Result<Self, KrausError> {
+        let label = label.into();
+        let dim = match ops.first() {
+            None => return Err(KrausError::Empty),
+            Some(k) => k.rows(),
+        };
+        if !dim.is_power_of_two() || dim < 2 {
+            return Err(KrausError::BadShape { rows: dim, cols: dim });
+        }
+        for k in &ops {
+            if k.rows() != dim || k.cols() != dim {
+                return Err(KrausError::BadShape {
+                    rows: k.rows(),
+                    cols: k.cols(),
+                });
+            }
+        }
+        let channel = KrausChannel { label, ops };
+        if !channel.is_trace_preserving(1e-9) {
+            return Err(KrausError::NotTracePreserving);
+        }
+        Ok(channel)
+    }
+
+    /// A no-op identity channel on `num_qubits` qubits.
+    pub fn identity(num_qubits: usize) -> Self {
+        KrausChannel {
+            label: "identity".to_owned(),
+            ops: vec![CMatrix::identity(1 << num_qubits)],
+        }
+    }
+
+    /// Human-readable channel name (e.g. `"depolarizing(0.01)"`).
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+
+    /// The Kraus operators.
+    pub fn operators(&self) -> &[CMatrix] {
+        &self.ops
+    }
+
+    /// Number of qubits the channel acts on.
+    pub fn num_qubits(&self) -> usize {
+        self.ops[0].rows().trailing_zeros() as usize
+    }
+
+    /// Checks the completeness relation `Σ K†K = I` within `tol`.
+    pub fn is_trace_preserving(&self, tol: f64) -> bool {
+        let dim = self.ops[0].rows();
+        let mut sum = CMatrix::zeros(dim, dim);
+        for k in &self.ops {
+            sum = &sum + &(&k.adjoint() * k);
+        }
+        sum.frobenius_distance(&CMatrix::identity(dim)) <= tol
+    }
+
+    /// Returns `true` when the channel is exactly unitary (single Kraus op).
+    pub fn is_unitary(&self) -> bool {
+        self.ops.len() == 1
+    }
+
+    /// Tensor product with another channel: `self` acts on the
+    /// least-significant qubits, `high` on the most-significant ones (matrix
+    /// layout `high ⊗ self`). Used to lift two independent single-qubit
+    /// processes onto a two-qubit gate's wires.
+    #[must_use]
+    pub fn tensor(&self, high: &KrausChannel) -> KrausChannel {
+        let mut ops = Vec::with_capacity(self.ops.len() * high.ops.len());
+        for a in &high.ops {
+            for b in &self.ops {
+                ops.push(a.kron(b));
+            }
+        }
+        KrausChannel {
+            label: format!("{}⊗{}", high.label, self.label),
+            ops,
+        }
+    }
+
+    /// Composes `self` after `first`: the result applies `first`, then
+    /// `self`. The Kraus family of the composition is all pairwise products.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dimension mismatch.
+    #[must_use]
+    pub fn compose_after(&self, first: &KrausChannel) -> KrausChannel {
+        assert_eq!(
+            self.ops[0].rows(),
+            first.ops[0].rows(),
+            "channel dimension mismatch"
+        );
+        let mut ops = Vec::with_capacity(self.ops.len() * first.ops.len());
+        for a in &self.ops {
+            for b in &first.ops {
+                ops.push(a * b);
+            }
+        }
+        KrausChannel {
+            label: format!("{}∘{}", self.label, first.label),
+            ops,
+        }
+    }
+}
+
+impl fmt::Display for KrausChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} ({} Kraus op(s), {} qubit(s))",
+            self.label,
+            self.ops.len(),
+            self.num_qubits()
+        )
+    }
+}
+
+/// Errors constructing a [`KrausChannel`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KrausError {
+    /// No operators were supplied.
+    Empty,
+    /// An operator was not a square power-of-two matrix of the common size.
+    BadShape {
+        /// Offending row count.
+        rows: usize,
+        /// Offending column count.
+        cols: usize,
+    },
+    /// The completeness relation `Σ K†K = I` does not hold.
+    NotTracePreserving,
+}
+
+impl fmt::Display for KrausError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KrausError::Empty => write!(f, "channel needs at least one Kraus operator"),
+            KrausError::BadShape { rows, cols } => {
+                write!(f, "bad Kraus operator shape {rows}x{cols}")
+            }
+            KrausError::NotTracePreserving => {
+                write!(f, "Kraus operators do not satisfy Σ K†K = I")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KrausError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_sim::complex::c64;
+    use qoc_sim::gates::GateKind;
+
+    #[test]
+    fn identity_channel_is_unitary() {
+        let ch = KrausChannel::identity(2);
+        assert!(ch.is_unitary());
+        assert!(ch.is_trace_preserving(1e-12));
+        assert_eq!(ch.num_qubits(), 2);
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_shapes() {
+        assert_eq!(
+            KrausChannel::new("e", vec![]).unwrap_err(),
+            KrausError::Empty
+        );
+        let bad = vec![CMatrix::zeros(2, 3)];
+        assert!(matches!(
+            KrausChannel::new("e", bad).unwrap_err(),
+            KrausError::BadShape { .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_non_trace_preserving() {
+        let half = CMatrix::identity(2).scaled(c64(0.5, 0.0));
+        assert_eq!(
+            KrausChannel::new("e", vec![half]).unwrap_err(),
+            KrausError::NotTracePreserving
+        );
+    }
+
+    #[test]
+    fn unitary_gate_is_valid_channel() {
+        let ch = KrausChannel::new("h", vec![GateKind::H.matrix(&[])]).unwrap();
+        assert!(ch.is_unitary());
+    }
+
+    #[test]
+    fn composition_is_trace_preserving() {
+        let a = crate::channels::bit_flip(0.1);
+        let b = crate::channels::phase_flip(0.2);
+        let c = a.compose_after(&b);
+        assert!(c.is_trace_preserving(1e-10));
+        assert_eq!(c.operators().len(), 4);
+    }
+}

@@ -1,0 +1,147 @@
+//! Measurement (readout) error modelling.
+//!
+//! Superconducting readout misclassifies each qubit independently with
+//! calibrated asymmetric probabilities. The error acts classically on the
+//! outcome distribution, so we model it as a per-qubit confusion matrix
+//! applied to the probability vector before shot sampling.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-qubit readout confusion probabilities.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ReadoutError {
+    /// `P(measure 1 | prepared 0)`.
+    pub p_meas1_given0: f64,
+    /// `P(measure 0 | prepared 1)`.
+    pub p_meas0_given1: f64,
+}
+
+impl ReadoutError {
+    /// Creates a readout error from the two misclassification rates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either rate is outside `[0, 1]`.
+    pub fn new(p_meas1_given0: f64, p_meas0_given1: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_meas1_given0) && (0.0..=1.0).contains(&p_meas0_given1),
+            "readout error rates must be probabilities"
+        );
+        ReadoutError {
+            p_meas1_given0,
+            p_meas0_given1,
+        }
+    }
+
+    /// A symmetric readout error with equal flip rates.
+    pub fn symmetric(p: f64) -> Self {
+        ReadoutError::new(p, p)
+    }
+
+    /// The average assignment error `(ε₀ + ε₁)/2`, the figure IBM reports.
+    pub fn assignment_error(&self) -> f64 {
+        (self.p_meas1_given0 + self.p_meas0_given1) / 2.0
+    }
+
+    /// Returns `true` when both rates are zero.
+    pub fn is_trivial(&self) -> bool {
+        self.p_meas1_given0 == 0.0 && self.p_meas0_given1 == 0.0
+    }
+}
+
+/// Applies per-qubit confusion matrices to a `2ⁿ`-entry outcome-probability
+/// vector in place. `errors[q]` acts on bit `q` of the outcome index.
+///
+/// # Panics
+///
+/// Panics if `probs.len() != 2^errors.len()`.
+pub fn apply_confusion(probs: &mut [f64], errors: &[ReadoutError]) {
+    assert_eq!(
+        probs.len(),
+        1usize << errors.len(),
+        "probability vector length does not match qubit count"
+    );
+    for (q, e) in errors.iter().enumerate() {
+        if e.is_trivial() {
+            continue;
+        }
+        let bit = 1usize << q;
+        for i in 0..probs.len() {
+            if i & bit != 0 {
+                continue;
+            }
+            let p0 = probs[i];
+            let p1 = probs[i | bit];
+            probs[i] = (1.0 - e.p_meas1_given0) * p0 + e.p_meas0_given1 * p1;
+            probs[i | bit] = e.p_meas1_given0 * p0 + (1.0 - e.p_meas0_given1) * p1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_error_is_identity() {
+        let mut p = vec![0.25, 0.25, 0.25, 0.25];
+        apply_confusion(&mut p, &[ReadoutError::default(), ReadoutError::default()]);
+        assert_eq!(p, vec![0.25, 0.25, 0.25, 0.25]);
+    }
+
+    #[test]
+    fn single_qubit_flip_mixes() {
+        // Pure |0⟩ with 10% chance of reading 1.
+        let mut p = vec![1.0, 0.0];
+        apply_confusion(&mut p, &[ReadoutError::new(0.1, 0.0)]);
+        assert!((p[0] - 0.9).abs() < 1e-12);
+        assert!((p[1] - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn asymmetric_error_on_excited_state() {
+        let mut p = vec![0.0, 1.0];
+        apply_confusion(&mut p, &[ReadoutError::new(0.02, 0.08)]);
+        assert!((p[0] - 0.08).abs() < 1e-12);
+        assert!((p[1] - 0.92).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_mass_is_conserved() {
+        let mut p = vec![0.1, 0.2, 0.3, 0.4];
+        apply_confusion(
+            &mut p,
+            &[ReadoutError::new(0.05, 0.1), ReadoutError::new(0.03, 0.07)],
+        );
+        let sum: f64 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert!(p.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn acts_on_correct_bit() {
+        // 2 qubits, state |01⟩ (qubit0 = 1, qubit1 = 0) = index 1.
+        let mut p = vec![0.0, 1.0, 0.0, 0.0];
+        // Perfect qubit 0, lossy qubit 1 (never prepared 1 here → only ε₀).
+        apply_confusion(
+            &mut p,
+            &[ReadoutError::default(), ReadoutError::new(0.2, 0.0)],
+        );
+        assert!((p[1] - 0.8).abs() < 1e-12);
+        assert!((p[3] - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn assignment_error_averages() {
+        let e = ReadoutError::new(0.02, 0.06);
+        assert!((e.assignment_error() - 0.04).abs() < 1e-12);
+        assert!(!e.is_trivial());
+        assert!(ReadoutError::default().is_trivial());
+    }
+
+    #[test]
+    #[should_panic(expected = "probabilities")]
+    fn rejects_bad_rates() {
+        let _ = ReadoutError::new(1.2, 0.0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Property-based tests of the noise machinery: CPTP invariants, physical
+//! bounds, and agreement between noise representations.
+
+use proptest::prelude::*;
+
+use qoc_noise::channels::{
+    amplitude_damping, bit_flip, depolarizing_1q, depolarizing_2q, phase_damping, phase_flip,
+    thermal_relaxation,
+};
+use qoc_noise::density::DensityMatrix;
+use qoc_noise::kraus::KrausChannel;
+use qoc_noise::readout::{apply_confusion, ReadoutError};
+use qoc_sim::gates::GateKind;
+
+fn arb_1q_channel() -> impl Strategy<Value = KrausChannel> {
+    (0usize..6, 0.0f64..0.9).prop_map(|(kind, p)| match kind {
+        0 => depolarizing_1q(p),
+        1 => bit_flip(p),
+        2 => phase_flip(p),
+        3 => amplitude_damping(p),
+        4 => phase_damping(p),
+        _ => thermal_relaxation(100.0, 70.0, 1000.0 * p),
+    })
+}
+
+/// A density matrix from a short random pure-state preparation.
+fn arb_state(n: usize) -> impl Strategy<Value = DensityMatrix> {
+    proptest::collection::vec((-3.0f64..3.0, -3.0f64..3.0, -3.0f64..3.0), n).prop_map(
+        move |angles| {
+            let mut rho = DensityMatrix::zero_state(n);
+            for (q, (a, b, c)) in angles.into_iter().enumerate() {
+                rho.apply_unitary(&GateKind::U3.matrix(&[a, b, c]), &[q]);
+            }
+            // Entangle a ring.
+            for q in 0..n {
+                let r = (q + 1) % n;
+                if q != r {
+                    rho.apply_unitary(&GateKind::Cx.matrix(&[]), &[q, r]);
+                }
+            }
+            rho
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn all_channels_are_cptp(ch in arb_1q_channel()) {
+        prop_assert!(ch.is_trace_preserving(1e-9), "{ch}");
+    }
+
+    #[test]
+    fn compositions_are_cptp(a in arb_1q_channel(), b in arb_1q_channel()) {
+        prop_assert!(a.compose_after(&b).is_trace_preserving(1e-8));
+    }
+
+    #[test]
+    fn tensors_are_cptp(a in arb_1q_channel(), b in arb_1q_channel()) {
+        let t = a.tensor(&b);
+        prop_assert_eq!(t.num_qubits(), 2);
+        prop_assert!(t.is_trace_preserving(1e-8));
+    }
+
+    #[test]
+    fn channels_preserve_trace_and_shrink_purity(
+        rho in arb_state(2),
+        ch in arb_1q_channel(),
+        q in 0usize..2,
+    ) {
+        let purity_before = rho.purity();
+        let mut out = rho.clone();
+        out.apply_kraus(&ch, &[q]);
+        prop_assert!((out.trace() - 1.0).abs() < 1e-8);
+        // Noise never creates purity beyond its input (unital or damping
+        // toward |0⟩ from a mixed input may raise purity slightly for
+        // amplitude damping, so allow a small epsilon).
+        prop_assert!(out.purity() <= purity_before.max(1.0) + 1e-8);
+    }
+
+    #[test]
+    fn probabilities_stay_a_distribution(
+        rho in arb_state(3),
+        ch in arb_1q_channel(),
+        q in 0usize..3,
+    ) {
+        let mut out = rho.clone();
+        out.apply_kraus(&ch, &[q]);
+        let probs = out.probabilities();
+        let sum: f64 = probs.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-8);
+        prop_assert!(probs.iter().all(|&p| p >= -1e-10));
+    }
+
+    #[test]
+    fn depolarizing_2q_shrinks_all_expectations(
+        rho in arb_state(2),
+        p in 0.0f64..0.9,
+    ) {
+        let before = rho.expectation_all_z();
+        let mut out = rho.clone();
+        out.apply_kraus(&depolarizing_2q(p), &[0, 1]);
+        for (b, a) in before.iter().zip(out.expectation_all_z()) {
+            prop_assert!(a.abs() <= b.abs() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn unital_channels_fix_maximally_mixed(ch_idx in 0usize..3, p in 0.0f64..0.9) {
+        // Depolarizing / bit-flip / phase-flip are unital: I/2 is a fixed
+        // point.
+        let ch = match ch_idx {
+            0 => depolarizing_1q(p),
+            1 => bit_flip(p),
+            _ => phase_flip(p),
+        };
+        let mut rho = DensityMatrix::maximally_mixed(1);
+        let before = rho.matrix().clone();
+        rho.apply_kraus(&ch, &[0]);
+        prop_assert!(rho.matrix().approx_eq(&before, 1e-10));
+    }
+
+    #[test]
+    fn confusion_preserves_probability_mass(
+        probs_raw in proptest::collection::vec(0.0f64..1.0, 8),
+        e0 in 0.0f64..0.3,
+        e1 in 0.0f64..0.3,
+    ) {
+        let total: f64 = probs_raw.iter().sum::<f64>().max(1e-9);
+        let mut probs: Vec<f64> = probs_raw.iter().map(|p| p / total).collect();
+        let errors = vec![ReadoutError::new(e0, e1); 3];
+        apply_confusion(&mut probs, &errors);
+        prop_assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        prop_assert!(probs.iter().all(|&p| p >= -1e-12));
+    }
+
+    #[test]
+    fn readout_error_shrinks_z_expectations(
+        z in -1.0f64..1.0,
+        e in 0.0f64..0.4,
+    ) {
+        // Symmetric confusion on one qubit: ⟨Z⟩ → (1−2e)·⟨Z⟩.
+        let p1 = (1.0 - z) / 2.0;
+        let mut probs = vec![1.0 - p1, p1];
+        apply_confusion(&mut probs, &[ReadoutError::symmetric(e)]);
+        let z_after = probs[0] - probs[1];
+        prop_assert!((z_after - (1.0 - 2.0 * e) * z).abs() < 1e-10);
+    }
+
+    #[test]
+    fn thermal_relaxation_monotone_in_duration(
+        d1 in 0.0f64..500.0,
+        extra in 1.0f64..500.0,
+    ) {
+        // Longer idle time ⇒ more decay of the excited state.
+        let excited = |dur: f64| -> f64 {
+            let mut rho = DensityMatrix::zero_state(1);
+            rho.apply_unitary(&GateKind::X.matrix(&[]), &[0]);
+            rho.apply_kraus(&thermal_relaxation(80.0, 60.0, dur), &[0]);
+            (1.0 - rho.expectation_z(0)) / 2.0
+        };
+        prop_assert!(excited(d1 + extra) <= excited(d1) + 1e-9);
+    }
+}

@@ -1,0 +1,558 @@
+//! Circuit intermediate representation.
+//!
+//! A [`Circuit`] is an ordered list of gate [`Operation`]s on `num_qubits`
+//! wires. Gate angles are [`ParamValue`]s: either constants (used for data
+//! encoders once an input is bound) or affine expressions of a shared
+//! trainable parameter vector `θ` (used for the QNN ansatz). One symbol may
+//! appear in several gates; the parameter-shift engine handles that by
+//! shifting each *occurrence* separately and summing the gradients.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::gates::GateKind;
+
+/// A gate angle: fixed, or an affine function of one trainable symbol.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ParamValue {
+    /// A fixed angle in radians.
+    Const(f64),
+    /// `scale · θ[index] + offset`.
+    Sym {
+        /// Index into the trainable parameter vector.
+        index: usize,
+        /// Multiplicative coefficient on the symbol.
+        scale: f64,
+        /// Additive offset in radians.
+        offset: f64,
+    },
+}
+
+impl ParamValue {
+    /// A plain symbol reference `θ[index]`.
+    pub const fn sym(index: usize) -> Self {
+        ParamValue::Sym {
+            index,
+            scale: 1.0,
+            offset: 0.0,
+        }
+    }
+
+    /// Evaluates the angle against a parameter vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a symbol index is out of bounds for `theta`.
+    #[inline]
+    pub fn eval(self, theta: &[f64]) -> f64 {
+        match self {
+            ParamValue::Const(v) => v,
+            ParamValue::Sym {
+                index,
+                scale,
+                offset,
+            } => scale * theta[index] + offset,
+        }
+    }
+
+    /// The symbol index this value references, if any.
+    #[inline]
+    pub fn symbol(self) -> Option<usize> {
+        match self {
+            ParamValue::Const(_) => None,
+            ParamValue::Sym { index, .. } => Some(index),
+        }
+    }
+
+    /// Adds `delta` to the offset (used by the parameter-shift engine).
+    #[must_use]
+    pub fn shifted(self, delta: f64) -> Self {
+        match self {
+            ParamValue::Const(v) => ParamValue::Const(v + delta),
+            ParamValue::Sym {
+                index,
+                scale,
+                offset,
+            } => ParamValue::Sym {
+                index,
+                scale,
+                offset: offset + delta,
+            },
+        }
+    }
+}
+
+impl From<f64> for ParamValue {
+    fn from(v: f64) -> Self {
+        ParamValue::Const(v)
+    }
+}
+
+/// One gate application inside a circuit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Operation {
+    /// Which gate.
+    pub gate: GateKind,
+    /// Wire indices, in the gate's listed-qubit order (see [`GateKind`]).
+    pub qubits: Vec<usize>,
+    /// Angle parameters (empty for fixed gates).
+    pub params: Vec<ParamValue>,
+}
+
+impl Operation {
+    /// Evaluates all angles against `theta`.
+    pub fn resolve(&self, theta: &[f64]) -> Vec<f64> {
+        self.params.iter().map(|p| p.eval(theta)).collect()
+    }
+}
+
+/// An ordered quantum circuit on a fixed number of wires.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_sim::circuit::{Circuit, ParamValue};
+/// use qoc_sim::gates::GateKind;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.push(GateKind::Rzz, &[0, 1], &[ParamValue::sym(0)]);
+/// c.ry(1, ParamValue::sym(1));
+/// assert_eq!(c.num_symbols(), 2);
+/// assert_eq!(c.len(), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Circuit {
+    num_qubits: usize,
+    ops: Vec<Operation>,
+    num_symbols: usize,
+}
+
+impl Circuit {
+    /// Creates an empty circuit on `num_qubits` wires.
+    pub fn new(num_qubits: usize) -> Self {
+        Circuit {
+            num_qubits,
+            ops: Vec::new(),
+            num_symbols: 0,
+        }
+    }
+
+    /// Number of wires.
+    #[inline]
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of gate operations.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Returns `true` when the circuit has no operations.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// The operations in program order.
+    #[inline]
+    pub fn ops(&self) -> &[Operation] {
+        &self.ops
+    }
+
+    /// Number of distinct trainable symbols referenced (max index + 1).
+    #[inline]
+    pub fn num_symbols(&self) -> usize {
+        self.num_symbols
+    }
+
+    /// Appends a gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a qubit index is out of range, qubits repeat, or the
+    /// parameter count does not match the gate.
+    pub fn push(&mut self, gate: GateKind, qubits: &[usize], params: &[ParamValue]) {
+        assert_eq!(
+            qubits.len(),
+            gate.num_qubits(),
+            "gate {gate} expects {} qubit(s), got {}",
+            gate.num_qubits(),
+            qubits.len()
+        );
+        assert_eq!(
+            params.len(),
+            gate.num_params(),
+            "gate {gate} expects {} parameter(s), got {}",
+            gate.num_params(),
+            params.len()
+        );
+        for &q in qubits {
+            assert!(
+                q < self.num_qubits,
+                "qubit {q} out of range for a {}-qubit circuit",
+                self.num_qubits
+            );
+        }
+        if qubits.len() == 2 {
+            assert_ne!(qubits[0], qubits[1], "two-qubit gate on a repeated wire");
+        }
+        for p in params {
+            if let Some(idx) = p.symbol() {
+                self.num_symbols = self.num_symbols.max(idx + 1);
+            }
+        }
+        self.ops.push(Operation {
+            gate,
+            qubits: qubits.to_vec(),
+            params: params.to_vec(),
+        });
+    }
+
+    /// Appends a Hadamard.
+    pub fn h(&mut self, q: usize) {
+        self.push(GateKind::H, &[q], &[]);
+    }
+
+    /// Appends a Pauli-X.
+    pub fn x(&mut self, q: usize) {
+        self.push(GateKind::X, &[q], &[]);
+    }
+
+    /// Appends an RX rotation.
+    pub fn rx(&mut self, q: usize, angle: impl Into<ParamValue>) {
+        self.push(GateKind::Rx, &[q], &[angle.into()]);
+    }
+
+    /// Appends an RY rotation.
+    pub fn ry(&mut self, q: usize, angle: impl Into<ParamValue>) {
+        self.push(GateKind::Ry, &[q], &[angle.into()]);
+    }
+
+    /// Appends an RZ rotation.
+    pub fn rz(&mut self, q: usize, angle: impl Into<ParamValue>) {
+        self.push(GateKind::Rz, &[q], &[angle.into()]);
+    }
+
+    /// Appends a CNOT with control `c` and target `t`.
+    pub fn cx(&mut self, c: usize, t: usize) {
+        self.push(GateKind::Cx, &[c, t], &[]);
+    }
+
+    /// Appends a CZ.
+    pub fn cz(&mut self, a: usize, b: usize) {
+        self.push(GateKind::Cz, &[a, b], &[]);
+    }
+
+    /// Appends an RZZ rotation.
+    pub fn rzz(&mut self, a: usize, b: usize, angle: impl Into<ParamValue>) {
+        self.push(GateKind::Rzz, &[a, b], &[angle.into()]);
+    }
+
+    /// Appends an RXX rotation.
+    pub fn rxx(&mut self, a: usize, b: usize, angle: impl Into<ParamValue>) {
+        self.push(GateKind::Rxx, &[a, b], &[angle.into()]);
+    }
+
+    /// Appends an RZX rotation (Z on `a`, X on `b`).
+    pub fn rzx(&mut self, a: usize, b: usize, angle: impl Into<ParamValue>) {
+        self.push(GateKind::Rzx, &[a, b], &[angle.into()]);
+    }
+
+    /// Appends all operations of `other` (which must have the same width).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a qubit-count mismatch.
+    pub fn append(&mut self, other: &Circuit) {
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "cannot append a {}-qubit circuit to a {}-qubit circuit",
+            other.num_qubits, self.num_qubits
+        );
+        self.ops.extend_from_slice(&other.ops);
+        self.num_symbols = self.num_symbols.max(other.num_symbols);
+    }
+
+    /// Returns a copy with every symbol evaluated against `theta`, leaving a
+    /// fully constant circuit.
+    #[must_use]
+    pub fn bind(&self, theta: &[f64]) -> Circuit {
+        assert!(
+            theta.len() >= self.num_symbols,
+            "parameter vector has {} entries, circuit references {}",
+            theta.len(),
+            self.num_symbols
+        );
+        let ops = self
+            .ops
+            .iter()
+            .map(|op| Operation {
+                gate: op.gate,
+                qubits: op.qubits.clone(),
+                params: op
+                    .params
+                    .iter()
+                    .map(|p| ParamValue::Const(p.eval(theta)))
+                    .collect(),
+            })
+            .collect();
+        Circuit {
+            num_qubits: self.num_qubits,
+            ops,
+            num_symbols: 0,
+        }
+    }
+
+    /// The adjoint circuit: reversed order, each gate inverted.
+    ///
+    /// Only meaningful for constant circuits or when the caller later binds
+    /// the same `theta` (symbolic parameters are negated by scale).
+    #[must_use]
+    pub fn inverse(&self) -> Circuit {
+        let ops = self
+            .ops
+            .iter()
+            .rev()
+            .map(|op| {
+                // Invert symbolically: all our parametric gates invert by
+                // negating every angle except U3, which also swaps φ and λ.
+                let (gate, _) = op.gate.inverse(&vec![0.0; op.gate.num_params()]);
+                let mut params: Vec<ParamValue> = op
+                    .params
+                    .iter()
+                    .map(|p| match *p {
+                        ParamValue::Const(v) => ParamValue::Const(-v),
+                        ParamValue::Sym {
+                            index,
+                            scale,
+                            offset,
+                        } => ParamValue::Sym {
+                            index,
+                            scale: -scale,
+                            offset: -offset,
+                        },
+                    })
+                    .collect();
+                if op.gate == GateKind::U3 {
+                    params.swap(1, 2);
+                }
+                Operation {
+                    gate,
+                    qubits: op.qubits.clone(),
+                    params,
+                }
+            })
+            .collect();
+        Circuit {
+            num_qubits: self.num_qubits,
+            ops,
+            num_symbols: self.num_symbols,
+        }
+    }
+
+    /// Circuit depth: the number of layers when gates are packed as early as
+    /// possible (each wire participates in at most one gate per layer).
+    pub fn depth(&self) -> usize {
+        let mut wire_depth = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for op in &self.ops {
+            let layer = op.qubits.iter().map(|&q| wire_depth[q]).max().unwrap_or(0) + 1;
+            for &q in &op.qubits {
+                wire_depth[q] = layer;
+            }
+            depth = depth.max(layer);
+        }
+        depth
+    }
+
+    /// Number of two-qubit operations.
+    pub fn two_qubit_count(&self) -> usize {
+        self.ops.iter().filter(|op| op.qubits.len() == 2).count()
+    }
+
+    /// Histogram of gate kinds.
+    pub fn count_by_kind(&self) -> BTreeMap<GateKind, usize> {
+        let mut map = BTreeMap::new();
+        for op in &self.ops {
+            *map.entry(op.gate).or_insert(0) += 1;
+        }
+        map
+    }
+
+    /// Indices of `(operation, param_slot)` pairs that reference symbol
+    /// `index`. The parameter-shift rule shifts each occurrence separately
+    /// and sums the per-occurrence gradients.
+    pub fn symbol_occurrences(&self, index: usize) -> Vec<(usize, usize)> {
+        let mut out = Vec::new();
+        for (i, op) in self.ops.iter().enumerate() {
+            for (slot, p) in op.params.iter().enumerate() {
+                if p.symbol() == Some(index) {
+                    out.push((i, slot));
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a copy with `delta` added to the angle of one specific gate
+    /// occurrence (by operation index and parameter slot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of range.
+    #[must_use]
+    pub fn with_occurrence_shift(&self, op_index: usize, slot: usize, delta: f64) -> Circuit {
+        let mut out = self.clone();
+        out.ops[op_index].params[slot] = out.ops[op_index].params[slot].shifted(delta);
+        out
+    }
+
+    /// List of symbol indices whose gates all support the ±π/2 shift rule.
+    pub fn shiftable_symbols(&self) -> Vec<usize> {
+        (0..self.num_symbols)
+            .filter(|&s| {
+                let occ = self.symbol_occurrences(s);
+                !occ.is_empty() && occ.iter().all(|&(i, _)| self.ops[i].gate.supports_shift_rule())
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for Circuit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "circuit({} qubits, {} ops):", self.num_qubits, self.ops.len())?;
+        for op in &self.ops {
+            write!(f, "  {}", op.gate)?;
+            if !op.params.is_empty() {
+                write!(f, "(")?;
+                for (k, p) in op.params.iter().enumerate() {
+                    if k > 0 {
+                        write!(f, ", ")?;
+                    }
+                    match p {
+                        ParamValue::Const(v) => write!(f, "{v:.4}")?,
+                        ParamValue::Sym {
+                            index,
+                            scale,
+                            offset,
+                        } => write!(f, "{scale}*θ[{index}]+{offset}")?,
+                    }
+                }
+                write!(f, ")")?;
+            }
+            writeln!(f, " {:?}", op.qubits)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_circuit() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.rx(1, 0.5);
+        c.rzz(0, 1, ParamValue::sym(0));
+        c.ry(2, ParamValue::sym(1));
+        c.cx(1, 2);
+        c
+    }
+
+    #[test]
+    fn push_tracks_symbols() {
+        let c = sample_circuit();
+        assert_eq!(c.num_symbols(), 2);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.two_qubit_count(), 2);
+    }
+
+    #[test]
+    fn depth_packs_layers() {
+        let c = sample_circuit();
+        // h(0) and rx(1) share layer 1; rzz(0,1) layer 2; ry(2) layer 1;
+        // cx(1,2) layer 3.
+        assert_eq!(c.depth(), 3);
+    }
+
+    #[test]
+    fn bind_freezes_symbols() {
+        let c = sample_circuit();
+        let b = c.bind(&[1.5, -0.5]);
+        assert_eq!(b.num_symbols(), 0);
+        match b.ops()[2].params[0] {
+            ParamValue::Const(v) => assert_eq!(v, 1.5),
+            _ => panic!("expected const"),
+        }
+    }
+
+    #[test]
+    fn occurrences_and_shift() {
+        let mut c = Circuit::new(2);
+        c.rx(0, ParamValue::sym(0));
+        c.ry(1, ParamValue::sym(0));
+        let occ = c.symbol_occurrences(0);
+        assert_eq!(occ, vec![(0, 0), (1, 0)]);
+        let shifted = c.with_occurrence_shift(0, 0, 0.25);
+        assert_eq!(shifted.ops()[0].params[0].eval(&[1.0]), 1.25);
+        assert_eq!(shifted.ops()[1].params[0].eval(&[1.0]), 1.0);
+    }
+
+    #[test]
+    fn shiftable_symbols_excludes_non_rotation_gates() {
+        let mut c = Circuit::new(2);
+        c.rx(0, ParamValue::sym(0));
+        c.push(GateKind::Crz, &[0, 1], &[ParamValue::sym(1)]);
+        assert_eq!(c.shiftable_symbols(), vec![0]);
+    }
+
+    #[test]
+    fn param_value_affine_eval() {
+        let p = ParamValue::Sym {
+            index: 1,
+            scale: 2.0,
+            offset: 0.5,
+        };
+        assert_eq!(p.eval(&[0.0, 3.0]), 6.5);
+        assert_eq!(p.shifted(0.5).eval(&[0.0, 3.0]), 7.0);
+        assert_eq!(ParamValue::Const(1.0).shifted(-0.25).eval(&[]), 0.75);
+    }
+
+    #[test]
+    fn append_merges() {
+        let mut a = Circuit::new(2);
+        a.h(0);
+        let mut b = Circuit::new(2);
+        b.ry(1, ParamValue::sym(4));
+        a.append(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.num_symbols(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn push_rejects_bad_qubit() {
+        let mut c = Circuit::new(1);
+        c.h(1);
+    }
+
+    #[test]
+    #[should_panic(expected = "repeated wire")]
+    fn push_rejects_repeated_wire() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 1);
+    }
+
+    #[test]
+    fn display_renders() {
+        let text = sample_circuit().to_string();
+        assert!(text.contains("rzz"));
+        assert!(text.contains("θ[0]"));
+    }
+}

@@ -1,0 +1,560 @@
+//! Quantum gate library.
+//!
+//! Every gate used by the QOC paper's circuits is defined here: the fixed
+//! Clifford-ish gates (X, H, CZ, …), the parameterized single-qubit rotations
+//! (RX, RY, RZ, U3, phase), and the two-qubit rotations (RXX, RYY, RZZ, RZX)
+//! that form the entangling layers of the QNN ansatz.
+//!
+//! # Qubit-ordering convention
+//!
+//! The simulator is *little-endian*: qubit `k` corresponds to bit `k` of the
+//! statevector index. For a multi-qubit gate, the **first listed qubit is the
+//! least-significant bit** of the gate-matrix index. For controlled gates the
+//! first listed qubit is the control; for RZX the first listed qubit carries
+//! the Z generator.
+
+use std::f64::consts::FRAC_PI_2;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::{c64, Complex64};
+use crate::matrix::CMatrix;
+
+/// The kind of a quantum gate, independent of which qubits it acts on.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_sim::gates::GateKind;
+///
+/// assert_eq!(GateKind::Rzz.num_qubits(), 2);
+/// assert_eq!(GateKind::Rzz.num_params(), 1);
+/// assert!(GateKind::Rzz.supports_shift_rule());
+/// assert!(GateKind::Rzz.matrix(&[0.3]).is_unitary(1e-12));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum GateKind {
+    /// Identity.
+    I,
+    /// Pauli-X (bit flip).
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z (phase flip).
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = √Z.
+    S,
+    /// Inverse phase gate S†.
+    Sdg,
+    /// T = √S.
+    T,
+    /// T†.
+    Tdg,
+    /// √X, a native IBM basis gate.
+    Sx,
+    /// (√X)†.
+    Sxdg,
+    /// Rotation about X: `e^{-iθX/2}`.
+    Rx,
+    /// Rotation about Y: `e^{-iθY/2}`.
+    Ry,
+    /// Rotation about Z: `e^{-iθZ/2}`.
+    Rz,
+    /// Phase rotation `diag(1, e^{iλ})`.
+    Phase,
+    /// Generic single-qubit gate `U3(θ, φ, λ)`.
+    U3,
+    /// Controlled-X (CNOT); first qubit is the control.
+    Cx,
+    /// Controlled-Y; first qubit is the control.
+    Cy,
+    /// Controlled-Z (symmetric).
+    Cz,
+    /// Controlled phase `diag(1,1,1,e^{iλ})` (symmetric).
+    Cp,
+    /// Controlled RX; first qubit is the control.
+    Crx,
+    /// Controlled RY; first qubit is the control.
+    Cry,
+    /// Controlled RZ; first qubit is the control.
+    Crz,
+    /// SWAP.
+    Swap,
+    /// Two-qubit XX rotation `e^{-iθ(X⊗X)/2}` (symmetric).
+    Rxx,
+    /// Two-qubit YY rotation `e^{-iθ(Y⊗Y)/2}` (symmetric).
+    Ryy,
+    /// Two-qubit ZZ rotation `e^{-iθ(Z⊗Z)/2}` (symmetric).
+    Rzz,
+    /// Two-qubit ZX rotation `e^{-iθ(Z⊗X)/2}`; first qubit carries Z.
+    Rzx,
+}
+
+/// All gate kinds, useful for exhaustive property tests.
+pub const ALL_GATES: &[GateKind] = &[
+    GateKind::I,
+    GateKind::X,
+    GateKind::Y,
+    GateKind::Z,
+    GateKind::H,
+    GateKind::S,
+    GateKind::Sdg,
+    GateKind::T,
+    GateKind::Tdg,
+    GateKind::Sx,
+    GateKind::Sxdg,
+    GateKind::Rx,
+    GateKind::Ry,
+    GateKind::Rz,
+    GateKind::Phase,
+    GateKind::U3,
+    GateKind::Cx,
+    GateKind::Cy,
+    GateKind::Cz,
+    GateKind::Cp,
+    GateKind::Crx,
+    GateKind::Cry,
+    GateKind::Crz,
+    GateKind::Swap,
+    GateKind::Rxx,
+    GateKind::Ryy,
+    GateKind::Rzz,
+    GateKind::Rzx,
+];
+
+fn pauli_x() -> CMatrix {
+    CMatrix::from_rows_real(&[&[0.0, 1.0], &[1.0, 0.0]])
+}
+
+fn pauli_y() -> CMatrix {
+    CMatrix::from_rows(&[
+        &[Complex64::ZERO, c64(0.0, -1.0)],
+        &[c64(0.0, 1.0), Complex64::ZERO],
+    ])
+}
+
+fn pauli_z() -> CMatrix {
+    CMatrix::from_rows_real(&[&[1.0, 0.0], &[0.0, -1.0]])
+}
+
+/// Projector |0⟩⟨0|.
+fn proj0() -> CMatrix {
+    CMatrix::from_rows_real(&[&[1.0, 0.0], &[0.0, 0.0]])
+}
+
+/// Projector |1⟩⟨1|.
+fn proj1() -> CMatrix {
+    CMatrix::from_rows_real(&[&[0.0, 0.0], &[0.0, 1.0]])
+}
+
+/// `e^{-iθH/2} = cos(θ/2)·I − i·sin(θ/2)·H` for an involutory generator H.
+fn rotation(generator: &CMatrix, theta: f64) -> CMatrix {
+    let n = generator.rows();
+    let id = CMatrix::identity(n);
+    let (s, c) = (theta / 2.0).sin_cos();
+    &id.scaled(Complex64::real(c)) - &generator.scaled(c64(0.0, s))
+}
+
+/// Controlled-U with the control on the **first listed** (least-significant)
+/// qubit: `P₀(ctrl) ⊗ I + P₁(ctrl) ⊗ U(target)`.
+fn controlled(u: &CMatrix) -> CMatrix {
+    // kron(A_on_q1, B_on_q0): first listed qubit (q0) is the LSB.
+    let lhs = CMatrix::identity(2).kron(&proj0());
+    let rhs = u.kron(&proj1());
+    &lhs + &rhs
+}
+
+impl GateKind {
+    /// Short lowercase mnemonic (matches OpenQASM naming where one exists).
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::I => "id",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::H => "h",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Sx => "sx",
+            GateKind::Sxdg => "sxdg",
+            GateKind::Rx => "rx",
+            GateKind::Ry => "ry",
+            GateKind::Rz => "rz",
+            GateKind::Phase => "p",
+            GateKind::U3 => "u3",
+            GateKind::Cx => "cx",
+            GateKind::Cy => "cy",
+            GateKind::Cz => "cz",
+            GateKind::Cp => "cp",
+            GateKind::Crx => "crx",
+            GateKind::Cry => "cry",
+            GateKind::Crz => "crz",
+            GateKind::Swap => "swap",
+            GateKind::Rxx => "rxx",
+            GateKind::Ryy => "ryy",
+            GateKind::Rzz => "rzz",
+            GateKind::Rzx => "rzx",
+        }
+    }
+
+    /// Number of qubits the gate acts on (1 or 2).
+    pub fn num_qubits(self) -> usize {
+        match self {
+            GateKind::I
+            | GateKind::X
+            | GateKind::Y
+            | GateKind::Z
+            | GateKind::H
+            | GateKind::S
+            | GateKind::Sdg
+            | GateKind::T
+            | GateKind::Tdg
+            | GateKind::Sx
+            | GateKind::Sxdg
+            | GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::U3 => 1,
+            _ => 2,
+        }
+    }
+
+    /// Number of rotation-angle parameters the gate takes.
+    pub fn num_params(self) -> usize {
+        match self {
+            GateKind::U3 => 3,
+            GateKind::Rx
+            | GateKind::Ry
+            | GateKind::Rz
+            | GateKind::Phase
+            | GateKind::Cp
+            | GateKind::Crx
+            | GateKind::Cry
+            | GateKind::Crz
+            | GateKind::Rxx
+            | GateKind::Ryy
+            | GateKind::Rzz
+            | GateKind::Rzx => 1,
+            _ => 0,
+        }
+    }
+
+    /// Whether this gate obeys the two-term ±π/2 parameter-shift rule of
+    /// Eq. 2, i.e. it is `e^{-iθH/2}` for a Hermitian generator `H` with
+    /// eigenvalues exactly ±1.
+    ///
+    /// Controlled rotations have generators with eigenvalues {0, ±1} and
+    /// require a four-term rule, so they return `false` here; the QOC
+    /// training engine rejects circuits that make them trainable.
+    pub fn supports_shift_rule(self) -> bool {
+        matches!(
+            self,
+            GateKind::Rx
+                | GateKind::Ry
+                | GateKind::Rz
+                | GateKind::Rxx
+                | GateKind::Ryy
+                | GateKind::Rzz
+                | GateKind::Rzx
+        )
+    }
+
+    /// The Hermitian generator `H` of a shift-rule gate (`e^{-iθH/2}`).
+    ///
+    /// Returns `None` for gates that are not of that form.
+    pub fn generator(self) -> Option<CMatrix> {
+        match self {
+            GateKind::Rx => Some(pauli_x()),
+            GateKind::Ry => Some(pauli_y()),
+            GateKind::Rz => Some(pauli_z()),
+            GateKind::Rxx => Some(pauli_x().kron(&pauli_x())),
+            GateKind::Ryy => Some(pauli_y().kron(&pauli_y())),
+            GateKind::Rzz => Some(pauli_z().kron(&pauli_z())),
+            // First listed qubit carries Z and is the LSB ⇒ kron(X, Z).
+            GateKind::Rzx => Some(pauli_x().kron(&pauli_z())),
+            _ => None,
+        }
+    }
+
+    /// The unitary matrix of the gate for the given parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `params.len() != self.num_params()`.
+    pub fn matrix(self, params: &[f64]) -> CMatrix {
+        assert_eq!(
+            params.len(),
+            self.num_params(),
+            "gate {} expects {} parameter(s), got {}",
+            self.name(),
+            self.num_params(),
+            params.len()
+        );
+        let inv_sqrt2 = std::f64::consts::FRAC_1_SQRT_2;
+        match self {
+            GateKind::I => CMatrix::identity(2),
+            GateKind::X => pauli_x(),
+            GateKind::Y => pauli_y(),
+            GateKind::Z => pauli_z(),
+            GateKind::H => CMatrix::from_rows_real(&[
+                &[inv_sqrt2, inv_sqrt2],
+                &[inv_sqrt2, -inv_sqrt2],
+            ]),
+            GateKind::S => CMatrix::from_rows(&[
+                &[Complex64::ONE, Complex64::ZERO],
+                &[Complex64::ZERO, Complex64::I],
+            ]),
+            GateKind::Sdg => CMatrix::from_rows(&[
+                &[Complex64::ONE, Complex64::ZERO],
+                &[Complex64::ZERO, -Complex64::I],
+            ]),
+            GateKind::T => CMatrix::from_rows(&[
+                &[Complex64::ONE, Complex64::ZERO],
+                &[Complex64::ZERO, Complex64::cis(FRAC_PI_2 / 2.0)],
+            ]),
+            GateKind::Tdg => CMatrix::from_rows(&[
+                &[Complex64::ONE, Complex64::ZERO],
+                &[Complex64::ZERO, Complex64::cis(-FRAC_PI_2 / 2.0)],
+            ]),
+            GateKind::Sx => CMatrix::from_rows(&[
+                &[c64(0.5, 0.5), c64(0.5, -0.5)],
+                &[c64(0.5, -0.5), c64(0.5, 0.5)],
+            ]),
+            GateKind::Sxdg => CMatrix::from_rows(&[
+                &[c64(0.5, -0.5), c64(0.5, 0.5)],
+                &[c64(0.5, 0.5), c64(0.5, -0.5)],
+            ]),
+            GateKind::Rx => rotation(&pauli_x(), params[0]),
+            GateKind::Ry => rotation(&pauli_y(), params[0]),
+            GateKind::Rz => rotation(&pauli_z(), params[0]),
+            GateKind::Phase => CMatrix::from_rows(&[
+                &[Complex64::ONE, Complex64::ZERO],
+                &[Complex64::ZERO, Complex64::cis(params[0])],
+            ]),
+            GateKind::U3 => {
+                let (theta, phi, lam) = (params[0], params[1], params[2]);
+                let (s, c) = (theta / 2.0).sin_cos();
+                CMatrix::from_rows(&[
+                    &[Complex64::real(c), -Complex64::cis(lam) * s],
+                    &[Complex64::cis(phi) * s, Complex64::cis(phi + lam) * c],
+                ])
+            }
+            GateKind::Cx => controlled(&pauli_x()),
+            GateKind::Cy => controlled(&pauli_y()),
+            GateKind::Cz => controlled(&pauli_z()),
+            GateKind::Cp => controlled(&GateKind::Phase.matrix(params)),
+            GateKind::Crx => controlled(&GateKind::Rx.matrix(params)),
+            GateKind::Cry => controlled(&GateKind::Ry.matrix(params)),
+            GateKind::Crz => controlled(&GateKind::Rz.matrix(params)),
+            GateKind::Swap => CMatrix::from_rows_real(&[
+                &[1.0, 0.0, 0.0, 0.0],
+                &[0.0, 0.0, 1.0, 0.0],
+                &[0.0, 1.0, 0.0, 0.0],
+                &[0.0, 0.0, 0.0, 1.0],
+            ]),
+            GateKind::Rxx | GateKind::Ryy | GateKind::Rzz | GateKind::Rzx => {
+                rotation(&self.generator().expect("two-qubit rotation"), params[0])
+            }
+        }
+    }
+
+    /// The inverse gate together with the parameter transformation that
+    /// realizes it, as `(kind, map)` where `map` converts this gate's
+    /// parameters into the inverse gate's parameters.
+    pub fn inverse(self, params: &[f64]) -> (GateKind, Vec<f64>) {
+        match self {
+            GateKind::S => (GateKind::Sdg, vec![]),
+            GateKind::Sdg => (GateKind::S, vec![]),
+            GateKind::T => (GateKind::Tdg, vec![]),
+            GateKind::Tdg => (GateKind::T, vec![]),
+            GateKind::Sx => (GateKind::Sxdg, vec![]),
+            GateKind::Sxdg => (GateKind::Sx, vec![]),
+            GateKind::U3 => (GateKind::U3, vec![-params[0], -params[2], -params[1]]),
+            _ if self.num_params() == 0 => (self, vec![]),
+            _ => (self, params.iter().map(|&p| -p).collect()),
+        }
+    }
+
+    /// Whether the gate is symmetric under exchange of its two qubits.
+    ///
+    /// Always `true` for single-qubit gates.
+    pub fn is_symmetric(self) -> bool {
+        !matches!(
+            self,
+            GateKind::Cx
+                | GateKind::Cy
+                | GateKind::Crx
+                | GateKind::Cry
+                | GateKind::Crz
+                | GateKind::Rzx
+        ) || self.num_qubits() == 1
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error returned when parsing an unknown gate mnemonic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGateError {
+    name: String,
+}
+
+impl fmt::Display for ParseGateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown gate name: {:?}", self.name)
+    }
+}
+
+impl std::error::Error for ParseGateError {}
+
+impl FromStr for GateKind {
+    type Err = ParseGateError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ALL_GATES
+            .iter()
+            .copied()
+            .find(|g| g.name() == s)
+            .ok_or_else(|| ParseGateError { name: s.to_owned() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn params_for(g: GateKind) -> Vec<f64> {
+        (0..g.num_params()).map(|k| 0.37 + 0.59 * k as f64).collect()
+    }
+
+    #[test]
+    fn all_gates_are_unitary() {
+        for &g in ALL_GATES {
+            let m = g.matrix(&params_for(g));
+            assert!(m.is_unitary(1e-10), "{g} is not unitary");
+            assert_eq!(m.rows(), 1 << g.num_qubits());
+        }
+    }
+
+    #[test]
+    fn inverses_compose_to_identity() {
+        for &g in ALL_GATES {
+            let p = params_for(g);
+            let (gi, pi) = g.inverse(&p);
+            let prod = &g.matrix(&p) * &gi.matrix(&pi);
+            let id = CMatrix::identity(1 << g.num_qubits());
+            assert!(prod.approx_eq(&id, 1e-10), "{g} inverse failed");
+        }
+    }
+
+    #[test]
+    fn generators_are_involutory() {
+        for &g in ALL_GATES {
+            if let Some(h) = g.generator() {
+                assert!(h.is_hermitian(1e-12), "{g} generator not hermitian");
+                let sq = &h * &h;
+                assert!(
+                    sq.approx_eq(&CMatrix::identity(h.rows()), 1e-12),
+                    "{g} generator not involutory"
+                );
+                assert!(g.supports_shift_rule());
+            }
+        }
+    }
+
+    #[test]
+    fn rotation_at_zero_is_identity() {
+        for g in [GateKind::Rx, GateKind::Ry, GateKind::Rz, GateKind::Rzz, GateKind::Rxx] {
+            assert!(g.matrix(&[0.0]).approx_eq(&CMatrix::identity(1 << g.num_qubits()), 1e-12));
+        }
+    }
+
+    #[test]
+    fn rx_pi_is_x_up_to_phase() {
+        let rx = GateKind::Rx.matrix(&[PI]);
+        assert!(rx.approx_eq_up_to_phase(&GateKind::X.matrix(&[]), 1e-10));
+    }
+
+    #[test]
+    fn rx_half_pi_matches_paper_form() {
+        // Paper Eq. 4: RX(±π/2) = (I ∓ iX)/√2.
+        let rx = GateKind::Rx.matrix(&[FRAC_PI_2]);
+        let want = &CMatrix::identity(2).scaled(Complex64::real(1.0))
+            - &pauli_x().scaled(Complex64::I);
+        let want = want.scaled(Complex64::real(std::f64::consts::FRAC_1_SQRT_2));
+        assert!(rx.approx_eq(&want, 1e-12));
+    }
+
+    #[test]
+    fn s_is_sqrt_z_and_t_is_sqrt_s() {
+        let s = GateKind::S.matrix(&[]);
+        assert!((&s * &s).approx_eq(&GateKind::Z.matrix(&[]), 1e-12));
+        let t = GateKind::T.matrix(&[]);
+        assert!((&t * &t).approx_eq(&s, 1e-12));
+        let sx = GateKind::Sx.matrix(&[]);
+        assert!((&sx * &sx).approx_eq(&GateKind::X.matrix(&[]), 1e-12));
+    }
+
+    #[test]
+    fn cx_action_on_basis() {
+        // First listed qubit (LSB) is the control.
+        let cx = GateKind::Cx.matrix(&[]);
+        // |c=1, t=0⟩ is index 1; maps to |c=1, t=1⟩ = index 3.
+        assert_eq!(cx[(3, 1)], Complex64::ONE);
+        assert_eq!(cx[(1, 3)], Complex64::ONE);
+        assert_eq!(cx[(0, 0)], Complex64::ONE);
+        assert_eq!(cx[(2, 2)], Complex64::ONE);
+        assert_eq!(cx[(1, 1)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn rzz_is_diagonal() {
+        let m = GateKind::Rzz.matrix(&[0.8]);
+        let c = Complex64::cis(-0.4);
+        assert!(m[(0, 0)].approx_eq(c, 1e-12));
+        assert!(m[(3, 3)].approx_eq(c, 1e-12));
+        assert!(m[(1, 1)].approx_eq(c.conj(), 1e-12));
+        assert!(m[(2, 2)].approx_eq(c.conj(), 1e-12));
+        assert_eq!(m[(0, 1)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn u3_special_cases() {
+        // U3(θ, -π/2, π/2) = RX(θ) and U3(θ, 0, 0) = RY(θ).
+        for theta in [0.0, 0.3, 1.1, PI] {
+            let u = GateKind::U3.matrix(&[theta, -FRAC_PI_2, FRAC_PI_2]);
+            assert!(u.approx_eq_up_to_phase(&GateKind::Rx.matrix(&[theta]), 1e-10));
+            let u = GateKind::U3.matrix(&[theta, 0.0, 0.0]);
+            assert!(u.approx_eq_up_to_phase(&GateKind::Ry.matrix(&[theta]), 1e-10));
+        }
+    }
+
+    #[test]
+    fn gate_names_round_trip() {
+        for &g in ALL_GATES {
+            assert_eq!(g.name().parse::<GateKind>().unwrap(), g);
+        }
+        assert!("bogus".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn symmetric_flags() {
+        assert!(GateKind::Cz.is_symmetric());
+        assert!(GateKind::Rzz.is_symmetric());
+        assert!(GateKind::Swap.is_symmetric());
+        assert!(!GateKind::Cx.is_symmetric());
+        assert!(!GateKind::Rzx.is_symmetric());
+    }
+}

@@ -1,0 +1,460 @@
+//! Dense complex matrices used for gate definitions, fusion, and the
+//! density-matrix simulator in `qoc-noise`.
+//!
+//! Gate matrices are tiny (2×2 or 4×4), so a simple row-major `Vec` layout is
+//! both the clearest and the fastest representation at this scale.
+
+use std::fmt;
+use std::ops::{Add, Index, IndexMut, Mul, Sub};
+
+use serde::{Deserialize, Serialize};
+
+use crate::complex::Complex64;
+
+/// A dense, row-major complex matrix.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_sim::matrix::CMatrix;
+///
+/// let x = CMatrix::from_rows_real(&[&[0.0, 1.0], &[1.0, 0.0]]);
+/// assert!(x.is_unitary(1e-12));
+/// assert!((&x * &x).approx_eq(&CMatrix::identity(2), 1e-12));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Complex64>,
+}
+
+impl CMatrix {
+    /// Creates a `rows × cols` matrix of zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        CMatrix {
+            rows,
+            cols,
+            data: vec![Complex64::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = CMatrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = Complex64::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix from a row-major slice of complex entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<Complex64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {rows}x{cols}",
+            data.len()
+        );
+        CMatrix { rows, cols, data }
+    }
+
+    /// Creates a square matrix from rows of real entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
+    pub fn from_rows_real(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in matrix literal");
+            data.extend(row.iter().map(|&x| Complex64::real(x)));
+        }
+        CMatrix::from_vec(r, c, data)
+    }
+
+    /// Creates a square matrix from rows of complex entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows are ragged.
+    pub fn from_rows(rows: &[&[Complex64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows in matrix literal");
+            data.extend_from_slice(row);
+        }
+        CMatrix::from_vec(r, c, data)
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns `true` for a square matrix.
+    #[inline]
+    pub fn is_square(&self) -> bool {
+        self.rows == self.cols
+    }
+
+    /// Immutable view of the row-major entry buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[Complex64] {
+        &self.data
+    }
+
+    /// Mutable view of the row-major entry buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [Complex64] {
+        &mut self.data
+    }
+
+    /// The conjugate transpose `A†`.
+    pub fn adjoint(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)].conj();
+            }
+        }
+        out
+    }
+
+    /// The plain transpose `Aᵀ`.
+    pub fn transpose(&self) -> CMatrix {
+        let mut out = CMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out[(j, i)] = self[(i, j)];
+            }
+        }
+        out
+    }
+
+    /// Entry-wise complex conjugate.
+    pub fn conj(&self) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|z| z.conj()).collect(),
+        }
+    }
+
+    /// Scales every entry by a complex factor.
+    pub fn scaled(&self, k: Complex64) -> CMatrix {
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&z| z * k).collect(),
+        }
+    }
+
+    /// Matrix trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn trace(&self) -> Complex64 {
+        assert!(self.is_square(), "trace requires a square matrix");
+        (0..self.rows).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Kronecker (tensor) product `self ⊗ rhs`.
+    pub fn kron(&self, rhs: &CMatrix) -> CMatrix {
+        let mut out = CMatrix::zeros(self.rows * rhs.rows, self.cols * rhs.cols);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                let a = self[(i, j)];
+                for k in 0..rhs.rows {
+                    for l in 0..rhs.cols {
+                        out[(i * rhs.rows + k, j * rhs.cols + l)] = a * rhs[(k, l)];
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Matrix–vector product `A·v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mul_vec(&self, v: &[Complex64]) -> Vec<Complex64> {
+        assert_eq!(v.len(), self.cols, "vector length mismatch");
+        (0..self.rows)
+            .map(|i| {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                row.iter()
+                    .zip(v)
+                    .fold(Complex64::ZERO, |acc, (a, &x)| a.mul_add(x, acc))
+            })
+            .collect()
+    }
+
+    /// Frobenius-norm distance `‖A − B‖_F`.
+    pub fn frobenius_distance(&self, other: &CMatrix) -> f64 {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (*a - *b).norm_sqr())
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Returns `true` when `A†A = I` within `tol` (Frobenius norm).
+    pub fn is_unitary(&self, tol: f64) -> bool {
+        if !self.is_square() {
+            return false;
+        }
+        let prod = &self.adjoint() * self;
+        prod.frobenius_distance(&CMatrix::identity(self.rows)) <= tol
+    }
+
+    /// Returns `true` when `A = A†` within `tol`.
+    pub fn is_hermitian(&self, tol: f64) -> bool {
+        self.is_square() && self.frobenius_distance(&self.adjoint()) <= tol
+    }
+
+    /// Entry-wise approximate equality.
+    pub fn approx_eq(&self, other: &CMatrix, tol: f64) -> bool {
+        self.rows == other.rows
+            && self.cols == other.cols
+            && self
+                .data
+                .iter()
+                .zip(&other.data)
+                .all(|(a, b)| a.approx_eq(*b, tol))
+    }
+
+    /// Approximate equality up to a global phase factor.
+    ///
+    /// Physically, unitaries differing by `e^{iφ}` are the same operation;
+    /// the transpiler equivalence oracle compares with this method.
+    pub fn approx_eq_up_to_phase(&self, other: &CMatrix, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        // Find the largest-magnitude entry of `other` to fix the phase.
+        let (idx, _) = match other
+            .data
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.norm_sqr().total_cmp(&b.norm_sqr()))
+        {
+            Some(pair) => pair,
+            None => return true,
+        };
+        if other.data[idx].norm() < tol {
+            return self.data.iter().all(|z| z.norm() <= tol);
+        }
+        let phase = self.data[idx] / other.data[idx];
+        if (phase.norm() - 1.0).abs() > tol.max(1e-9) {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(a, b)| a.approx_eq(*b * phase, tol))
+    }
+}
+
+impl Index<(usize, usize)> for CMatrix {
+    type Output = Complex64;
+    #[inline]
+    fn index(&self, (i, j): (usize, usize)) -> &Complex64 {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for CMatrix {
+    #[inline]
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut Complex64 {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl Mul for &CMatrix {
+    type Output = CMatrix;
+
+    fn mul(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matrix dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = CMatrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a == Complex64::ZERO {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    out[(i, j)] = a.mul_add(rhs[(k, j)], out[(i, j)]);
+                }
+            }
+        }
+        out
+    }
+}
+
+impl Add for &CMatrix {
+    type Output = CMatrix;
+
+    fn add(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a + *b)
+                .collect(),
+        }
+    }
+}
+
+impl Sub for &CMatrix {
+    type Output = CMatrix;
+
+    fn sub(self, rhs: &CMatrix) -> CMatrix {
+        assert_eq!((self.rows, self.cols), (rhs.rows, rhs.cols));
+        CMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(a, b)| *a - *b)
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for CMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for i in 0..self.rows {
+            write!(f, "[")?;
+            for j in 0..self.cols {
+                if j > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", self[(i, j)])?;
+            }
+            writeln!(f, "]")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::c64;
+
+    #[test]
+    fn identity_is_unitary_and_hermitian() {
+        let id = CMatrix::identity(4);
+        assert!(id.is_unitary(1e-12));
+        assert!(id.is_hermitian(1e-12));
+        assert_eq!(id.trace(), c64(4.0, 0.0));
+    }
+
+    #[test]
+    fn mul_against_hand_computed() {
+        let a = CMatrix::from_rows_real(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = CMatrix::from_rows_real(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = &a * &b;
+        assert_eq!(c, CMatrix::from_rows_real(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn adjoint_of_product_reverses() {
+        let a = CMatrix::from_rows(&[
+            &[c64(1.0, 1.0), c64(0.0, 2.0)],
+            &[c64(3.0, 0.0), c64(0.5, -0.5)],
+        ]);
+        let b = CMatrix::from_rows(&[
+            &[c64(0.0, 1.0), c64(2.0, 0.0)],
+            &[c64(1.0, -1.0), c64(0.0, 0.0)],
+        ]);
+        let lhs = (&a * &b).adjoint();
+        let rhs = &b.adjoint() * &a.adjoint();
+        assert!(lhs.approx_eq(&rhs, 1e-12));
+    }
+
+    #[test]
+    fn kron_dimensions_and_values() {
+        let a = CMatrix::from_rows_real(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let id = CMatrix::identity(2);
+        let k = a.kron(&id);
+        assert_eq!(k.rows(), 4);
+        assert_eq!(k[(0, 0)], c64(1.0, 0.0));
+        assert_eq!(k[(0, 2)], c64(2.0, 0.0));
+        assert_eq!(k[(2, 0)], c64(3.0, 0.0));
+        assert_eq!(k[(1, 1)], c64(1.0, 0.0));
+        assert_eq!(k[(0, 1)], Complex64::ZERO);
+    }
+
+    #[test]
+    fn kron_trace_multiplies() {
+        let a = CMatrix::from_rows_real(&[&[1.0, 9.0], &[0.0, 2.0]]);
+        let b = CMatrix::from_rows_real(&[&[3.0, 1.0], &[5.0, 4.0]]);
+        let t = a.kron(&b).trace();
+        assert!(t.approx_eq(a.trace() * b.trace(), 1e-12));
+    }
+
+    #[test]
+    fn mul_vec_matches_mul() {
+        let a = CMatrix::from_rows_real(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let v = vec![c64(1.0, 0.0), c64(0.0, 1.0)];
+        let got = a.mul_vec(&v);
+        assert!(got[0].approx_eq(c64(1.0, 2.0), 1e-12));
+        assert!(got[1].approx_eq(c64(3.0, 4.0), 1e-12));
+    }
+
+    #[test]
+    fn phase_equivalence() {
+        let a = CMatrix::from_rows_real(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let b = a.scaled(Complex64::cis(1.234));
+        assert!(a.approx_eq_up_to_phase(&b, 1e-12));
+        assert!(!a.approx_eq(&b, 1e-12));
+        let c = CMatrix::identity(2);
+        assert!(!a.approx_eq_up_to_phase(&c, 1e-9));
+    }
+
+    #[test]
+    fn non_square_not_unitary() {
+        let m = CMatrix::zeros(2, 3);
+        assert!(!m.is_unitary(1e-12));
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_dimension_mismatch_panics() {
+        let a = CMatrix::zeros(2, 3);
+        let b = CMatrix::zeros(2, 3);
+        let _ = &a * &b;
+    }
+}

@@ -1,0 +1,363 @@
+//! OpenQASM 2.0 export.
+//!
+//! The QOC paper submits its shifted circuits to IBM machines through the
+//! qiskit API, which serializes them as OpenQASM. We mirror that interface
+//! boundary: any bound (fully constant) [`Circuit`] can be rendered as a
+//! QASM program, which is also handy for debugging and golden-file tests.
+
+use std::fmt::Write as _;
+
+use crate::circuit::{Circuit, ParamValue};
+use crate::gates::GateKind;
+
+/// Errors that prevent QASM export.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmError {
+    /// The circuit still contains unbound symbolic parameters.
+    UnboundSymbol {
+        /// Index of the offending operation.
+        op_index: usize,
+    },
+}
+
+impl std::fmt::Display for QasmError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmError::UnboundSymbol { op_index } => write!(
+                f,
+                "operation {op_index} has unbound symbolic parameters; call bind() first"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for QasmError {}
+
+/// Renders a bound circuit as an OpenQASM 2.0 program with a full measure.
+///
+/// # Errors
+///
+/// Returns [`QasmError::UnboundSymbol`] when the circuit still references
+/// trainable symbols.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_sim::circuit::Circuit;
+/// use qoc_sim::qasm::to_qasm;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.cx(0, 1);
+/// let text = to_qasm(&c)?;
+/// assert!(text.contains("cx q[0],q[1];"));
+/// # Ok::<(), qoc_sim::qasm::QasmError>(())
+/// ```
+pub fn to_qasm(circuit: &Circuit) -> Result<String, QasmError> {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    let n = circuit.num_qubits();
+    let _ = writeln!(out, "qreg q[{n}];\ncreg c[{n}];");
+    for (i, op) in circuit.ops().iter().enumerate() {
+        let mut angles = Vec::with_capacity(op.params.len());
+        for p in &op.params {
+            match p {
+                ParamValue::Const(v) => angles.push(*v),
+                ParamValue::Sym { .. } => return Err(QasmError::UnboundSymbol { op_index: i }),
+            }
+        }
+        let name = qasm_name(op.gate);
+        out.push_str(name);
+        if !angles.is_empty() {
+            out.push('(');
+            for (k, a) in angles.iter().enumerate() {
+                if k > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{a:.12}");
+            }
+            out.push(')');
+        }
+        out.push(' ');
+        for (k, q) in op.qubits.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "q[{q}]");
+        }
+        out.push_str(";\n");
+    }
+    let _ = writeln!(out, "measure q -> c;");
+    Ok(out)
+}
+
+fn qasm_name(gate: GateKind) -> &'static str {
+    // qelib1 uses `u3`/`p`/`id` spellings that match `GateKind::name`.
+    gate.name()
+}
+
+/// Errors from parsing OpenQASM text.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QasmParseError {
+    /// The `qreg` declaration was missing before the first gate.
+    MissingQreg,
+    /// A line could not be understood.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for QasmParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QasmParseError::MissingQreg => write!(f, "no qreg declaration before gates"),
+            QasmParseError::BadLine { line, message } => {
+                write!(f, "line {line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QasmParseError {}
+
+/// Evaluates the angle-expression subset qiskit emits: numbers, `pi`,
+/// unary minus, `*` and `/` (e.g. `pi/2`, `-3*pi/4`, `0.5`).
+fn eval_angle(expr: &str) -> Result<f64, String> {
+    // Split on '*' first, then each factor on '/'.
+    let mut value = 1.0f64;
+    let expr = expr.trim();
+    let (sign, expr) = match expr.strip_prefix('-') {
+        Some(rest) => (-1.0, rest),
+        None => (1.0, expr),
+    };
+    for (i, factor) in expr.split('*').enumerate() {
+        let mut parts = factor.split('/');
+        let head = parts.next().ok_or("empty factor")?.trim();
+        let mut v = parse_atom(head)?;
+        for denom in parts {
+            v /= parse_atom(denom.trim())?;
+        }
+        if i == 0 {
+            value = v;
+        } else {
+            value *= v;
+        }
+    }
+    Ok(sign * value)
+}
+
+fn parse_atom(s: &str) -> Result<f64, String> {
+    let s = s.trim();
+    if s.eq_ignore_ascii_case("pi") {
+        return Ok(std::f64::consts::PI);
+    }
+    if let Some(rest) = s.strip_prefix('-') {
+        return parse_atom(rest).map(|v| -v);
+    }
+    s.parse::<f64>().map_err(|_| format!("bad number {s:?}"))
+}
+
+/// Parses the OpenQASM 2.0 subset this crate emits (plus whitespace,
+/// comments, `barrier`, and per-bit `measure` statements, all of which are
+/// accepted and the latter two ignored). Returns a constant circuit.
+///
+/// # Errors
+///
+/// Returns [`QasmParseError`] for unknown gates, malformed operands, or a
+/// missing `qreg` declaration.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_sim::qasm::{from_qasm, to_qasm};
+/// use qoc_sim::circuit::Circuit;
+///
+/// let mut c = Circuit::new(2);
+/// c.h(0);
+/// c.rzz(0, 1, 0.5);
+/// let round_tripped = from_qasm(&to_qasm(&c)?)?;
+/// assert_eq!(round_tripped.len(), 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn from_qasm(text: &str) -> Result<Circuit, QasmParseError> {
+    let mut circuit: Option<Circuit> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        let stmt = raw.split("//").next().unwrap_or("").trim();
+        if stmt.is_empty() {
+            continue;
+        }
+        let stmt = stmt.trim_end_matches(';').trim();
+        if stmt.starts_with("OPENQASM")
+            || stmt.starts_with("include")
+            || stmt.starts_with("creg")
+            || stmt.starts_with("barrier")
+            || stmt.starts_with("measure")
+        {
+            continue;
+        }
+        if let Some(rest) = stmt.strip_prefix("qreg") {
+            let n = rest
+                .trim()
+                .strip_prefix("q[")
+                .and_then(|s| s.strip_suffix(']'))
+                .and_then(|s| s.parse::<usize>().ok())
+                .ok_or_else(|| QasmParseError::BadLine {
+                    line,
+                    message: format!("bad qreg declaration {stmt:?}"),
+                })?;
+            circuit = Some(Circuit::new(n));
+            continue;
+        }
+        // Gate statement: name[(args)] q[i](,q[j])*.
+        let circuit = circuit.as_mut().ok_or(QasmParseError::MissingQreg)?;
+        let (head, operands) = match stmt.find(|c: char| c.is_whitespace()) {
+            Some(pos) => stmt.split_at(pos),
+            None => {
+                return Err(QasmParseError::BadLine {
+                    line,
+                    message: format!("gate without operands: {stmt:?}"),
+                })
+            }
+        };
+        let (name, args) = match head.find('(') {
+            Some(p) => {
+                let name = &head[..p];
+                let args = head[p + 1..].trim_end_matches(')');
+                (name, Some(args))
+            }
+            None => (head, None),
+        };
+        let gate: GateKind = name.parse().map_err(|e| QasmParseError::BadLine {
+            line,
+            message: format!("{e}"),
+        })?;
+        let params: Vec<ParamValue> = match args {
+            None => Vec::new(),
+            Some(list) => list
+                .split(',')
+                .map(|a| {
+                    eval_angle(a)
+                        .map(ParamValue::Const)
+                        .map_err(|message| QasmParseError::BadLine { line, message })
+                })
+                .collect::<Result<_, _>>()?,
+        };
+        let qubits: Vec<usize> = operands
+            .split(',')
+            .map(|op| {
+                op.trim()
+                    .strip_prefix("q[")
+                    .and_then(|s| s.strip_suffix(']'))
+                    .and_then(|s| s.parse::<usize>().ok())
+                    .ok_or_else(|| QasmParseError::BadLine {
+                        line,
+                        message: format!("bad operand {op:?}"),
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+        if params.len() != gate.num_params() || qubits.len() != gate.num_qubits() {
+            return Err(QasmParseError::BadLine {
+                line,
+                message: format!(
+                    "gate {name} arity mismatch: {} params / {} qubits",
+                    params.len(),
+                    qubits.len()
+                ),
+            });
+        }
+        circuit.push(gate, &qubits, &params);
+    }
+    circuit.ok_or(QasmParseError::MissingQreg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::ParamValue;
+
+    #[test]
+    fn exports_header_and_measure() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.rzz(0, 2, 0.5);
+        let text = to_qasm(&c).unwrap();
+        assert!(text.starts_with("OPENQASM 2.0;"));
+        assert!(text.contains("qreg q[3];"));
+        assert!(text.contains("rzz(0.500000000000) q[0],q[2];"));
+        assert!(text.trim_end().ends_with("measure q -> c;"));
+    }
+
+    #[test]
+    fn unbound_symbols_are_rejected() {
+        let mut c = Circuit::new(1);
+        c.rx(0, ParamValue::sym(0));
+        assert_eq!(to_qasm(&c), Err(QasmError::UnboundSymbol { op_index: 0 }));
+        assert!(to_qasm(&c.bind(&[0.3])).is_ok());
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        use crate::simulator::StatevectorSimulator;
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.rx(1, 0.7);
+        c.rzz(0, 2, -1.3);
+        c.cx(1, 2);
+        c.push(crate::gates::GateKind::U3, &[0], &[
+            ParamValue::Const(0.2),
+            ParamValue::Const(-0.4),
+            ParamValue::Const(1.1),
+        ]);
+        let parsed = from_qasm(&to_qasm(&c).unwrap()).unwrap();
+        assert_eq!(parsed.len(), c.len());
+        let sim = StatevectorSimulator::new();
+        let a = sim.run(&c, &[]);
+        let b = sim.run(&parsed, &[]);
+        assert!(a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+
+    #[test]
+    fn parses_pi_expressions_and_comments() {
+        let text = "\
+OPENQASM 2.0;
+include \"qelib1.inc\"; // header
+qreg q[2];
+creg c[2];
+rz(pi/2) q[0]; // virtual
+rx(-3*pi/4) q[1];
+barrier q;
+cx q[0],q[1];
+measure q -> c;
+";
+        let c = from_qasm(text).unwrap();
+        assert_eq!(c.num_qubits(), 2);
+        assert_eq!(c.len(), 3);
+        match c.ops()[0].params[0] {
+            ParamValue::Const(v) => {
+                assert!((v - std::f64::consts::FRAC_PI_2).abs() < 1e-12)
+            }
+            _ => panic!("expected const"),
+        }
+        match c.ops()[1].params[0] {
+            ParamValue::Const(v) => {
+                assert!((v + 3.0 * std::f64::consts::FRAC_PI_4).abs() < 1e-12)
+            }
+            _ => panic!("expected const"),
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        let text = "qreg q[1];\nfrobnicate q[0];";
+        match from_qasm(text) {
+            Err(QasmParseError::BadLine { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+        assert_eq!(from_qasm("h q[0];"), Err(QasmParseError::MissingQreg));
+        assert_eq!(from_qasm(""), Err(QasmParseError::MissingQreg));
+    }
+}

@@ -1,0 +1,125 @@
+//! Classical-simulation cost model.
+//!
+//! Reproduces the resource accounting behind Figure 2(a) and Figure 8 of the
+//! QOC paper: the number of complex registers (statevector amplitudes) and
+//! the number of complex arithmetic operations needed to simulate a circuit
+//! classically, both of which grow exponentially with qubit count.
+
+use serde::{Deserialize, Serialize};
+
+use crate::circuit::Circuit;
+
+/// Cost of simulating one circuit on a classical statevector simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimulationCost {
+    /// Complex registers required: `2ⁿ` amplitudes.
+    pub registers: u128,
+    /// Bytes of amplitude storage (16 bytes per complex register).
+    pub memory_bytes: u128,
+    /// Complex multiply–accumulate operations across all gates.
+    pub complex_ops: u128,
+    /// Total gate count.
+    pub gates: usize,
+}
+
+impl SimulationCost {
+    /// Memory in gigabytes (10⁹ bytes), the unit used by Figure 8.
+    pub fn memory_gb(&self) -> f64 {
+        self.memory_bytes as f64 / 1e9
+    }
+}
+
+/// Number of complex multiply–accumulates to apply one `k`-qubit gate to an
+/// `n`-qubit statevector: each of the `2ⁿ / 2ᵏ` amplitude groups needs a
+/// `2ᵏ × 2ᵏ` matrix–vector product.
+pub fn gate_ops(num_qubits: usize, gate_qubits: usize) -> u128 {
+    let dim = 1u128 << gate_qubits;
+    let groups = 1u128 << (num_qubits - gate_qubits);
+    groups * dim * dim
+}
+
+/// Cost of simulating `circuit` once.
+pub fn circuit_cost(circuit: &Circuit) -> SimulationCost {
+    let n = circuit.num_qubits();
+    let registers = 1u128 << n;
+    let complex_ops = circuit
+        .ops()
+        .iter()
+        .map(|op| gate_ops(n, op.qubits.len()))
+        .sum();
+    SimulationCost {
+        registers,
+        memory_bytes: registers * 16,
+        complex_ops,
+        gates: circuit.len(),
+    }
+}
+
+/// Cost of the paper's scaling workload at a given width: a circuit with 16
+/// single-qubit rotations and 32 RZZ gates (Figures 2(a) and 8), run
+/// `circuits` times.
+pub fn paper_workload_cost(num_qubits: usize, circuits: u32) -> SimulationCost {
+    let single = 16u128 * gate_ops(num_qubits, 1);
+    let double = 32u128 * gate_ops(num_qubits, 2);
+    let registers = 1u128 << num_qubits;
+    SimulationCost {
+        registers,
+        memory_bytes: registers * 16,
+        complex_ops: (single + double) * circuits as u128,
+        gates: 48 * circuits as usize,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    #[test]
+    fn gate_ops_scale_exponentially() {
+        // Doubling qubit count squares nothing — it doubles per extra qubit.
+        assert_eq!(gate_ops(1, 1), 4);
+        assert_eq!(gate_ops(2, 1), 8);
+        assert_eq!(gate_ops(3, 1), 16);
+        assert_eq!(gate_ops(2, 2), 16);
+        assert_eq!(gate_ops(4, 2), 64);
+    }
+
+    #[test]
+    fn circuit_cost_counts_all_gates() {
+        let mut c = Circuit::new(3);
+        c.h(0);
+        c.rzz(0, 1, 0.5);
+        let cost = circuit_cost(&c);
+        assert_eq!(cost.gates, 2);
+        assert_eq!(cost.registers, 8);
+        assert_eq!(cost.memory_bytes, 128);
+        assert_eq!(cost.complex_ops, gate_ops(3, 1) + gate_ops(3, 2));
+    }
+
+    #[test]
+    fn paper_workload_matches_manual_count() {
+        let cost = paper_workload_cost(4, 50);
+        assert_eq!(cost.gates, 48 * 50);
+        assert_eq!(
+            cost.complex_ops,
+            (16 * gate_ops(4, 1) + 32 * gate_ops(4, 2)) * 50
+        );
+    }
+
+    #[test]
+    fn exponential_growth_is_visible() {
+        let small = paper_workload_cost(10, 50);
+        let big = paper_workload_cost(20, 50);
+        // 10 extra qubits ⇒ 2¹⁰× more registers and ops.
+        assert_eq!(big.registers / small.registers, 1024);
+        assert_eq!(big.complex_ops / small.complex_ops, 1024);
+    }
+
+    #[test]
+    fn memory_gb_converts() {
+        let cost = paper_workload_cost(30, 1);
+        // 2^30 * 16 bytes ≈ 17.18 GB.
+        assert!((cost.memory_gb() - 17.18).abs() < 0.05);
+    }
+}

@@ -1,0 +1,206 @@
+//! Property-based tests of the simulation core: gate algebra, state
+//! evolution invariants, and sampling statistics over randomized inputs.
+
+use proptest::prelude::*;
+
+use qoc_sim::circuit::{Circuit, ParamValue};
+use qoc_sim::complex::Complex64;
+use qoc_sim::gates::{GateKind, ALL_GATES};
+use qoc_sim::matrix::CMatrix;
+use qoc_sim::simulator::StatevectorSimulator;
+use qoc_sim::statevector::Statevector;
+
+fn arb_gate() -> impl Strategy<Value = GateKind> {
+    (0..ALL_GATES.len()).prop_map(|i| ALL_GATES[i])
+}
+
+#[allow(dead_code)]
+fn arb_params(gate: GateKind) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-6.0f64..6.0, gate.num_params())
+}
+
+/// A random constant circuit on `n` qubits.
+fn arb_circuit(n: usize, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let op = (arb_gate(), 0..n, 1..n.max(2), proptest::collection::vec(-3.0f64..3.0, 3));
+    proptest::collection::vec(op, 1..max_ops).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (gate, a, off, angles) in ops {
+            let qubits: Vec<usize> = if gate.num_qubits() == 1 {
+                vec![a]
+            } else {
+                vec![a, (a + off) % n]
+            };
+            if qubits.len() == 2 && qubits[0] == qubits[1] {
+                continue;
+            }
+            let params: Vec<ParamValue> = angles
+                .iter()
+                .take(gate.num_params())
+                .map(|&x| ParamValue::Const(x))
+                .collect();
+            if params.len() == gate.num_params() {
+                c.push(gate, &qubits, &params);
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn every_gate_matrix_is_unitary_for_any_angles(
+        gate in arb_gate(),
+        angles in proptest::collection::vec(-10.0f64..10.0, 3),
+    ) {
+        let params = &angles[..gate.num_params()];
+        prop_assert!(gate.matrix(params).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn gate_times_inverse_is_identity(
+        gate in arb_gate(),
+        angles in proptest::collection::vec(-6.0f64..6.0, 3),
+    ) {
+        let params = angles[..gate.num_params()].to_vec();
+        let (gi, pi) = gate.inverse(&params);
+        let prod = &gate.matrix(&params) * &gi.matrix(&pi);
+        prop_assert!(prod.approx_eq(&CMatrix::identity(1 << gate.num_qubits()), 1e-9));
+    }
+
+    #[test]
+    fn rotation_angles_compose_additively(
+        gate in proptest::sample::select(vec![
+            GateKind::Rx, GateKind::Ry, GateKind::Rz,
+            GateKind::Rxx, GateKind::Ryy, GateKind::Rzz, GateKind::Rzx,
+        ]),
+        a in -4.0f64..4.0,
+        b in -4.0f64..4.0,
+    ) {
+        // e^{-i(a+b)H/2} = e^{-iaH/2}·e^{-ibH/2} for a fixed generator.
+        let lhs = gate.matrix(&[a + b]);
+        let rhs = &gate.matrix(&[a]) * &gate.matrix(&[b]);
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn rotations_are_2pi_periodic_up_to_phase(
+        gate in proptest::sample::select(vec![
+            GateKind::Rx, GateKind::Ry, GateKind::Rz, GateKind::Rzz,
+        ]),
+        a in -4.0f64..4.0,
+    ) {
+        let lhs = gate.matrix(&[a]);
+        let rhs = gate.matrix(&[a + 2.0 * std::f64::consts::PI]);
+        prop_assert!(lhs.approx_eq_up_to_phase(&rhs, 1e-9));
+    }
+
+    #[test]
+    fn circuits_preserve_norm(c in arb_circuit(4, 16)) {
+        let sv = StatevectorSimulator::new().run(&c, &[]);
+        let norm: f64 = sv.amplitudes().iter().map(|z| z.norm_sqr()).sum();
+        prop_assert!((norm - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn circuit_then_inverse_returns_to_start(c in arb_circuit(3, 12)) {
+        let sim = StatevectorSimulator::new();
+        let mut sv = sim.run(&c, &[]);
+        sim.run_into(&c.inverse(), &[], &mut sv);
+        prop_assert!(sv.approx_eq_up_to_phase(&Statevector::zero_state(3), 1e-8));
+    }
+
+    #[test]
+    fn expectations_are_bounded(c in arb_circuit(4, 16)) {
+        for ez in StatevectorSimulator::new().expectations_z(&c, &[]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ez));
+        }
+    }
+
+    #[test]
+    fn symmetric_two_qubit_gates_commute_with_wire_swap(
+        gate in proptest::sample::select(vec![
+            GateKind::Cz, GateKind::Cp, GateKind::Swap,
+            GateKind::Rxx, GateKind::Ryy, GateKind::Rzz,
+        ]),
+        angle in -3.0f64..3.0,
+        pre in arb_circuit(2, 6),
+    ) {
+        // For gates declared symmetric, (a, b) and (b, a) act identically.
+        prop_assume!(gate.is_symmetric());
+        let sim = StatevectorSimulator::new();
+        let params: Vec<ParamValue> = (0..gate.num_params())
+            .map(|_| ParamValue::Const(angle))
+            .collect();
+        let mut c1 = pre.clone();
+        c1.push(gate, &[0, 1], &params);
+        let mut c2 = pre.clone();
+        c2.push(gate, &[1, 0], &params);
+        let a = sim.run(&c1, &[]);
+        let b = sim.run(&c2, &[]);
+        prop_assert!(a.approx_eq_up_to_phase(&b, 1e-9));
+    }
+
+    #[test]
+    fn kron_of_unitaries_is_unitary(
+        g1 in arb_gate().prop_filter("1q", |g| g.num_qubits() == 1),
+        g2 in arb_gate().prop_filter("1q", |g| g.num_qubits() == 1),
+        angles in proptest::collection::vec(-3.0f64..3.0, 6),
+    ) {
+        let m1 = g1.matrix(&angles[..g1.num_params()]);
+        let m2 = g2.matrix(&angles[3..3 + g2.num_params()]);
+        prop_assert!(m1.kron(&m2).is_unitary(1e-9));
+    }
+
+    #[test]
+    fn bind_then_run_equals_symbolic_run(
+        theta in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let mut c = Circuit::new(3);
+        c.rx(0, ParamValue::sym(0));
+        c.rzz(0, 1, ParamValue::sym(1));
+        c.ry(2, ParamValue::sym(2));
+        c.rzx(1, 2, ParamValue::sym(3));
+        let sim = StatevectorSimulator::new();
+        let a = sim.run(&c, &theta);
+        let b = sim.run(&c.bind(&theta), &[]);
+        prop_assert!(a.approx_eq_up_to_phase(&b, 1e-10));
+    }
+
+    #[test]
+    fn global_phase_never_affects_expectations(
+        c in arb_circuit(3, 10),
+        phase in -3.0f64..3.0,
+    ) {
+        let sim = StatevectorSimulator::new();
+        let base = sim.run(&c, &[]);
+        let mut shifted = base.clone();
+        let factor = Complex64::cis(phase);
+        let amps: Vec<Complex64> = shifted.amplitudes().iter().map(|&a| a * factor).collect();
+        shifted = Statevector::from_amplitudes(amps).unwrap();
+        for q in 0..3 {
+            prop_assert!((base.expectation_z(q) - shifted.expectation_z(q)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn sample_counts_conserve_shots(c in arb_circuit(3, 8), seed in 0u64..1000) {
+        use rand::SeedableRng;
+        let sv = StatevectorSimulator::new().run(&c, &[]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let counts = sv.sample_counts(257, &mut rng);
+        prop_assert_eq!(counts.values().sum::<u32>(), 257);
+        for &state in counts.keys() {
+            prop_assert!(state < 8);
+        }
+    }
+
+    #[test]
+    fn depth_le_len_and_gate_counts_consistent(c in arb_circuit(4, 20)) {
+        prop_assert!(c.depth() <= c.len());
+        let by_kind: usize = c.count_by_kind().values().sum();
+        prop_assert_eq!(by_kind, c.len());
+        prop_assert!(c.two_qubit_count() <= c.len());
+    }
+}

@@ -1,0 +1,70 @@
+//! Noise anatomy across the five fake IBM machines.
+//!
+//! Shows (1) how each device's calibration corrupts the same QNN circuit's
+//! expectation values, and (2) why small parameter-shift gradients become
+//! unreliable — the observation behind probabilistic gradient pruning.
+//!
+//! Run with: `cargo run --release --example noise_study`
+
+use qoc::core::grad::QnnGradientComputer;
+use qoc::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let model = QnnModel::mnist2();
+    let params: Vec<f64> = (0..model.num_params()).map(|k| 0.4 - 0.1 * k as f64).collect();
+    let input = vec![0.8; model.input_dim()];
+    let theta = model.symbol_vector(&params, &input);
+
+    // Part 1: expectation shrinkage per device.
+    let simulator = NoiselessBackend::new();
+    let mut rng = StdRng::seed_from_u64(1);
+    let ideal = simulator.expectations(model.circuit(), &theta, Execution::Exact, &mut rng);
+    println!("per-qubit ⟨Z⟩ of the MNIST-2 circuit:\n");
+    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "backend", "q0", "q1", "q2", "q3");
+    println!(
+        "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+        "ideal", ideal[0], ideal[1], ideal[2], ideal[3]
+    );
+    for desc in all_paper_devices() {
+        let device = FakeDevice::new(desc);
+        let ez = device.expectations(model.circuit(), &theta, Execution::Exact, &mut rng);
+        println!(
+            "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            device.name(),
+            ez[0],
+            ez[1],
+            ez[2],
+            ez[3]
+        );
+    }
+    println!("\nNoise pulls every |⟨Z⟩| toward 0; the damping differs per machine");
+    println!("(gate errors, T1/T2, readout) and per qubit (routing placement).\n");
+
+    // Part 2: gradient reliability vs magnitude on one device.
+    let device = FakeDevice::new(fake_jakarta());
+    let exact_grad = QnnGradientComputer::new(&model, &simulator, Execution::Exact);
+    let noisy_grad = QnnGradientComputer::new(&model, &device, Execution::Shots(1024));
+    let (feat, label) = (input.as_slice(), 0usize);
+    let batch = [(feat, label)];
+    let exact = exact_grad.batch_gradient(&params, &batch, None, &mut rng);
+    println!("parameter-shift gradients on {} (1024 shots):\n", device.name());
+    println!(
+        "{:<6} {:>12} {:>12} {:>12} {:>10}",
+        "param", "exact", "noisy", "rel. error", "sign flip"
+    );
+    let noisy = noisy_grad.batch_gradient(&params, &batch, None, &mut rng);
+    let mut indexed: Vec<usize> = (0..model.num_params()).collect();
+    indexed.sort_by(|&a, &b| exact.grad[b].abs().total_cmp(&exact.grad[a].abs()));
+    for &i in &indexed {
+        let (e, n) = (exact.grad[i], noisy.grad[i]);
+        println!(
+            "θ[{i:<3}] {e:>12.4} {n:>12.4} {:>12.2} {:>10}",
+            ((n - e) / e.abs().max(1e-6)).abs(),
+            if e.signum() != n.signum() { "YES" } else { "" }
+        );
+    }
+    println!("\nRows are sorted by |exact gradient|: relative error (and the sign");
+    println!("flips) concentrate at the bottom — exactly the gradients QOC prunes.");
+}

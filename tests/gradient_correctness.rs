@@ -1,0 +1,144 @@
+//! Cross-crate gradient oracles: the parameter-shift pipeline agrees with
+//! finite differences through every paper model, and shot-sampled gradients
+//! are unbiased estimates of the exact ones.
+
+use qoc::core::grad::QnnGradientComputer;
+use qoc::nn::loss::cross_entropy;
+use qoc::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn fd_loss_grad(model: &QnnModel, params: &[f64], input: &[f64], target: usize) -> Vec<f64> {
+    let sim = StatevectorSimulator::new();
+    let loss_at = |p: &[f64]| -> f64 {
+        let ez = sim.expectations_z(model.circuit(), &model.symbol_vector(p, input));
+        cross_entropy(&model.logits_from_expectations(&ez), target)
+    };
+    let eps = 1e-6;
+    (0..params.len())
+        .map(|i| {
+            let mut pp = params.to_vec();
+            pp[i] += eps;
+            let mut pm = params.to_vec();
+            pm[i] -= eps;
+            (loss_at(&pp) - loss_at(&pm)) / (2.0 * eps)
+        })
+        .collect()
+}
+
+#[test]
+fn all_paper_models_match_finite_difference() {
+    let models: Vec<(&str, QnnModel)> = vec![
+        ("mnist2", QnnModel::mnist2()),
+        ("mnist4", QnnModel::mnist4()),
+        ("fashion4", QnnModel::fashion4()),
+        ("vowel4", QnnModel::vowel4()),
+    ];
+    let backend = NoiselessBackend::new();
+    let mut rng = StdRng::seed_from_u64(11);
+    for (name, model) in models {
+        let computer = QnnGradientComputer::new(&model, &backend, Execution::Exact);
+        let params: Vec<f64> = (0..model.num_params())
+            .map(|_| rng.gen_range(-1.5..1.5))
+            .collect();
+        let input: Vec<f64> = (0..model.input_dim())
+            .map(|_| rng.gen_range(-1.0..2.5))
+            .collect();
+        let target = model.num_classes() - 1;
+        let batch = [(input.as_slice(), target)];
+        let got = computer.batch_gradient(&params, &batch, None, &mut rng);
+        let want = fd_loss_grad(&model, &params, &input, target);
+        for (i, (a, b)) in got.grad.iter().zip(&want).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "{name}: ∂L/∂θ[{i}] shift {a} vs fd {b}"
+            );
+        }
+    }
+}
+
+#[test]
+fn shot_sampled_gradients_are_unbiased() {
+    // Averaging many shot-noisy gradient estimates must converge on the
+    // exact gradient (parameter shift is exact in expectation).
+    let model = QnnModel::mnist2();
+    let backend = NoiselessBackend::new();
+    let exact_computer = QnnGradientComputer::new(&model, &backend, Execution::Exact);
+    let noisy_computer = QnnGradientComputer::new(&model, &backend, Execution::Shots(512));
+    let mut rng = StdRng::seed_from_u64(5);
+    let params = vec![0.3; 8];
+    let input = vec![1.0; 16];
+    let batch = [(input.as_slice(), 0usize)];
+    let exact = exact_computer.batch_gradient(&params, &batch, None, &mut rng);
+
+    let reps = 60;
+    let mut mean = [0.0; 8];
+    for _ in 0..reps {
+        let noisy = noisy_computer.batch_gradient(&params, &batch, None, &mut rng);
+        for (m, g) in mean.iter_mut().zip(&noisy.grad) {
+            *m += g / reps as f64;
+        }
+    }
+    for (i, (m, e)) in mean.iter().zip(&exact.grad).enumerate() {
+        assert!(
+            (m - e).abs() < 0.02,
+            "θ[{i}]: mean shot-gradient {m} vs exact {e}"
+        );
+    }
+}
+
+#[test]
+fn device_gradients_correlate_with_exact() {
+    // On a noisy device gradients are biased toward zero but must still
+    // point the right way for the large components.
+    let model = QnnModel::mnist2();
+    let simulator = NoiselessBackend::new();
+    let device = FakeDevice::new(fake_santiago());
+    let exact_computer = QnnGradientComputer::new(&model, &simulator, Execution::Exact);
+    let noisy_computer = QnnGradientComputer::new(&model, &device, Execution::Shots(4096));
+    let mut rng = StdRng::seed_from_u64(9);
+    let params: Vec<f64> = (0..8).map(|k| 0.5 - 0.17 * k as f64).collect();
+    let input = vec![1.2; 16];
+    let batch = [(input.as_slice(), 1usize)];
+    let exact = exact_computer.batch_gradient(&params, &batch, None, &mut rng);
+    let noisy = noisy_computer.batch_gradient(&params, &batch, None, &mut rng);
+
+    // The largest exact component keeps its sign on hardware.
+    let i_max = (0..8)
+        .max_by(|&a, &b| exact.grad[a].abs().total_cmp(&exact.grad[b].abs()))
+        .unwrap();
+    assert!(
+        exact.grad[i_max].signum() == noisy.grad[i_max].signum(),
+        "largest gradient flipped sign: exact {} vs noisy {}",
+        exact.grad[i_max],
+        noisy.grad[i_max]
+    );
+    // And correlation across components is positive.
+    let dot: f64 = exact.grad.iter().zip(&noisy.grad).map(|(a, b)| a * b).sum();
+    assert!(dot > 0.0, "gradients anti-correlated: {dot}");
+}
+
+#[test]
+fn loss_decreases_along_negative_gradient() {
+    let model = QnnModel::vowel4();
+    let backend = NoiselessBackend::new();
+    let computer = QnnGradientComputer::new(&model, &backend, Execution::Exact);
+    let mut rng = StdRng::seed_from_u64(3);
+    let params: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let input: Vec<f64> = (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let batch = [(input.as_slice(), 2usize)];
+    let g = computer.batch_gradient(&params, &batch, None, &mut rng);
+    let step = 0.05;
+    let moved: Vec<f64> = params
+        .iter()
+        .zip(&g.grad)
+        .map(|(p, gi)| p - step * gi)
+        .collect();
+    let after = computer.batch_gradient(&moved, &batch, None, &mut rng);
+    assert!(
+        after.loss < g.loss,
+        "gradient step increased loss: {} → {}",
+        g.loss,
+        after.loss
+    );
+}

@@ -1,0 +1,129 @@
+//! Property tests: the full transpilation pipeline never changes circuit
+//! semantics — for random circuits, basis decomposition + layout + routing +
+//! optimization yield the same logical observables on every fake device.
+
+use proptest::prelude::*;
+
+use qoc::device::transpile::{transpile, TranspileOptions};
+use qoc::prelude::*;
+use qoc::sim::gates::GateKind;
+
+/// Gate vocabulary for random circuits (mix of fixed, parametric, 1q, 2q).
+const VOCAB: &[GateKind] = &[
+    GateKind::H,
+    GateKind::X,
+    GateKind::S,
+    GateKind::T,
+    GateKind::Sx,
+    GateKind::Rx,
+    GateKind::Ry,
+    GateKind::Rz,
+    GateKind::Cx,
+    GateKind::Cz,
+    GateKind::Swap,
+    GateKind::Rzz,
+    GateKind::Rxx,
+    GateKind::Ryy,
+    GateKind::Rzx,
+    GateKind::Cp,
+];
+
+fn arb_circuit(num_qubits: usize, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let op = (0..VOCAB.len(), 0..num_qubits, 0..num_qubits, -3.0f64..3.0);
+    proptest::collection::vec(op, 1..max_ops).prop_map(move |ops| {
+        let mut c = Circuit::new(num_qubits);
+        for (g, a, b, angle) in ops {
+            let gate = VOCAB[g];
+            let qubits: Vec<usize> = if gate.num_qubits() == 1 {
+                vec![a]
+            } else if a == b {
+                vec![a, (a + 1) % num_qubits]
+            } else {
+                vec![a, b]
+            };
+            let params: Vec<ParamValue> = (0..gate.num_params())
+                .map(|k| ParamValue::Const(angle + k as f64 * 0.71))
+                .collect();
+            c.push(gate, &qubits, &params);
+        }
+        c
+    })
+}
+
+fn assert_device_equivalent(circuit: &Circuit, device: &qoc::device::DeviceDescription) {
+    let sim = StatevectorSimulator::new();
+    let logical = sim.expectations_z(circuit, &[]);
+    let t = transpile(circuit, &device.coupling, TranspileOptions::default());
+    let physical = sim.expectations_z(&t.circuit, &[]);
+    let mapped = t.to_logical(&physical);
+    for (q, (a, b)) in logical.iter().zip(&mapped).enumerate() {
+        assert!(
+            (a - b).abs() < 1e-8,
+            "{}: logical qubit {q} ⟨Z⟩ {a} vs {b}\ncircuit:\n{circuit}",
+            device.name
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn santiago_pipeline_preserves_observables(c in arb_circuit(4, 14)) {
+        assert_device_equivalent(&c, &fake_santiago());
+    }
+
+    #[test]
+    fn lima_pipeline_preserves_observables(c in arb_circuit(4, 14)) {
+        assert_device_equivalent(&c, &fake_lima());
+    }
+
+    #[test]
+    fn jakarta_pipeline_preserves_observables(c in arb_circuit(5, 12)) {
+        assert_device_equivalent(&c, &fake_jakarta());
+    }
+
+    #[test]
+    fn unoptimized_and_optimized_agree(c in arb_circuit(4, 12)) {
+        let device = fake_manila();
+        let sim = StatevectorSimulator::new();
+        let with = transpile(&c, &device.coupling, TranspileOptions::default());
+        let without = transpile(
+            &c,
+            &device.coupling,
+            TranspileOptions { optimize: false, smart_layout: true },
+        );
+        let a = with.to_logical(&sim.expectations_z(&with.circuit, &[]));
+        let b = without.to_logical(&sim.expectations_z(&without.circuit, &[]));
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn symbolic_transpile_commutes_with_binding(
+        c in arb_circuit(4, 10),
+        theta in -2.0f64..2.0,
+    ) {
+        // Make one RZZ symbolic, transpile, then bind — must equal binding
+        // first, then transpiling.
+        let mut sym = Circuit::new(4);
+        sym.rzz(0, 2, ParamValue::sym(0));
+        sym.append(&c);
+        let device = fake_santiago();
+        let sim = StatevectorSimulator::new();
+
+        let t_then_bind = {
+            let t = transpile(&sym, &device.coupling, TranspileOptions::default());
+            t.to_logical(&sim.expectations_z(&t.circuit, &[theta]))
+        };
+        let bind_then_t = {
+            let bound = sym.bind(&[theta]);
+            let t = transpile(&bound, &device.coupling, TranspileOptions::default());
+            t.to_logical(&sim.expectations_z(&t.circuit, &[]))
+        };
+        for (x, y) in t_then_bind.iter().zip(&bind_then_t) {
+            prop_assert!((x - y).abs() < 1e-8);
+        }
+    }
+}
