@@ -7,9 +7,9 @@ use rand::SeedableRng;
 
 use qoc_device::backend::{Execution, FakeDevice, QuantumBackend};
 use qoc_device::backends::{fake_jakarta, fake_santiago};
+use qoc_nn::model::QnnModel;
 use qoc_noise::channels::{depolarizing_2q, thermal_relaxation};
 use qoc_noise::density::DensityMatrix;
-use qoc_nn::model::QnnModel;
 use qoc_sim::gates::GateKind;
 
 fn bench_kraus_application(c: &mut Criterion) {

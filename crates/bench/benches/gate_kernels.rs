@@ -52,5 +52,10 @@ fn bench_expectations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_single_qubit, bench_two_qubit, bench_expectations);
+criterion_group!(
+    benches,
+    bench_single_qubit,
+    bench_two_qubit,
+    bench_expectations
+);
 criterion_main!(benches);

@@ -1,24 +1,30 @@
-//! Parameter-shift engine cost: forward values, single gradient rows, and
-//! full Jacobians of the paper's QNN models on the noiseless backend
-//! (device-backed cost is dominated by the noisy simulator, benched in
-//! `density.rs`).
+//! Parameter-shift engine cost: forward values, full Jacobians of the
+//! paper's QNN models, and — the headline of the batched execution layer —
+//! serial vs multi-worker Jacobian wall-clock on the noisy device emulator.
+//!
+//! Run with `cargo bench -p qoc-bench --bench param_shift`. Besides the
+//! stdout table, the serial-vs-batched sweep is dumped to
+//! `BENCH_param_shift.json` so the perf trajectory is tracked across PRs.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 use qoc_core::shift::ParameterShiftEngine;
-use qoc_device::backend::{Execution, NoiselessBackend};
+use qoc_device::backend::{Execution, FakeDevice, NoiselessBackend};
+use qoc_device::backends::fake_santiago;
 use qoc_nn::model::QnnModel;
 
 fn bench_forward(c: &mut Criterion) {
     let model = QnnModel::mnist2();
     let backend = NoiselessBackend::new();
-    let engine = ParameterShiftEngine::new(&backend, model.circuit(), model.num_params(), Execution::Exact);
+    let engine = ParameterShiftEngine::new(
+        &backend,
+        model.circuit(),
+        model.num_params(),
+        Execution::Exact,
+    );
     let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
-    let mut rng = StdRng::seed_from_u64(1);
     c.bench_function("shift/forward_mnist2", |b| {
-        b.iter(|| std::hint::black_box(engine.value(&theta, &mut rng)))
+        b.iter(|| std::hint::black_box(engine.value(&theta, 1)))
     });
 }
 
@@ -35,14 +41,14 @@ fn bench_jacobian(c: &mut Criterion) {
             model.circuit(),
             model.num_params(),
             Execution::Exact,
-        );
+        )
+        .with_workers(1);
         let theta = model.symbol_vector(
             &vec![0.2; model.num_params()],
             &vec![0.7; model.input_dim()],
         );
-        let mut rng = StdRng::seed_from_u64(2);
         group.bench_function(name, |b| {
-            b.iter(|| std::hint::black_box(engine.jacobian(&theta, &mut rng)))
+            b.iter(|| std::hint::black_box(engine.jacobian(&theta, 2)))
         });
     }
     group.finish();
@@ -58,11 +64,74 @@ fn bench_sampled_forward(c: &mut Criterion) {
         Execution::Shots(1024),
     );
     let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
-    let mut rng = StdRng::seed_from_u64(3);
     c.bench_function("shift/forward_mnist2_1024shots", |b| {
-        b.iter(|| std::hint::black_box(engine.value(&theta, &mut rng)))
+        b.iter(|| std::hint::black_box(engine.value(&theta, 3)))
     });
 }
 
-criterion_group!(benches, bench_forward, bench_jacobian, bench_sampled_forward);
+/// Serial vs batched Jacobian on the noisy device emulator: the paper's
+/// 4-qubit MNIST-2 ansatz on fake ibmq_santiago at 1024 shots — 17 jobs of
+/// density-matrix simulation per Jacobian, the workload `run_batch` fans
+/// over worker threads. The 1-worker row is the serial baseline; results
+/// are bit-identical at every worker count. Speedup tracks the host's core
+/// count: on a single-CPU runner the sweep is flat (all rows share one
+/// core), which the JSON artifact records alongside the timings.
+fn bench_batched_jacobian(c: &mut Criterion) {
+    let model = QnnModel::mnist2();
+    let device = FakeDevice::new(fake_santiago());
+    let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
+    let mut group = c.benchmark_group("shift/jacobian_batched_santiago");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        let engine = ParameterShiftEngine::new(
+            &device,
+            model.circuit(),
+            model.num_params(),
+            Execution::Shots(1024),
+        )
+        .with_workers(workers);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{workers}workers")),
+            &workers,
+            |b, _| b.iter(|| std::hint::black_box(engine.jacobian(&theta, 4))),
+        );
+    }
+    group.finish();
+}
+
+fn dump_artifact(c: &mut Criterion) {
+    let results = c.take_results();
+    let mut rows: Vec<qoc_bench::suite::Measurement> = results
+        .iter()
+        .map(|r| qoc_bench::suite::Measurement {
+            label: r.id.clone(),
+            values: vec![
+                ("median_ns".into(), r.median_ns),
+                ("mean_ns".into(), r.mean_ns),
+                ("min_ns".into(), r.min_ns),
+                ("samples".into(), r.samples as f64),
+            ],
+        })
+        .collect();
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    rows.push(qoc_bench::suite::Measurement {
+        label: "host".into(),
+        values: vec![("available_parallelism".into(), cores as f64)],
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_param_shift.json");
+    if let Ok(body) = serde_json::to_string_pretty(&rows) {
+        if std::fs::write(path, &body).is_ok() {
+            println!("wrote BENCH_param_shift.json ({} entries)", rows.len());
+        }
+    }
+}
+
+criterion_group!(
+    benches,
+    bench_forward,
+    bench_jacobian,
+    bench_sampled_forward,
+    bench_batched_jacobian,
+    dump_artifact
+);
 criterion_main!(benches);

@@ -54,5 +54,10 @@ fn bench_no_optimize(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_decompose, bench_full_pipeline, bench_no_optimize);
+criterion_group!(
+    benches,
+    bench_decompose,
+    bench_full_pipeline,
+    bench_no_optimize
+);
 criterion_main!(benches);

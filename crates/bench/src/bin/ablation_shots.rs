@@ -28,18 +28,18 @@ fn main() {
         .collect();
     let (input, label) = bench.train_set.example(0);
     let batch = [(input, label)];
-    let g_exact = exact.batch_gradient(&params, &batch, None, &mut rng);
+    let g_exact = exact.batch_gradient(&params, &batch, None, seed);
 
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for &shots in &shots_grid {
-        let noisy =
-            QnnGradientComputer::new(&bench.model, &bench.device, Execution::Shots(shots));
+        let noisy = QnnGradientComputer::new(&bench.model, &bench.device, Execution::Shots(shots));
         // Average absolute error across a few repetitions.
-        let reps = 5;
+        let reps = 5u64;
         let mut err = 0.0;
-        for _ in 0..reps {
-            let g = noisy.batch_gradient(&params, &batch, None, &mut rng);
+        for rep in 0..reps {
+            let g =
+                noisy.batch_gradient(&params, &batch, None, seed ^ (u64::from(shots) << 8) ^ rep);
             err += g
                 .grad
                 .iter()
@@ -55,7 +55,10 @@ fn main() {
             values: vec![("shots".into(), shots as f64), ("mae".into(), err)],
         });
     }
-    println!("Gradient mean-absolute error vs shot budget (MNIST-2 on {}):\n", Task::Mnist2.paper_device());
+    println!(
+        "Gradient mean-absolute error vs shot budget (MNIST-2 on {}):\n",
+        Task::Mnist2.paper_device()
+    );
     println!("{}", format_table(&["shots", "gradient MAE"], &rows));
 
     // Part 2: training accuracy vs shots at a fixed step budget.

@@ -13,9 +13,10 @@ use qoc_bench::{arg_usize, format_table, save_json};
 use qoc_core::grad::QnnGradientComputer;
 use qoc_core::spsa::{minimize_spsa, SpsaConfig};
 use qoc_data::tasks::Task;
+use qoc_device::backend::job_seed;
 use qoc_device::backend::{Execution, QuantumBackend};
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 
 fn main() {
     let steps = arg_usize("--steps", 25);
@@ -37,24 +38,32 @@ fn main() {
     bench.device.reset_stats();
     let computer = QnnGradientComputer::new(&bench.model, &bench.device, Execution::Shots(1024));
     let mut batch_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
-    let mut objective = |theta: &[f64], rng: &mut dyn RngCore| -> f64 {
+    let mut objective = |candidates: &[Vec<f64>], eval_seed: u64| -> Vec<f64> {
+        // One shared mini-batch per objective call (both perturbations of an
+        // SPSA step should see the same examples).
         let idx = bench.train_set.sample_batch(8, &mut batch_rng);
-        let mut loss = 0.0;
-        for i in idx {
-            let (input, label) = bench.train_set.example(i);
-            let logits = computer.forward(theta, input, rng);
-            loss += qoc_nn::loss::cross_entropy(&logits, label) / 8.0;
-        }
-        loss
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(c, theta)| {
+                let mut loss = 0.0;
+                for (e, &i) in idx.iter().enumerate() {
+                    let (input, label) = bench.train_set.example(i);
+                    let seed = job_seed(eval_seed, ((c as u64) << 32) | e as u64);
+                    let logits = computer.forward(theta, input, seed);
+                    loss += qoc_nn::loss::cross_entropy(&logits, label) / 8.0;
+                }
+                loss
+            })
+            .collect()
     };
-    let mut rng = StdRng::seed_from_u64(seed);
     let init: Vec<f64> = vec![0.05; bench.model.num_params()];
     let spsa = minimize_spsa(
         &mut objective,
         &init,
         spsa_steps.max(5),
         &SpsaConfig::standard(spsa_steps.max(5)),
-        &mut rng,
+        seed,
     );
     let spsa_runs = bench.device.stats().circuits_run;
     let spsa_acc = bench.validate(&bench.device, &spsa.params, 150, seed);

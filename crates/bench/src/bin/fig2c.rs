@@ -20,8 +20,7 @@ fn main() {
     let bench = TaskBench::new(Task::Mnist4, seed);
     let mut rng = StdRng::seed_from_u64(seed);
 
-    let exact_computer =
-        QnnGradientComputer::new(&bench.model, &bench.simulator, Execution::Exact);
+    let exact_computer = QnnGradientComputer::new(&bench.model, &bench.simulator, Execution::Exact);
     let noisy_computer =
         QnnGradientComputer::new(&bench.model, &bench.device, Execution::Shots(1024));
 
@@ -35,8 +34,8 @@ fn main() {
             .collect();
         let (input, label) = bench.train_set.example(s % bench.train_set.len());
         let batch = [(input, label)];
-        let exact = exact_computer.batch_gradient(&params, &batch, None, &mut rng);
-        let noisy = noisy_computer.batch_gradient(&params, &batch, None, &mut rng);
+        let exact = exact_computer.batch_gradient(&params, &batch, None, s as u64);
+        let noisy = noisy_computer.batch_gradient(&params, &batch, None, s as u64);
         for (e, n) in exact.grad.iter().zip(&noisy.grad) {
             points.push((e.abs(), (n - e).abs(), e.signum() != n.signum()));
         }
@@ -55,13 +54,9 @@ fn main() {
         if bin.is_empty() {
             continue;
         }
-        let mean_rel: f64 = bin
-            .iter()
-            .map(|(m, err, _)| err / m.max(1e-6))
-            .sum::<f64>()
-            / bin.len() as f64;
-        let flip_rate: f64 =
-            bin.iter().filter(|(_, _, f)| *f).count() as f64 / bin.len() as f64;
+        let mean_rel: f64 =
+            bin.iter().map(|(m, err, _)| err / m.max(1e-6)).sum::<f64>() / bin.len() as f64;
+        let flip_rate: f64 = bin.iter().filter(|(_, _, f)| *f).count() as f64 / bin.len() as f64;
         rows.push(vec![
             format!("[{lo:.3}, {hi:.3})"),
             format!("{}", bin.len()),
@@ -76,7 +71,12 @@ fn main() {
     println!(
         "{}",
         format_table(
-            &["|grad| bin", "count", "mean relative error", "sign-flip rate"],
+            &[
+                "|grad| bin",
+                "count",
+                "mean relative error",
+                "sign-flip rate"
+            ],
             &rows,
         )
     );

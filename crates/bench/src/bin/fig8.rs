@@ -72,7 +72,11 @@ fn main() {
         // Quantum: transpile onto toronto for n ≤ 27, then the latency
         // model; past the chip size extend the per-qubit linear trend.
         let quantum_s = if n <= toronto.coupling.num_qubits() {
-            let t = transpile(&probe_circuit(n), &toronto.coupling, TranspileOptions::default());
+            let t = transpile(
+                &probe_circuit(n),
+                &toronto.coupling,
+                TranspileOptions::default(),
+            );
             schedule::job_time(&t.circuit, &toronto.calibration, 1024).total_seconds()
                 * circuits as f64
         } else {

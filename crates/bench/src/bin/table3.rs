@@ -42,7 +42,8 @@ fn main() {
                     &bench.val_set,
                     &c,
                 );
-                acc += bench.validate(&bench.simulator, &result.params, 300, seed) / replicas as f64;
+                acc +=
+                    bench.validate(&bench.simulator, &result.params, 300, seed) / replicas as f64;
             }
             row.push(format!("{acc:.3}"));
             values.push((task.name().to_string(), acc));

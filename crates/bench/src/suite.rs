@@ -149,7 +149,7 @@ impl TaskBench {
             params,
             &subset,
             Execution::Shots(1024),
-            &mut rng,
+            seed,
         )
         .accuracy
     }

@@ -10,7 +10,7 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use qoc_data::dataset::Dataset;
-use qoc_device::backend::{Execution, QuantumBackend};
+use qoc_device::backend::{job_seed, Execution, QuantumBackend};
 use qoc_nn::model::QnnModel;
 
 use crate::eval::evaluate_params_prepared;
@@ -20,6 +20,15 @@ use crate::prune::{
     DeterministicPruner, NoPruning, ProbabilisticPruner, PruneConfig, Pruner, Selection,
 };
 use crate::sched::LrSchedule;
+
+/// Stream-id bases separating the engine's backend seed domains: training
+/// step `k` submits its mini-batch under `job_seed(config.seed,
+/// TRAIN_STREAM_BASE + k)` and checkpoint `k` under `job_seed(config.seed,
+/// EVAL_STREAM_BASE + k)`. Classical randomness (init, batch sampling,
+/// pruning) stays on a serial [`StdRng`], so circuit shot noise no longer
+/// perturbs it — and vice versa.
+const TRAIN_STREAM_BASE: u64 = 1 << 48;
+const EVAL_STREAM_BASE: u64 = 2 << 48;
 
 /// Gradient-pruning mode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,12 +45,8 @@ impl PruningKind {
     fn build(self, num_params: usize) -> Box<dyn Pruner> {
         match self {
             PruningKind::None => Box::new(NoPruning),
-            PruningKind::Probabilistic(cfg) => {
-                Box::new(ProbabilisticPruner::new(num_params, cfg))
-            }
-            PruningKind::Deterministic(cfg) => {
-                Box::new(DeterministicPruner::new(num_params, cfg))
-            }
+            PruningKind::Probabilistic(cfg) => Box::new(ProbabilisticPruner::new(num_params, cfg)),
+            PruningKind::Deterministic(cfg) => Box::new(DeterministicPruner::new(num_params, cfg)),
         }
     }
 }
@@ -217,7 +222,8 @@ pub fn train(
             Selection::Full => (None, n),
             Selection::Subset(s) => (Some(s.clone()), s.len()),
         };
-        let result = computer.batch_gradient(&params, &batch, subset.as_deref(), &mut rng);
+        let step_master = job_seed(config.seed, TRAIN_STREAM_BASE + step as u64);
+        let result = computer.batch_gradient(&params, &batch, subset.as_deref(), step_master);
         pruner.record(&result.grad);
         optimizer.step(&mut params, &result.grad, lr, subset.as_deref());
 
@@ -240,7 +246,7 @@ pub fn train(
                 &params,
                 &eval_set,
                 config.execution,
-                &mut rng,
+                job_seed(config.seed, EVAL_STREAM_BASE + step as u64),
             );
             best_accuracy = best_accuracy.max(eval.accuracy);
             evals.push(EvalRecord {
@@ -275,7 +281,9 @@ mod tests {
             .map(|i| {
                 let class = i % 2;
                 let base = if class == 0 { 0.4 } else { 2.4 };
-                (0..16).map(|k| base + 0.05 * ((i + k) % 3) as f64).collect()
+                (0..16)
+                    .map(|k| base + 0.05 * ((i + k) % 3) as f64)
+                    .collect()
             })
             .collect();
         let labels = (0..n).map(|i| i % 2).collect();
@@ -307,7 +315,11 @@ mod tests {
         let first = result.steps[0].loss;
         let last = result.steps.last().unwrap().loss;
         assert!(last < first, "loss did not drop: {first} → {last}");
-        assert!(result.best_accuracy > 0.85, "accuracy {}", result.best_accuracy);
+        assert!(
+            result.best_accuracy > 0.85,
+            "accuracy {}",
+            result.best_accuracy
+        );
         assert_eq!(result.steps.len(), 40);
         assert!(!result.evals.is_empty());
     }

@@ -1,9 +1,12 @@
 //! Model evaluation on a backend.
-
-use rand::RngCore;
+//!
+//! Evaluation examples are independent circuit executions, so the whole
+//! dataset sweep is submitted as one [`QuantumBackend::run_batch`]. Example
+//! `i` draws its shot noise from the deterministic stream `job_seed(master,
+//! i)`, making results independent of batch scheduling.
 
 use qoc_data::dataset::Dataset;
-use qoc_device::backend::{Execution, QuantumBackend};
+use qoc_device::backend::{job_seed, CircuitJob, Execution, QuantumBackend};
 use qoc_nn::loss::argmax;
 use qoc_nn::metrics::accuracy;
 use qoc_nn::model::QnnModel;
@@ -17,8 +20,8 @@ pub struct EvalResult {
     pub predictions: Vec<usize>,
 }
 
-/// Runs the model on every example of `dataset` and scores the argmax
-/// predictions. The circuit is prepared once and reused.
+/// Runs the model on every example of `dataset` (one backend batch) and
+/// scores the argmax predictions. The circuit is prepared once and reused.
 ///
 /// # Panics
 ///
@@ -28,7 +31,7 @@ pub fn evaluate(
     backend: &dyn QuantumBackend,
     dataset: &Dataset,
     execution: Execution,
-    rng: &mut dyn RngCore,
+    master_seed: u64,
 ) -> EvalResult {
     assert_eq!(
         dataset.feature_dim(),
@@ -36,19 +39,26 @@ pub fn evaluate(
         "dataset features do not match model input"
     );
     let prepared = backend.prepare(model.circuit());
-    evaluate_prepared(model, backend, &prepared, dataset, execution, rng, None)
+    evaluate_prepared(
+        model,
+        backend,
+        &prepared,
+        dataset,
+        execution,
+        master_seed,
+        None,
+    )
 }
 
-/// Like [`evaluate`] but with a caller-prepared circuit and fixed parameters
-/// (`params = None` means zeros — useful as a sanity baseline).
-#[allow(clippy::too_many_arguments)]
+/// Like [`evaluate`] but with fixed parameters (`params` of zeros is a
+/// useful sanity baseline).
 pub fn evaluate_with_params(
     model: &QnnModel,
     backend: &dyn QuantumBackend,
     params: &[f64],
     dataset: &Dataset,
     execution: Execution,
-    rng: &mut dyn RngCore,
+    master_seed: u64,
 ) -> EvalResult {
     let prepared = backend.prepare(model.circuit());
     evaluate_prepared(
@@ -57,7 +67,7 @@ pub fn evaluate_with_params(
         &prepared,
         dataset,
         execution,
-        rng,
+        master_seed,
         Some(params),
     )
 }
@@ -68,7 +78,7 @@ fn evaluate_prepared(
     prepared: &qoc_device::backend::PreparedCircuit,
     dataset: &Dataset,
     execution: Execution,
-    rng: &mut dyn RngCore,
+    master_seed: u64,
     params: Option<&[f64]>,
 ) -> EvalResult {
     let zeros;
@@ -79,14 +89,22 @@ fn evaluate_prepared(
             &zeros
         }
     };
-    let mut predictions = Vec::with_capacity(dataset.len());
-    for i in 0..dataset.len() {
-        let (input, _) = dataset.example(i);
-        let theta = model.symbol_vector(params, input);
-        let expectations = backend.run_prepared(prepared, &theta, execution, rng);
-        let logits = model.logits_from_expectations(&expectations);
-        predictions.push(argmax(&logits));
-    }
+    let jobs: Vec<CircuitJob<'_>> = (0..dataset.len())
+        .map(|i| {
+            let (input, _) = dataset.example(i);
+            CircuitJob::expectation(
+                prepared,
+                model.symbol_vector(params, input),
+                execution,
+                job_seed(master_seed, i as u64),
+            )
+        })
+        .collect();
+    let predictions: Vec<usize> = backend
+        .run_batch(&jobs)
+        .iter()
+        .map(|expectations| argmax(&model.logits_from_expectations(expectations)))
+        .collect();
     EvalResult {
         accuracy: accuracy(&predictions, dataset.labels()),
         predictions,
@@ -102,17 +120,23 @@ pub(crate) fn evaluate_params_prepared(
     params: &[f64],
     dataset: &Dataset,
     execution: Execution,
-    rng: &mut dyn RngCore,
+    master_seed: u64,
 ) -> EvalResult {
-    evaluate_prepared(model, backend, prepared, dataset, execution, rng, Some(params))
+    evaluate_prepared(
+        model,
+        backend,
+        prepared,
+        dataset,
+        execution,
+        master_seed,
+        Some(params),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use qoc_device::backend::NoiselessBackend;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn evaluate_returns_one_prediction_per_example() {
@@ -121,22 +145,20 @@ mod tests {
         let features = (0..6).map(|k| vec![0.2 * k as f64; 16]).collect();
         let labels = vec![0, 1, 0, 1, 0, 1];
         let ds = Dataset::new(features, labels, 2);
-        let mut rng = StdRng::seed_from_u64(1);
-        let res = evaluate(&model, &backend, &ds, Execution::Exact, &mut rng);
+        let res = evaluate(&model, &backend, &ds, Execution::Exact, 1);
         assert_eq!(res.predictions.len(), 6);
         assert!((0.0..=1.0).contains(&res.accuracy));
     }
 
     #[test]
-    fn exact_evaluation_is_deterministic() {
+    fn shot_evaluation_is_deterministic_in_the_master_seed() {
         let model = QnnModel::vowel4();
         let backend = NoiselessBackend::new();
         let features = (0..4).map(|k| vec![0.3 * k as f64 - 0.5; 10]).collect();
         let ds = Dataset::new(features, vec![0, 1, 2, 3], 4);
         let params: Vec<f64> = (0..16).map(|k| 0.1 * k as f64).collect();
-        let mut rng = StdRng::seed_from_u64(2);
-        let a = evaluate_with_params(&model, &backend, &params, &ds, Execution::Exact, &mut rng);
-        let b = evaluate_with_params(&model, &backend, &params, &ds, Execution::Exact, &mut rng);
+        let a = evaluate_with_params(&model, &backend, &params, &ds, Execution::Shots(64), 2);
+        let b = evaluate_with_params(&model, &backend, &params, &ds, Execution::Shots(64), 2);
         assert_eq!(a, b);
     }
 
@@ -146,7 +168,6 @@ mod tests {
         let model = QnnModel::mnist2();
         let backend = NoiselessBackend::new();
         let ds = Dataset::new(vec![vec![0.0; 10]], vec![0], 2);
-        let mut rng = StdRng::seed_from_u64(3);
-        let _ = evaluate(&model, &backend, &ds, Execution::Exact, &mut rng);
+        let _ = evaluate(&model, &backend, &ds, Execution::Exact, 3);
     }
 }

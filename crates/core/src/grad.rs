@@ -8,10 +8,15 @@
 //!    measurement head + softmax + cross-entropy, and compute `∂L/∂f` in
 //!    closed form on the classical side;
 //! 3. **dot product** — `∂L/∂θ = (∂f/∂θ)ᵀ · ∂L/∂f`.
+//!
+//! Stages 1 and 2 for *every example in the mini-batch* are independent
+//! circuit executions, so [`QnnGradientComputer::batch_gradient`] collects
+//! them all — `batch·(1 + 2·|subset|)` jobs — into a single
+//! [`QuantumBackend::run_batch`] submission. Each example draws its jobs'
+//! randomness from its own master seed `job_seed(master_seed, example_idx)`,
+//! so results do not depend on batch composition order or worker count.
 
-use rand::RngCore;
-
-use qoc_device::backend::{Execution, QuantumBackend};
+use qoc_device::backend::{job_seed, Execution, QuantumBackend};
 use qoc_nn::loss::loss_and_grad;
 use qoc_nn::model::QnnModel;
 
@@ -43,6 +48,13 @@ impl<'a> QnnGradientComputer<'a> {
         QnnGradientComputer { model, engine }
     }
 
+    /// Pins the batch worker count (default: the backend decides).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.engine = self.engine.with_workers(workers);
+        self
+    }
+
     /// The underlying shift engine.
     pub fn engine(&self) -> &ParameterShiftEngine<'a> {
         &self.engine
@@ -54,17 +66,20 @@ impl<'a> QnnGradientComputer<'a> {
     }
 
     /// Forward pass for one example: logits.
-    pub fn forward(&self, params: &[f64], input: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
+    pub fn forward(&self, params: &[f64], input: &[f64], master_seed: u64) -> Vec<f64> {
         let theta = self.model.symbol_vector(params, input);
-        let expectations = self.engine.value(&theta, rng);
+        let expectations = self.engine.value(&theta, master_seed);
         self.model.logits_from_expectations(&expectations)
     }
 
-    /// Mean loss and gradient over a batch of `(input, target)` examples.
+    /// Mean loss and gradient over a batch of `(input, target)` examples,
+    /// executed as **one** backend batch.
     ///
     /// When `subset` is `Some`, only those parameter indices get gradients
     /// (the pruning path); the rest stay frozen at 0. Every example costs
-    /// `2·|subset| + 1` circuit executions.
+    /// `2·|subset| + 1` circuit executions. Example `e` derives its job
+    /// seeds from `job_seed(master_seed, e)`, so its contribution is
+    /// bit-identical however the batch is scheduled.
     ///
     /// # Panics
     ///
@@ -74,7 +89,7 @@ impl<'a> QnnGradientComputer<'a> {
         params: &[f64],
         batch: &[(&[f64], usize)],
         subset: Option<&[usize]>,
-        rng: &mut dyn RngCore,
+        master_seed: u64,
     ) -> BatchGradient {
         assert!(!batch.is_empty(), "empty batch");
         let n_params = self.model.num_params();
@@ -82,31 +97,42 @@ impl<'a> QnnGradientComputer<'a> {
             Some(s) => s.to_vec(),
             None => (0..n_params).collect(),
         };
+
+        // Collect forward + Jacobian jobs for every example into one batch.
+        let thetas: Vec<Vec<f64>> = batch
+            .iter()
+            .map(|&(input, _)| self.model.symbol_vector(params, input))
+            .collect();
+        let mut jobs = Vec::with_capacity(batch.len() * (1 + 2 * indices.len()));
+        let mut layout = Vec::with_capacity(batch.len());
+        for (e, theta) in thetas.iter().enumerate() {
+            let example_master = job_seed(master_seed, e as u64);
+            let forward_idx = jobs.len();
+            jobs.push(self.engine.forward_job(theta, example_master));
+            let (shift_jobs, plan) =
+                self.engine
+                    .jacobian_jobs(theta, Some(&indices), example_master);
+            jobs.extend(shift_jobs);
+            layout.push((forward_idx, plan));
+        }
+        let results = self.engine.run_batch(&jobs);
+
+        // Classical stages: backprop through the head and dot with the rows.
         let mut grad = vec![0.0; n_params];
         let mut total_loss = 0.0;
         let mut all_logits = Vec::with_capacity(batch.len());
         let scale = 1.0 / batch.len() as f64;
         let num_qubits = self.model.num_qubits();
-
-        for &(input, target) in batch {
-            let theta = self.model.symbol_vector(params, input);
-            // Stage 2: unshifted run + closed-form ∂L/∂f.
-            let expectations = self.engine.value(&theta, rng);
-            let logits = self.model.logits_from_expectations(&expectations);
+        for (&(_, target), (forward_idx, plan)) in batch.iter().zip(&layout) {
+            let expectations = &results[*forward_idx];
+            let logits = self.model.logits_from_expectations(expectations);
             let (loss, grad_logits) = loss_and_grad(&logits, target);
             let grad_expectations = self.model.head().backward(&grad_logits, num_qubits);
             total_loss += loss;
 
-            // Stage 1: Jacobian rows for the selected parameters.
-            let jac = self.engine.jacobian_subset(&theta, &indices, rng);
-
-            // Stage 3: ∂L/∂θᵢ = Σ_q (∂f_q/∂θᵢ)·(∂L/∂f_q).
+            let jac = plan.assemble(&results[forward_idx + 1..forward_idx + 1 + plan.num_jobs()]);
             for (row, &param_idx) in jac.iter().zip(&indices) {
-                let dot: f64 = row
-                    .iter()
-                    .zip(&grad_expectations)
-                    .map(|(j, g)| j * g)
-                    .sum();
+                let dot: f64 = row.iter().zip(&grad_expectations).map(|(j, g)| j * g).sum();
                 grad[param_idx] += scale * dot;
             }
             all_logits.push(logits);
@@ -126,15 +152,9 @@ mod tests {
     use qoc_device::backend::NoiselessBackend;
     use qoc_nn::loss::cross_entropy;
     use qoc_sim::simulator::StatevectorSimulator;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Finite-difference loss gradient through the entire model.
-    fn fd_loss_grad(
-        model: &QnnModel,
-        params: &[f64],
-        batch: &[(&[f64], usize)],
-    ) -> Vec<f64> {
+    fn fd_loss_grad(model: &QnnModel, params: &[f64], batch: &[(&[f64], usize)]) -> Vec<f64> {
         let sim = StatevectorSimulator::new();
         let loss_at = |p: &[f64]| -> f64 {
             batch
@@ -172,8 +192,7 @@ mod tests {
             .enumerate()
             .map(|(e, input)| (input.as_slice(), e % 2))
             .collect();
-        let mut rng = StdRng::seed_from_u64(1);
-        let got = computer.batch_gradient(&params, &batch, None, &mut rng);
+        let got = computer.batch_gradient(&params, &batch, None, 1);
         let want = fd_loss_grad(&model, &params, &batch);
         for (i, (a, b)) in got.grad.iter().zip(&want).enumerate() {
             assert!((a - b).abs() < 1e-5, "∂L/∂θ[{i}]: shift {a} vs fd {b}");
@@ -181,10 +200,7 @@ mod tests {
         // Loss matches a direct evaluation too.
         let direct: f64 = batch
             .iter()
-            .map(|&(input, t)| {
-                let mut r = StdRng::seed_from_u64(0);
-                cross_entropy(&computer.forward(&params, input, &mut r), t)
-            })
+            .map(|&(input, t)| cross_entropy(&computer.forward(&params, input, 0), t))
             .sum::<f64>()
             / 3.0;
         assert!((got.loss - direct).abs() < 1e-9);
@@ -198,8 +214,7 @@ mod tests {
         let params: Vec<f64> = (0..16).map(|k| 0.17 * k as f64 - 1.3).collect();
         let input: Vec<f64> = (0..10).map(|k| 0.4 * k as f64 - 2.0).collect();
         let batch: Vec<(&[f64], usize)> = vec![(input.as_slice(), 3)];
-        let mut rng = StdRng::seed_from_u64(2);
-        let got = computer.batch_gradient(&params, &batch, None, &mut rng);
+        let got = computer.batch_gradient(&params, &batch, None, 2);
         let want = fd_loss_grad(&model, &params, &batch);
         for (i, (a, b)) in got.grad.iter().zip(&want).enumerate() {
             assert!((a - b).abs() < 1e-5, "∂L/∂θ[{i}]: {a} vs {b}");
@@ -214,9 +229,8 @@ mod tests {
         let params = vec![0.25; 8];
         let input = vec![0.6; 16];
         let batch: Vec<(&[f64], usize)> = vec![(input.as_slice(), 0)];
-        let mut rng = StdRng::seed_from_u64(3);
-        let full = computer.batch_gradient(&params, &batch, None, &mut rng);
-        let sub = computer.batch_gradient(&params, &batch, Some(&[1, 5]), &mut rng);
+        let full = computer.batch_gradient(&params, &batch, None, 3);
+        let sub = computer.batch_gradient(&params, &batch, Some(&[1, 5]), 3);
         for i in 0..8 {
             if i == 1 || i == 5 {
                 assert!((sub.grad[i] - full.grad[i]).abs() < 1e-9);
@@ -236,8 +250,31 @@ mod tests {
         let params = vec![0.0; 8];
         let input = vec![0.1; 16];
         let batch: Vec<(&[f64], usize)> = vec![(input.as_slice(), 0), (input.as_slice(), 1)];
-        let mut rng = StdRng::seed_from_u64(4);
-        let _ = computer.batch_gradient(&params, &batch, Some(&[0, 2, 4]), &mut rng);
+        let _ = computer.batch_gradient(&params, &batch, Some(&[0, 2, 4]), 4);
         assert_eq!(backend.stats().circuits_run, 2 * (1 + 2 * 3));
+    }
+
+    #[test]
+    fn batch_gradient_is_worker_count_invariant() {
+        // The whole-minibatch batch is bit-identical however it is fanned
+        // out, even under shot sampling.
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let params = vec![0.25; 8];
+        let inputs: Vec<Vec<f64>> = (0..4).map(|e| vec![0.1 * e as f64; 16]).collect();
+        let batch: Vec<(&[f64], usize)> = inputs
+            .iter()
+            .enumerate()
+            .map(|(e, i)| (i.as_slice(), e % 2))
+            .collect();
+        let serial = QnnGradientComputer::new(&model, &backend, Execution::Shots(128))
+            .with_workers(1)
+            .batch_gradient(&params, &batch, None, 0xBEEF);
+        for workers in [2, 8] {
+            let batched = QnnGradientComputer::new(&model, &backend, Execution::Shots(128))
+                .with_workers(workers)
+                .batch_gradient(&params, &batch, None, 0xBEEF);
+            assert_eq!(batched, serial, "diverged at {workers} workers");
+        }
     }
 }

@@ -254,7 +254,10 @@ mod tests {
     #[test]
     fn kind_builds_right_names() {
         assert_eq!(OptimizerKind::Sgd.build(1).name(), "sgd");
-        assert_eq!(OptimizerKind::Momentum { beta: 0.8 }.build(1).name(), "momentum");
+        assert_eq!(
+            OptimizerKind::Momentum { beta: 0.8 }.build(1).name(),
+            "momentum"
+        );
         assert_eq!(OptimizerKind::Adam.build(1).name(), "adam");
     }
 }

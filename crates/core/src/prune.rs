@@ -208,9 +208,7 @@ impl Pruner for DeterministicPruner {
             Phase::Pruning(_) => {
                 let k = self.inner.keep_count();
                 let mut idx: Vec<usize> = (0..self.inner.num_params).collect();
-                idx.sort_by(|&a, &b| {
-                    self.inner.magnitude[b].total_cmp(&self.inner.magnitude[a])
-                });
+                idx.sort_by(|&a, &b| self.inner.magnitude[b].total_cmp(&self.inner.magnitude[a]));
                 idx.truncate(k);
                 idx.sort_unstable();
                 // Advance the phase machine (discarding its sampled subset).
@@ -278,7 +276,12 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
 
-    fn drive(pruner: &mut dyn Pruner, grads: &[f64], steps: usize, rng: &mut StdRng) -> Vec<Selection> {
+    fn drive(
+        pruner: &mut dyn Pruner,
+        grads: &[f64],
+        steps: usize,
+        rng: &mut StdRng,
+    ) -> Vec<Selection> {
         let mut out = Vec::new();
         for _ in 0..steps {
             let sel = pruner.begin_step(rng);
@@ -423,7 +426,10 @@ mod tests {
         }
         // Each index selected ≈ 1500 times.
         for &c in &counts {
-            assert!((c as f64 - 1500.0).abs() < 150.0, "uniform bias: {counts:?}");
+            assert!(
+                (c as f64 - 1500.0).abs() < 150.0,
+                "uniform bias: {counts:?}"
+            );
         }
     }
 

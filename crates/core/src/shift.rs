@@ -7,18 +7,115 @@
 //! circuits through a [`QuantumBackend`], so on a [`FakeDevice`] the
 //! gradients come back noisy exactly the way hardware gradients do.
 //!
+//! # Batched execution
+//!
+//! A Jacobian is 2·n independent circuit executions — exactly the batch
+//! shape hardware providers accept. The engine therefore *plans* the full
+//! ±π/2 job set ([`Self::jacobian_jobs`]) and submits it through
+//! [`QuantumBackend::run_batch`], which fans it over worker threads.
+//! Randomness comes from deterministic per-job streams instead of a shared
+//! `&mut RngCore`: each job's seed is `job_seed(master, stream)` where the
+//! stream id encodes *what* the job computes — `(symbol, occurrence, sign)`
+//! for shift jobs, a reserved id for the forward pass — never its position
+//! in the batch. Consequences:
+//!
+//! - a batched Jacobian is bit-identical to the serial one at any worker
+//!   count, even with finite shots;
+//! - a pruned-subset Jacobian row equals the corresponding full-Jacobian
+//!   row, because row `i` consumes the same streams either way.
+//!
+//! Shared-parameter (multi-occurrence) symbols route through shifted
+//! circuit variants that are transpiled **once** at engine construction and
+//! cached as [`PreparedCircuit`]s, not re-prepared per evaluation.
+//!
 //! [`FakeDevice`]: qoc_device::backend::FakeDevice
 
 use std::f64::consts::FRAC_PI_2;
 
-use rand::RngCore;
-
-use qoc_device::backend::{Execution, PreparedCircuit, QuantumBackend};
+use qoc_device::backend::{job_seed, CircuitJob, Execution, PreparedCircuit, QuantumBackend};
 use qoc_sim::circuit::{Circuit, ParamValue};
 
 /// Jacobian of circuit expectations w.r.t. trainable symbols: row `i` is
 /// `∂f/∂θᵢ` across the logical qubits.
 pub type Jacobian = Vec<Vec<f64>>;
+
+/// Stream id of the unshifted forward evaluation (reserved; never collides
+/// with [`shift_stream`] ids, whose symbol field is below `u32::MAX`).
+pub const FORWARD_STREAM: u64 = u64::MAX;
+
+/// Stream id of the `sign`-shifted job for `occurrence` of `symbol`.
+///
+/// Depends only on the mathematical identity of the job, so a symbol's
+/// gradient consumes identical randomness whether it is evaluated inside a
+/// full Jacobian, a pruned subset, or a lone [`ParameterShiftEngine::gradient_row`].
+pub fn shift_stream(symbol: usize, occurrence: usize, minus: bool) -> u64 {
+    ((symbol as u64) << 32) | ((occurrence as u64) << 1) | u64::from(minus)
+}
+
+/// How one trainable symbol's gradient is computed.
+#[derive(Debug)]
+enum SymbolPlan {
+    /// One occurrence with |scale| = 1: a symbol-level ±π/2 shift on the
+    /// shared prepared circuit. The chain-rule factor `scale` cancels
+    /// against the sign of the angle shift — for both scale = +1 and
+    /// scale = −1 the gradient is ½·(f(θᵢ+π/2) − f(θᵢ−π/2)).
+    Simple,
+    /// General case (paper Section 3.1, final paragraph): shift each gate
+    /// occurrence separately and sum with the occurrence's chain-rule
+    /// scale. The shifted circuit variants are transpiled once, here.
+    Occurrences(Vec<OccurrenceShift>),
+}
+
+#[derive(Debug)]
+struct OccurrenceShift {
+    scale: f64,
+    plus: PreparedCircuit,
+    minus: PreparedCircuit,
+}
+
+/// Assembly recipe returned by [`ParameterShiftEngine::jacobian_jobs`]:
+/// turns the batch's raw results back into Jacobian rows.
+#[derive(Debug)]
+pub struct JacobianPlan {
+    /// Per row: `(plus_idx, minus_idx, scale)` terms into the job list.
+    rows: Vec<Vec<(usize, usize, f64)>>,
+    num_jobs: usize,
+    num_outputs: usize,
+}
+
+impl JacobianPlan {
+    /// Number of jobs the paired job list contains.
+    pub fn num_jobs(&self) -> usize {
+        self.num_jobs
+    }
+
+    /// Combines batch results (same order as the paired job list) into
+    /// Jacobian rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is shorter than [`Self::num_jobs`].
+    pub fn assemble(&self, results: &[Vec<f64>]) -> Jacobian {
+        assert!(
+            results.len() >= self.num_jobs,
+            "plan needs {} results, got {}",
+            self.num_jobs,
+            results.len()
+        );
+        self.rows
+            .iter()
+            .map(|terms| {
+                let mut row = vec![0.0; self.num_outputs];
+                for &(p, m, scale) in terms {
+                    for ((r, fp), fm) in row.iter_mut().zip(&results[p]).zip(&results[m]) {
+                        *r += scale * 0.5 * (fp - fm);
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+}
 
 /// Parameter-shift gradient engine bound to one backend + circuit template.
 ///
@@ -28,17 +125,16 @@ pub type Jacobian = Vec<Vec<f64>>;
 #[derive(Debug)]
 pub struct ParameterShiftEngine<'a> {
     backend: &'a dyn QuantumBackend,
-    circuit: Circuit,
     prepared: PreparedCircuit,
     num_trainable: usize,
     execution: Execution,
-    /// Symbols with exactly one occurrence of unit |scale| take the fast
-    /// path (shift the symbol itself on the already-prepared circuit).
-    simple_symbol: Vec<bool>,
+    plans: Vec<SymbolPlan>,
+    workers: Option<usize>,
 }
 
 impl<'a> ParameterShiftEngine<'a> {
-    /// Prepares the engine.
+    /// Prepares the engine: transpiles the base circuit and every shifted
+    /// variant needed by shared-parameter symbols, once.
     ///
     /// # Panics
     ///
@@ -56,7 +152,7 @@ impl<'a> ParameterShiftEngine<'a> {
             "circuit has {} symbols, {num_trainable} requested as trainable",
             circuit.num_symbols()
         );
-        let mut simple_symbol = Vec::with_capacity(num_trainable);
+        let mut plans = Vec::with_capacity(num_trainable);
         for s in 0..num_trainable {
             let occ = circuit.symbol_occurrences(s);
             assert!(
@@ -77,16 +173,44 @@ impl<'a> ParameterShiftEngine<'a> {
                     ParamValue::Const(_) => false,
                 }
             };
-            simple_symbol.push(simple);
+            if simple {
+                plans.push(SymbolPlan::Simple);
+            } else {
+                let shifts = occ
+                    .iter()
+                    .filter_map(|&(op_idx, slot)| {
+                        let scale = match circuit.ops()[op_idx].params[slot] {
+                            ParamValue::Sym { scale, .. } => scale,
+                            ParamValue::Const(_) => return None,
+                        };
+                        let plus = circuit.with_occurrence_shift(op_idx, slot, FRAC_PI_2);
+                        let minus = circuit.with_occurrence_shift(op_idx, slot, -FRAC_PI_2);
+                        Some(OccurrenceShift {
+                            scale,
+                            plus: backend.prepare(&plus),
+                            minus: backend.prepare(&minus),
+                        })
+                    })
+                    .collect();
+                plans.push(SymbolPlan::Occurrences(shifts));
+            }
         }
         ParameterShiftEngine {
             backend,
-            circuit: circuit.clone(),
             prepared: backend.prepare(circuit),
             num_trainable,
             execution,
-            simple_symbol,
+            plans,
+            workers: None,
         }
+    }
+
+    /// Pins the batch worker count (default: the backend's
+    /// [`default_worker_count`](qoc_device::backend::default_worker_count)).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers.max(1));
+        self
     }
 
     /// The backend this engine drives.
@@ -99,89 +223,139 @@ impl<'a> ParameterShiftEngine<'a> {
         self.num_trainable
     }
 
-    /// Unshifted forward evaluation `f(θ)`.
-    pub fn value(&self, theta: &[f64], rng: &mut dyn RngCore) -> Vec<f64> {
-        self.backend
-            .run_prepared(&self.prepared, theta, self.execution, rng)
+    /// Number of output expectations per evaluation.
+    pub fn num_outputs(&self) -> usize {
+        self.prepared.logical_qubits()
     }
 
-    /// Gradient row `∂f/∂θᵢ` for one trainable symbol.
-    pub fn gradient_row(&self, theta: &[f64], i: usize, rng: &mut dyn RngCore) -> Vec<f64> {
-        assert!(i < self.num_trainable, "symbol {i} not trainable");
-        if self.simple_symbol[i] {
-            // One occurrence with |scale| = 1: a symbol-level ±π/2 shift
-            // moves the gate angle by ±scale·π/2, and the chain-rule factor
-            // `scale` cancels against the sign of the angle shift — for both
-            // scale = +1 and scale = −1 the gradient is ½·(f(θᵢ+π/2) −
-            // f(θᵢ−π/2)) with no extra factor.
-            let mut plus = theta.to_vec();
-            plus[i] += FRAC_PI_2;
-            let mut minus = theta.to_vec();
-            minus[i] -= FRAC_PI_2;
-            let fp = self
-                .backend
-                .run_prepared(&self.prepared, &plus, self.execution, rng);
-            let fm = self
-                .backend
-                .run_prepared(&self.prepared, &minus, self.execution, rng);
-            fp.iter().zip(&fm).map(|(p, m)| 0.5 * (p - m)).collect()
-        } else {
-            // General case (paper Section 3.1, final paragraph): shift each
-            // gate occurrence separately and sum, with the chain-rule factor
-            // of the occurrence's affine scale.
-            let occ = self.circuit.symbol_occurrences(i);
-            let m = self.prepared.logical_qubits();
-            let mut total = vec![0.0; m];
-            for &(op_idx, slot) in &occ {
-                let scale = match self.circuit.ops()[op_idx].params[slot] {
-                    ParamValue::Sym { scale, .. } => scale,
-                    ParamValue::Const(_) => continue,
-                };
-                let plus = self.circuit.with_occurrence_shift(op_idx, slot, FRAC_PI_2);
-                let minus = self.circuit.with_occurrence_shift(op_idx, slot, -FRAC_PI_2);
-                let fp = self
-                    .backend
-                    .expectations(&plus, theta, self.execution, rng);
-                let fm = self
-                    .backend
-                    .expectations(&minus, theta, self.execution, rng);
-                for ((t, p), mm) in total.iter_mut().zip(&fp).zip(&fm) {
-                    *t += scale * 0.5 * (p - mm);
-                }
-            }
-            total
+    /// Submits a job batch through the engine's backend, honouring a
+    /// [`Self::with_workers`] override. Callers assembling their own
+    /// batches (e.g. a whole minibatch) use this instead of going to the
+    /// backend directly.
+    pub fn run_batch(&self, jobs: &[CircuitJob<'_>]) -> Vec<Vec<f64>> {
+        match self.workers {
+            Some(w) => self.backend.run_batch_workers(jobs, w),
+            None => self.backend.run_batch(jobs),
         }
     }
 
-    /// The full Jacobian: `num_trainable` rows of `∂f/∂θᵢ`.
-    pub fn jacobian(&self, theta: &[f64], rng: &mut dyn RngCore) -> Jacobian {
-        (0..self.num_trainable)
-            .map(|i| self.gradient_row(theta, i, rng))
-            .collect()
+    /// The forward job `f(θ)` under `master_seed` (stream
+    /// [`FORWARD_STREAM`]), for callers assembling larger batches.
+    pub fn forward_job(&self, theta: &[f64], master_seed: u64) -> CircuitJob<'_> {
+        CircuitJob::expectation(
+            &self.prepared,
+            theta.to_vec(),
+            self.execution,
+            job_seed(master_seed, FORWARD_STREAM),
+        )
+    }
+
+    /// Unshifted forward evaluation `f(θ)`.
+    pub fn value(&self, theta: &[f64], master_seed: u64) -> Vec<f64> {
+        self.backend.run_job(&self.forward_job(theta, master_seed))
+    }
+
+    /// Builds the full ±π/2 job set for the requested rows (`None` = all
+    /// trainable symbols, the pruning path passes a subset) plus the recipe
+    /// to assemble results into rows.
+    ///
+    /// Callers either submit the jobs themselves (possibly concatenated
+    /// with other work, e.g. a whole minibatch) or use [`Self::jacobian`].
+    pub fn jacobian_jobs(
+        &self,
+        theta: &[f64],
+        subset: Option<&[usize]>,
+        master_seed: u64,
+    ) -> (Vec<CircuitJob<'_>>, JacobianPlan) {
+        let indices: Vec<usize> = match subset {
+            Some(s) => s.to_vec(),
+            None => (0..self.num_trainable).collect(),
+        };
+        let mut jobs = Vec::new();
+        let mut rows = Vec::with_capacity(indices.len());
+        for &i in &indices {
+            assert!(i < self.num_trainable, "symbol {i} not trainable");
+            let mut terms = Vec::new();
+            match &self.plans[i] {
+                SymbolPlan::Simple => {
+                    let mut plus = theta.to_vec();
+                    plus[i] += FRAC_PI_2;
+                    let mut minus = theta.to_vec();
+                    minus[i] -= FRAC_PI_2;
+                    let p = jobs.len();
+                    jobs.push(CircuitJob::expectation(
+                        &self.prepared,
+                        plus,
+                        self.execution,
+                        job_seed(master_seed, shift_stream(i, 0, false)),
+                    ));
+                    jobs.push(CircuitJob::expectation(
+                        &self.prepared,
+                        minus,
+                        self.execution,
+                        job_seed(master_seed, shift_stream(i, 0, true)),
+                    ));
+                    terms.push((p, p + 1, 1.0));
+                }
+                SymbolPlan::Occurrences(shifts) => {
+                    for (k, shift) in shifts.iter().enumerate() {
+                        let p = jobs.len();
+                        jobs.push(CircuitJob::expectation(
+                            &shift.plus,
+                            theta.to_vec(),
+                            self.execution,
+                            job_seed(master_seed, shift_stream(i, k, false)),
+                        ));
+                        jobs.push(CircuitJob::expectation(
+                            &shift.minus,
+                            theta.to_vec(),
+                            self.execution,
+                            job_seed(master_seed, shift_stream(i, k, true)),
+                        ));
+                        terms.push((p, p + 1, shift.scale));
+                    }
+                }
+            }
+            rows.push(terms);
+        }
+        let num_jobs = jobs.len();
+        (
+            jobs,
+            JacobianPlan {
+                rows,
+                num_jobs,
+                num_outputs: self.prepared.logical_qubits(),
+            },
+        )
+    }
+
+    /// Gradient row `∂f/∂θᵢ` for one trainable symbol.
+    pub fn gradient_row(&self, theta: &[f64], i: usize, master_seed: u64) -> Vec<f64> {
+        self.jacobian_subset(theta, &[i], master_seed).remove(0)
+    }
+
+    /// The full Jacobian: `num_trainable` rows of `∂f/∂θᵢ`, computed as one
+    /// batch submission.
+    pub fn jacobian(&self, theta: &[f64], master_seed: u64) -> Jacobian {
+        let (jobs, plan) = self.jacobian_jobs(theta, None, master_seed);
+        plan.assemble(&self.run_batch(&jobs))
     }
 
     /// Jacobian rows for a subset of symbols (the gradient-pruning path);
-    /// rows come back in `subset` order.
-    pub fn jacobian_subset(
-        &self,
-        theta: &[f64],
-        subset: &[usize],
-        rng: &mut dyn RngCore,
-    ) -> Jacobian {
-        subset
-            .iter()
-            .map(|&i| self.gradient_row(theta, i, rng))
-            .collect()
+    /// rows come back in `subset` order and are bit-identical to the same
+    /// rows of the full [`Self::jacobian`] under the same master seed.
+    pub fn jacobian_subset(&self, theta: &[f64], subset: &[usize], master_seed: u64) -> Jacobian {
+        let (jobs, plan) = self.jacobian_jobs(theta, Some(subset), master_seed);
+        plan.assemble(&self.run_batch(&jobs))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qoc_device::backend::NoiselessBackend;
+    use qoc_device::backend::{FakeDevice, NoiselessBackend};
+    use qoc_device::backends::fake_lima;
     use qoc_sim::simulator::StatevectorSimulator;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn finite_difference(circuit: &Circuit, theta: &[f64], i: usize) -> Vec<f64> {
         let sim = StatevectorSimulator::new();
@@ -192,7 +366,10 @@ mod tests {
         minus[i] -= eps;
         let fp = sim.expectations_z(circuit, &plus);
         let fm = sim.expectations_z(circuit, &minus);
-        fp.iter().zip(&fm).map(|(p, m)| (p - m) / (2.0 * eps)).collect()
+        fp.iter()
+            .zip(&fm)
+            .map(|(p, m)| (p - m) / (2.0 * eps))
+            .collect()
     }
 
     fn ansatz_circuit() -> Circuit {
@@ -211,15 +388,11 @@ mod tests {
         let c = ansatz_circuit();
         let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
         let theta = [0.37, -0.81, 1.2, 0.05, -1.7];
-        let mut rng = StdRng::seed_from_u64(1);
-        let jac = engine.jacobian(&theta, &mut rng);
-        for i in 0..5 {
+        let jac = engine.jacobian(&theta, 1);
+        for (i, row) in jac.iter().enumerate() {
             let fd = finite_difference(&c, &theta, i);
-            for (q, (a, b)) in jac[i].iter().zip(&fd).enumerate() {
-                assert!(
-                    (a - b).abs() < 1e-6,
-                    "∂f[{q}]/∂θ[{i}]: shift {a} vs fd {b}"
-                );
+            for (q, (a, b)) in row.iter().zip(&fd).enumerate() {
+                assert!((a - b).abs() < 1e-6, "∂f[{q}]/∂θ[{i}]: shift {a} vs fd {b}");
             }
         }
     }
@@ -235,12 +408,32 @@ mod tests {
         let backend = NoiselessBackend::new();
         let engine = ParameterShiftEngine::new(&backend, &c, 2, Execution::Exact);
         let theta = [0.9, -0.4];
-        let mut rng = StdRng::seed_from_u64(2);
-        let jac = engine.jacobian(&theta, &mut rng);
+        let jac = engine.jacobian(&theta, 2);
         let fd = finite_difference(&c, &theta, 0);
         for (a, b) in jac[0].iter().zip(&fd) {
             assert!((a - b).abs() < 1e-6, "shared-param grad {a} vs fd {b}");
         }
+    }
+
+    #[test]
+    fn shared_parameter_circuits_are_prepared_once() {
+        // Satellite regression: the general path must reuse cached
+        // PreparedCircuits — evaluating the Jacobian twice must not
+        // re-transpile (NoiselessBackend counts prepare-free runs only, so
+        // count executed circuits instead: 2 occurrences × 2 signs + 2
+        // simple jobs per Jacobian, and nothing else).
+        let mut c = Circuit::new(2);
+        c.ry(0, ParamValue::sym(0));
+        c.ry(1, ParamValue::sym(0));
+        c.rzz(0, 1, ParamValue::sym(1));
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(&backend, &c, 2, Execution::Exact);
+        backend.reset_stats();
+        let _ = engine.jacobian(&[0.9, -0.4], 0);
+        let _ = engine.jacobian(&[0.9, -0.4], 0);
+        // Per Jacobian: symbol 0 → 2 occurrences × 2 signs = 4 runs;
+        // symbol 1 → 2 runs. Total 12 for two Jacobians.
+        assert_eq!(backend.stats().circuits_run, 12);
     }
 
     #[test]
@@ -260,10 +453,14 @@ mod tests {
         let backend = NoiselessBackend::new();
         let engine = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
         let theta = [0.6];
-        let mut rng = StdRng::seed_from_u64(3);
-        let jac = engine.jacobian(&theta, &mut rng);
+        let jac = engine.jacobian(&theta, 3);
         let fd = finite_difference(&c, &theta, 0);
-        assert!((jac[0][0] - fd[0]).abs() < 1e-6, "{} vs {}", jac[0][0], fd[0]);
+        assert!(
+            (jac[0][0] - fd[0]).abs() < 1e-6,
+            "{} vs {}",
+            jac[0][0],
+            fd[0]
+        );
     }
 
     #[test]
@@ -283,10 +480,14 @@ mod tests {
         let backend = NoiselessBackend::new();
         let engine = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
         let theta = [0.8];
-        let mut rng = StdRng::seed_from_u64(8);
-        let jac = engine.jacobian(&theta, &mut rng);
+        let jac = engine.jacobian(&theta, 8);
         let fd = finite_difference(&c, &theta, 0);
-        assert!((jac[0][0] - fd[0]).abs() < 1e-6, "{} vs {}", jac[0][0], fd[0]);
+        assert!(
+            (jac[0][0] - fd[0]).abs() < 1e-6,
+            "{} vs {}",
+            jac[0][0],
+            fd[0]
+        );
         // Sanity: ⟨Z⟩ = cos(−θ) = cos θ, so d⟨Z⟩/dθ = −sin θ.
         assert!((jac[0][0] + 0.8f64.sin()).abs() < 1e-9);
     }
@@ -300,22 +501,51 @@ mod tests {
         let backend = NoiselessBackend::new();
         let engine = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
         assert_eq!(engine.num_trainable(), 1);
-        let mut rng = StdRng::seed_from_u64(4);
-        let jac = engine.jacobian(&[0.4, 0.7], &mut rng);
+        let jac = engine.jacobian(&[0.4, 0.7], 4);
         assert_eq!(jac.len(), 1);
     }
 
     #[test]
-    fn jacobian_subset_selects_rows() {
+    fn jacobian_subset_selects_rows_even_under_shots() {
+        // Stream ids depend on the symbol, not the batch position, so
+        // subset rows are bit-identical to full-Jacobian rows even with
+        // finite-shot sampling noise.
         let backend = NoiselessBackend::new();
         let c = ansatz_circuit();
-        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Shots(256));
         let theta = [0.1, 0.2, 0.3, 0.4, 0.5];
-        let mut rng = StdRng::seed_from_u64(5);
-        let full = engine.jacobian(&theta, &mut rng);
-        let sub = engine.jacobian_subset(&theta, &[4, 1], &mut rng);
+        let full = engine.jacobian(&theta, 5);
+        let sub = engine.jacobian_subset(&theta, &[4, 1], 5);
         assert_eq!(sub[0], full[4]);
         assert_eq!(sub[1], full[1]);
+    }
+
+    #[test]
+    fn batched_jacobian_is_worker_count_invariant() {
+        // Satellite regression: 1, 2, and 8 workers give bit-identical
+        // Jacobians on both backend kinds, with and without shots.
+        let c = ansatz_circuit();
+        let noiseless = NoiselessBackend::new();
+        let device = FakeDevice::new(fake_lima());
+        let backends: [&dyn QuantumBackend; 2] = [&noiseless, &device];
+        for backend in backends {
+            for execution in [Execution::Exact, Execution::Shots(128)] {
+                let serial = ParameterShiftEngine::new(backend, &c, 5, execution)
+                    .with_workers(1)
+                    .jacobian(&[0.3, -0.2, 0.8, 0.1, 0.5], 0xFEED);
+                for workers in [2, 8] {
+                    let batched = ParameterShiftEngine::new(backend, &c, 5, execution)
+                        .with_workers(workers)
+                        .jacobian(&[0.3, -0.2, 0.8, 0.1, 0.5], 0xFEED);
+                    assert_eq!(
+                        batched,
+                        serial,
+                        "{} diverged at {workers} workers ({execution:?})",
+                        backend.name()
+                    );
+                }
+            }
+        }
     }
 
     #[test]
@@ -324,8 +554,7 @@ mod tests {
         let c = ansatz_circuit();
         let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
         backend.reset_stats();
-        let mut rng = StdRng::seed_from_u64(6);
-        let _ = engine.jacobian(&[0.0; 5], &mut rng);
+        let _ = engine.jacobian(&[0.0; 5], 6);
         // 2 runs per parameter (all symbols are simple here).
         assert_eq!(backend.stats().circuits_run, 10);
     }

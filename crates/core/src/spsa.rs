@@ -8,11 +8,30 @@
 //! paper's exact gradients are competing against. `ablation_spsa` benches
 //! the two head-to-head at equal circuit budgets.
 //!
+//! The objective is **batched**: the optimizer hands over a set of candidate
+//! parameter vectors (the ± pair of a step arrives together) plus a master
+//! seed, so a backend-driven objective can submit both circuits in a single
+//! [`run_batch`](qoc_device::backend::QuantumBackend::run_batch) and derive
+//! each candidate's shot noise from `job_seed(master, candidate_idx)`.
+//!
 //! Gain sequences follow Spall's standard schedules
 //! `aₖ = a/(k+1+A)^α`, `cₖ = c/(k+1)^γ` with `α = 0.602`, `γ = 0.101`.
 
-use rand::{Rng, RngCore};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+use qoc_device::backend::job_seed;
+
+/// Batched SPSA objective: losses for a set of candidate parameter vectors,
+/// evaluated under the given master seed (one deterministic stream per
+/// candidate index).
+pub type SpsaObjective<'a> = dyn FnMut(&[Vec<f64>], u64) -> Vec<f64> + 'a;
+
+/// Stream id (under the optimizer's master seed) for the Rademacher
+/// direction draws; objective evaluations use step-indexed streams below
+/// this.
+const DIRECTION_STREAM: u64 = u64::MAX;
 
 /// SPSA hyper-parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -64,24 +83,28 @@ pub struct SpsaResult {
     pub evaluations: u64,
 }
 
-/// Minimizes `objective(θ, rng)` with SPSA from `initial`.
+/// Minimizes the batched `objective` with SPSA from `initial`.
 ///
-/// The objective is any noisy scalar function — for QOC workloads, a closure
-/// that runs circuits on a backend and returns the batch loss or VQE energy.
+/// Step `k` calls the objective twice: once with the candidate pair
+/// `[θ+cΔ, θ−cΔ]` under `job_seed(master_seed, 2k)`, then once with the
+/// updated `[θ]` (monitoring) under `job_seed(master_seed, 2k+1)`. The
+/// Rademacher directions come from their own stream, so the trajectory is a
+/// pure function of `master_seed`.
 ///
 /// # Panics
 ///
 /// Panics if `steps == 0` or `initial` is empty.
 pub fn minimize_spsa(
-    objective: &mut dyn FnMut(&[f64], &mut dyn RngCore) -> f64,
+    objective: &mut SpsaObjective<'_>,
     initial: &[f64],
     steps: usize,
     config: &SpsaConfig,
-    rng: &mut dyn RngCore,
+    master_seed: u64,
 ) -> SpsaResult {
     assert!(steps > 0, "need at least one SPSA step");
     assert!(!initial.is_empty(), "empty parameter vector");
     let n = initial.len();
+    let mut direction_rng = StdRng::seed_from_u64(job_seed(master_seed, DIRECTION_STREAM));
     let mut params = initial.to_vec();
     let mut losses = Vec::with_capacity(steps);
     let mut evaluations = 0u64;
@@ -90,19 +113,29 @@ pub fn minimize_spsa(
         let ak = config.step_size(k);
         // Rademacher direction.
         let delta: Vec<f64> = (0..n)
-            .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+            .map(|_| {
+                if direction_rng.gen::<bool>() {
+                    1.0
+                } else {
+                    -1.0
+                }
+            })
             .collect();
         let plus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p + ck * d).collect();
         let minus: Vec<f64> = params.iter().zip(&delta).map(|(p, d)| p - ck * d).collect();
-        let f_plus = objective(&plus, rng);
-        let f_minus = objective(&minus, rng);
+        let pair = objective(&[plus, minus], job_seed(master_seed, 2 * k as u64));
+        assert_eq!(pair.len(), 2, "objective must score every candidate");
         evaluations += 2;
-        let scale = (f_plus - f_minus) / (2.0 * ck);
+        let scale = (pair[0] - pair[1]) / (2.0 * ck);
         for (p, d) in params.iter_mut().zip(&delta) {
             // ĝᵢ = scale / Δᵢ = scale·Δᵢ for ±1 entries.
             *p -= ak * scale * d;
         }
-        losses.push(objective(&params, rng));
+        let monitor = objective(
+            std::slice::from_ref(&params),
+            job_seed(master_seed, 2 * k as u64 + 1),
+        );
+        losses.push(monitor[0]);
         evaluations += 1;
     }
     SpsaResult {
@@ -115,16 +148,13 @@ pub fn minimize_spsa(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
-    fn quadratic(target: &[f64]) -> impl FnMut(&[f64], &mut dyn RngCore) -> f64 + '_ {
-        move |theta, _| {
-            theta
+    fn quadratic(target: &[f64]) -> impl FnMut(&[Vec<f64>], u64) -> Vec<f64> + '_ {
+        move |candidates, _seed| {
+            candidates
                 .iter()
-                .zip(target)
-                .map(|(t, g)| (t - g).powi(2))
-                .sum()
+                .map(|theta| theta.iter().zip(target).map(|(t, g)| (t - g).powi(2)).sum())
+                .collect()
         }
     }
 
@@ -140,14 +170,7 @@ mod tests {
     fn minimizes_deterministic_quadratic() {
         let target = [0.8, -0.3, 1.5];
         let mut obj = quadratic(&target);
-        let mut rng = StdRng::seed_from_u64(1);
-        let result = minimize_spsa(
-            &mut obj,
-            &[0.0; 3],
-            400,
-            &SpsaConfig::standard(400),
-            &mut rng,
-        );
+        let result = minimize_spsa(&mut obj, &[0.0; 3], 400, &SpsaConfig::standard(400), 1);
         let dist: f64 = result
             .params
             .iter()
@@ -161,22 +184,22 @@ mod tests {
     #[test]
     fn tolerates_noisy_objectives() {
         let target = [0.5, 0.5];
-        let mut obj = move |theta: &[f64], rng: &mut dyn RngCore| -> f64 {
-            let clean: f64 = theta
+        let mut obj = move |candidates: &[Vec<f64>], seed: u64| -> Vec<f64> {
+            candidates
                 .iter()
-                .zip(&target)
-                .map(|(t, g)| (t - g).powi(2))
-                .sum();
-            clean + 0.02 * (rng.gen::<f64>() - 0.5)
+                .enumerate()
+                .map(|(i, theta)| {
+                    let mut rng = StdRng::seed_from_u64(job_seed(seed, i as u64));
+                    let clean: f64 = theta
+                        .iter()
+                        .zip(&target)
+                        .map(|(t, g)| (t - g).powi(2))
+                        .sum();
+                    clean + 0.02 * (rng.gen::<f64>() - 0.5)
+                })
+                .collect()
         };
-        let mut rng = StdRng::seed_from_u64(2);
-        let result = minimize_spsa(
-            &mut obj,
-            &[2.0, -2.0],
-            600,
-            &SpsaConfig::standard(600),
-            &mut rng,
-        );
+        let result = minimize_spsa(&mut obj, &[2.0, -2.0], 600, &SpsaConfig::standard(600), 2);
         let dist: f64 = result
             .params
             .iter()
@@ -189,18 +212,24 @@ mod tests {
     #[test]
     fn evaluation_budget_is_three_per_step() {
         let mut obj = quadratic(&[0.0]);
-        let mut rng = StdRng::seed_from_u64(3);
-        let result =
-            minimize_spsa(&mut obj, &[1.0], 25, &SpsaConfig::standard(25), &mut rng);
+        let result = minimize_spsa(&mut obj, &[1.0], 25, &SpsaConfig::standard(25), 3);
         assert_eq!(result.evaluations, 75);
         assert_eq!(result.losses.len(), 25);
+    }
+
+    #[test]
+    fn trajectory_is_a_pure_function_of_the_master_seed() {
+        let mut a = quadratic(&[0.7]);
+        let mut b = quadratic(&[0.7]);
+        let ra = minimize_spsa(&mut a, &[0.0], 30, &SpsaConfig::standard(30), 9);
+        let rb = minimize_spsa(&mut b, &[0.0], 30, &SpsaConfig::standard(30), 9);
+        assert_eq!(ra, rb);
     }
 
     #[test]
     #[should_panic(expected = "at least one")]
     fn rejects_zero_steps() {
         let mut obj = quadratic(&[0.0]);
-        let mut rng = StdRng::seed_from_u64(4);
-        let _ = minimize_spsa(&mut obj, &[1.0], 0, &SpsaConfig::standard(1), &mut rng);
+        let _ = minimize_spsa(&mut obj, &[1.0], 0, &SpsaConfig::standard(1), 4);
     }
 }

@@ -10,9 +10,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use rand::RngCore;
-
-use qoc_device::backend::{PreparedCircuit, QuantumBackend};
+use qoc_device::backend::{job_seed, CircuitJob, Execution, PreparedCircuit, QuantumBackend};
 use qoc_sim::circuit::Circuit;
 use qoc_sim::gates::GateKind;
 use qoc_sim::pauli::{Pauli, PauliString};
@@ -304,48 +302,84 @@ impl<'a> VqeProblem<'a> {
         &self.hamiltonian
     }
 
-    /// Measures the energy `E(θ) = c₀ + Σ cᵢ⟨Pᵢ⟩` at parameters `theta`.
-    pub fn energy(&self, theta: &[f64], rng: &mut dyn RngCore) -> f64 {
-        let mut e = self.hamiltonian.constant();
-        for (c, mask, prepared) in &self.prepared_terms {
-            let probs = match self.shots {
-                None => self.backend.outcome_probabilities(prepared, theta),
-                Some(shots) => {
-                    let counts = self.backend.outcome_counts(prepared, theta, shots, rng);
-                    let mut probs = vec![0.0; 1 << self.hamiltonian.num_qubits()];
-                    for (&s, &n) in &counts {
-                        probs[s] = n as f64 / shots as f64;
-                    }
-                    probs
-                }
-            };
-            e += c * term_expectation_from_probs(&probs, *mask);
+    fn execution(&self) -> Execution {
+        match self.shots {
+            None => Execution::Exact,
+            Some(s) => Execution::Shots(s),
         }
-        e
+    }
+
+    /// Outcome-distribution jobs for all Hamiltonian terms at `theta`; term
+    /// `t` draws from the stream `base_stream + t` under `master_seed`.
+    fn term_jobs(&self, theta: &[f64], master_seed: u64, base_stream: u64) -> Vec<CircuitJob<'_>> {
+        self.prepared_terms
+            .iter()
+            .enumerate()
+            .map(|(t, (_, _, prepared))| {
+                CircuitJob::distribution(
+                    prepared,
+                    theta.to_vec(),
+                    self.execution(),
+                    job_seed(master_seed, base_stream + t as u64),
+                )
+            })
+            .collect()
+    }
+
+    /// Energy from one result distribution per Hamiltonian term.
+    fn energy_from_results(&self, results: &[Vec<f64>]) -> f64 {
+        self.hamiltonian.constant()
+            + self
+                .prepared_terms
+                .iter()
+                .zip(results)
+                .map(|((c, mask, _), probs)| c * term_expectation_from_probs(probs, *mask))
+                .sum::<f64>()
+    }
+
+    /// Measures the energy `E(θ) = c₀ + Σ cᵢ⟨Pᵢ⟩` at parameters `theta`:
+    /// every Hamiltonian term goes out in one backend batch.
+    pub fn energy(&self, theta: &[f64], master_seed: u64) -> f64 {
+        let jobs = self.term_jobs(theta, master_seed, 0);
+        self.energy_from_results(&self.backend.run_batch(&jobs))
     }
 
     /// Energy gradient via the parameter-shift rule, restricted to `subset`
     /// when given (the gradient-pruning path).
-    pub fn gradient(
-        &self,
-        theta: &[f64],
-        subset: Option<&[usize]>,
-        rng: &mut dyn RngCore,
-    ) -> Vec<f64> {
+    ///
+    /// All `2·|subset|·num_terms` shifted measurements are submitted as a
+    /// single backend batch. The shift job for parameter `i`, sign `s`,
+    /// term `t` draws from the stream `((2i+s+1) << 32) + t` — a function
+    /// of the measurement's identity (offset past the streams [`Self::energy`]
+    /// uses), so subset gradients are bit-identical to the same entries of
+    /// the full gradient.
+    pub fn gradient(&self, theta: &[f64], subset: Option<&[usize]>, master_seed: u64) -> Vec<f64> {
         let indices: Vec<usize> = match subset {
             Some(s) => s.to_vec(),
             None => (0..self.num_params).collect(),
         };
-        let mut grad = vec![0.0; self.num_params];
+        let mut jobs = Vec::with_capacity(2 * indices.len() * self.prepared_terms.len());
         for &i in &indices {
             // Every ansatz symbol occurs once with scale 1 (layer-built), so
             // the symbol-level ±π/2 shift applies; for general circuits the
             // occurrence sum of `ParameterShiftEngine` would be needed.
-            let mut plus = theta.to_vec();
-            plus[i] += std::f64::consts::FRAC_PI_2;
-            let mut minus = theta.to_vec();
-            minus[i] -= std::f64::consts::FRAC_PI_2;
-            grad[i] = 0.5 * (self.energy(&plus, rng) - self.energy(&minus, rng));
+            for (sign, shift) in [std::f64::consts::FRAC_PI_2, -std::f64::consts::FRAC_PI_2]
+                .into_iter()
+                .enumerate()
+            {
+                let mut shifted = theta.to_vec();
+                shifted[i] += shift;
+                let stream = (2 * i as u64 + sign as u64 + 1) << 32;
+                jobs.extend(self.term_jobs(&shifted, master_seed, stream));
+            }
+        }
+        let results = self.backend.run_batch(&jobs);
+        let per_eval = self.prepared_terms.len();
+        let mut grad = vec![0.0; self.num_params];
+        for (slot, &i) in indices.iter().enumerate() {
+            let plus = self.energy_from_results(&results[2 * slot * per_eval..]);
+            let minus = self.energy_from_results(&results[(2 * slot + 1) * per_eval..]);
+            grad[i] = 0.5 * (plus - minus);
         }
         grad
     }
@@ -422,7 +456,12 @@ pub fn run_vqe(problem: &VqeProblem<'_>, config: &VqeConfig) -> VqeResult {
             Selection::Full => None,
             Selection::Subset(s) => Some(s.clone()),
         };
-        let grad = problem.gradient(&params, subset.as_deref(), &mut rng);
+        // One backend master seed per gradient batch / monitoring energy.
+        let grad = problem.gradient(
+            &params,
+            subset.as_deref(),
+            job_seed(config.seed, 2 * step as u64),
+        );
         pruner.record(&grad);
         optimizer.step(
             &mut params,
@@ -430,7 +469,7 @@ pub fn run_vqe(problem: &VqeProblem<'_>, config: &VqeConfig) -> VqeResult {
             config.schedule.lr(step),
             subset.as_deref(),
         );
-        let e = problem.energy(&params, &mut rng);
+        let e = problem.energy(&params, job_seed(config.seed, 2 * step as u64 + 1));
         best = best.min(e);
         energies.push(e);
     }
@@ -490,8 +529,6 @@ mod tests {
     use super::*;
     use qoc_device::backend::NoiselessBackend;
     use qoc_sim::simulator::StatevectorSimulator;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     #[test]
     fn tfim_structure() {
@@ -535,8 +572,7 @@ mod tests {
         let theta: Vec<f64> = (0..problem.num_params())
             .map(|k| 0.3 * k as f64 - 0.7)
             .collect();
-        let mut rng = StdRng::seed_from_u64(1);
-        let measured = problem.energy(&theta, &mut rng);
+        let measured = problem.energy(&theta, 1);
         let state = StatevectorSimulator::new().run(&ansatz, &theta);
         let exact = h.expectation(&state);
         assert!(
@@ -553,17 +589,19 @@ mod tests {
         let theta: Vec<f64> = (0..problem.num_params())
             .map(|k| 0.2 * k as f64 + 0.1)
             .collect();
-        let mut rng = StdRng::seed_from_u64(2);
-        let grad = problem.gradient(&theta, None, &mut rng);
+        let grad = problem.gradient(&theta, None, 2);
         let eps = 1e-6;
         for i in 0..theta.len() {
             let mut tp = theta.clone();
             tp[i] += eps;
             let mut tm = theta.clone();
             tm[i] -= eps;
-            let fd =
-                (problem.energy(&tp, &mut rng) - problem.energy(&tm, &mut rng)) / (2.0 * eps);
-            assert!((grad[i] - fd).abs() < 1e-5, "∂E/∂θ[{i}]: {} vs {fd}", grad[i]);
+            let fd = (problem.energy(&tp, 0) - problem.energy(&tm, 0)) / (2.0 * eps);
+            assert!(
+                (grad[i] - fd).abs() < 1e-5,
+                "∂E/∂θ[{i}]: {} vs {fd}",
+                grad[i]
+            );
         }
     }
 
@@ -620,12 +658,26 @@ mod tests {
         let exact_problem = VqeProblem::new(&backend, &ansatz, h.clone(), None);
         let shot_problem = VqeProblem::new(&backend, &ansatz, h, Some(20_000));
         let theta = vec![0.4; exact_problem.num_params()];
-        let mut rng = StdRng::seed_from_u64(3);
-        let exact = exact_problem.energy(&theta, &mut rng);
-        let sampled = shot_problem.energy(&theta, &mut rng);
+        let exact = exact_problem.energy(&theta, 3);
+        let sampled = shot_problem.energy(&theta, 3);
         assert!(
             (exact - sampled).abs() < 0.05,
             "sampled energy {sampled} too far from exact {exact}"
         );
+    }
+
+    #[test]
+    fn subset_gradient_matches_full_gradient_under_shots() {
+        // Stream ids are a function of (parameter, sign, term), so pruned
+        // gradient entries reproduce the full gradient's bit-for-bit even
+        // with shot noise.
+        let backend = NoiselessBackend::new();
+        let ansatz = hardware_efficient_ansatz(2, 1);
+        let problem = VqeProblem::new(&backend, &ansatz, Hamiltonian::h2_minimal(), Some(256));
+        let theta: Vec<f64> = (0..problem.num_params()).map(|k| 0.1 * k as f64).collect();
+        let full = problem.gradient(&theta, None, 11);
+        let sub = problem.gradient(&theta, Some(&[1, 4]), 11);
+        assert_eq!(sub[1], full[1]);
+        assert_eq!(sub[4], full[4]);
     }
 }

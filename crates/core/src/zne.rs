@@ -7,9 +7,7 @@
 //! logically the identity transformation but multiplies the physical gate
 //! count (and hence the accumulated error) by `2k + 1`.
 
-use rand::RngCore;
-
-use qoc_device::backend::{Execution, QuantumBackend};
+use qoc_device::backend::{job_seed, CircuitJob, Execution, QuantumBackend};
 use qoc_sim::circuit::Circuit;
 
 /// Builds the folded circuit `U (U† U)ᵏ` with scale factor `2k + 1`.
@@ -18,7 +16,10 @@ use qoc_sim::circuit::Circuit;
 ///
 /// Panics if `scale` is even or zero (folding only realizes odd factors).
 pub fn fold_global(circuit: &Circuit, scale: usize) -> Circuit {
-    assert!(scale % 2 == 1, "folding realizes odd scale factors, got {scale}");
+    assert!(
+        scale % 2 == 1,
+        "folding realizes odd scale factors, got {scale}"
+    );
     let k = (scale - 1) / 2;
     let mut out = circuit.clone();
     let inverse = circuit.inverse();
@@ -57,18 +58,16 @@ fn linear_intercept(xs: &[f64], ys: &[f64]) -> f64 {
     if sxx < 1e-12 {
         return my;
     }
-    let sxy: f64 = xs
-        .iter()
-        .zip(ys)
-        .map(|(x, y)| (x - mx) * (y - my))
-        .sum();
+    let sxy: f64 = xs.iter().zip(ys).map(|(x, y)| (x - mx) * (y - my)).sum();
     let b = sxy / sxx;
     my - b * mx
 }
 
 /// Richardson/linear extrapolation of per-qubit Z expectations to zero
-/// noise: run `circuit` at each odd `scale` in `scales`, fit each qubit's
-/// expectation linearly in the scale, and report the intercept.
+/// noise: run `circuit` at each odd `scale` in `scales` — all scales
+/// submitted as one backend batch, each drawing shot noise from the stream
+/// `job_seed(master_seed, scale)` — fit each qubit's expectation linearly
+/// in the scale, and report the intercept.
 ///
 /// # Panics
 ///
@@ -79,19 +78,34 @@ pub fn zero_noise_extrapolate(
     theta: &[f64],
     scales: &[usize],
     execution: Execution,
-    rng: &mut dyn RngCore,
+    master_seed: u64,
 ) -> ZneResult {
     assert!(!scales.is_empty(), "need at least one noise scale");
-    let mut points = Vec::with_capacity(scales.len());
-    for &scale in scales {
-        let folded = fold_global(circuit, scale);
-        let prepared = backend.prepare(&folded);
-        let expectations = backend.run_prepared(&prepared, theta, execution, rng);
-        points.push(ZnePoint {
+    let prepared: Vec<_> = scales
+        .iter()
+        .map(|&scale| backend.prepare(&fold_global(circuit, scale)))
+        .collect();
+    let jobs: Vec<CircuitJob<'_>> = prepared
+        .iter()
+        .zip(scales)
+        .map(|(p, &scale)| {
+            CircuitJob::expectation(
+                p,
+                theta.to_vec(),
+                execution,
+                job_seed(master_seed, scale as u64),
+            )
+        })
+        .collect();
+    let points: Vec<ZnePoint> = backend
+        .run_batch(&jobs)
+        .into_iter()
+        .zip(scales)
+        .map(|(expectations, &scale)| ZnePoint {
             scale,
             expectations,
-        });
-    }
+        })
+        .collect();
     let num_qubits = points[0].expectations.len();
     let xs: Vec<f64> = points.iter().map(|p| p.scale as f64).collect();
     let extrapolated = (0..num_qubits)
@@ -167,17 +181,8 @@ mod tests {
         let theta = [0.4];
         let ideal = simulator.expectations(&c, &theta, Execution::Exact, &mut rng);
         let raw = device.expectations(&c, &theta, Execution::Exact, &mut rng);
-        let zne = zero_noise_extrapolate(
-            &device,
-            &c,
-            &theta,
-            &[1, 3, 5],
-            Execution::Exact,
-            &mut rng,
-        );
-        let err = |v: &[f64]| -> f64 {
-            v.iter().zip(&ideal).map(|(a, b)| (a - b).abs()).sum()
-        };
+        let zne = zero_noise_extrapolate(&device, &c, &theta, &[1, 3, 5], Execution::Exact, 7);
+        let err = |v: &[f64]| -> f64 { v.iter().zip(&ideal).map(|(a, b)| (a - b).abs()).sum() };
         assert!(
             err(&zne.extrapolated) < err(&raw),
             "ZNE {} did not beat raw {}",

@@ -71,8 +71,7 @@ proptest! {
         let theta: Vec<f64> = (0..n_params)
             .map(|k| theta_seed + 0.37 * k as f64)
             .collect();
-        let mut rng = StdRng::seed_from_u64(1);
-        let jac = engine.jacobian(&theta, &mut rng);
+        let jac = engine.jacobian(&theta, 1);
 
         let sim = StatevectorSimulator::new();
         let eps = 1e-6;

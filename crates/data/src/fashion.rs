@@ -143,7 +143,15 @@ pub fn render_fashion<R: Rng + ?Sized>(class: FashionClass, rng: &mut R) -> Imag
             // a collar notch left unfilled.
             j.poly(
                 &mut img,
-                &[(0.36, 0.16), (0.44, 0.16), (0.50, 0.26), (0.56, 0.16), (0.64, 0.16), (0.66, 0.90), (0.34, 0.90)],
+                &[
+                    (0.36, 0.16),
+                    (0.44, 0.16),
+                    (0.50, 0.26),
+                    (0.56, 0.16),
+                    (0.64, 0.16),
+                    (0.66, 0.90),
+                    (0.34, 0.90),
+                ],
             );
             j.poly(
                 &mut img,

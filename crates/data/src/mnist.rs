@@ -105,8 +105,22 @@ pub fn render_digit<R: Rng + ?Sized>(digit: u8, rng: &mut R) -> Image {
         }
         3 => {
             // Two right-facing bumps.
-            arc(&mut img, &j, (0.45, 0.28), (0.26, 0.20), -PI * 0.95, PI * 0.45);
-            arc(&mut img, &j, (0.45, 0.70), (0.28, 0.22), -PI * 0.45, PI * 0.95);
+            arc(
+                &mut img,
+                &j,
+                (0.45, 0.28),
+                (0.26, 0.20),
+                -PI * 0.95,
+                PI * 0.45,
+            );
+            arc(
+                &mut img,
+                &j,
+                (0.45, 0.70),
+                (0.28, 0.22),
+                -PI * 0.45,
+                PI * 0.95,
+            );
         }
         6 => {
             // Downward hook into a bottom loop.
@@ -158,7 +172,10 @@ mod tests {
     fn deterministic_given_seed() {
         let mut r1 = StdRng::seed_from_u64(9);
         let mut r2 = StdRng::seed_from_u64(9);
-        assert_eq!(render_digit(6, &mut r1).pixels(), render_digit(6, &mut r2).pixels());
+        assert_eq!(
+            render_digit(6, &mut r1).pixels(),
+            render_digit(6, &mut r2).pixels()
+        );
     }
 
     #[test]

@@ -234,7 +234,11 @@ mod tests {
 
     #[test]
     fn batch_matches_single() {
-        let samples = vec![vec![1.0, 2.0, 3.0], vec![2.0, 1.0, 0.0], vec![0.0, 0.5, 1.5]];
+        let samples = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![2.0, 1.0, 0.0],
+            vec![0.0, 0.5, 1.5],
+        ];
         let pca = Pca::fit(&samples, 2);
         let batch = pca.transform_batch(&samples);
         for (s, b) in samples.iter().zip(&batch) {

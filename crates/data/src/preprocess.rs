@@ -148,7 +148,9 @@ mod tests {
     fn features_are_16_angles() {
         let feats = image_to_features(&gradient_image());
         assert_eq!(feats.len(), 16);
-        assert!(feats.iter().all(|&f| (0.0..=std::f64::consts::PI).contains(&f)));
+        assert!(feats
+            .iter()
+            .all(|&f| (0.0..=std::f64::consts::PI).contains(&f)));
         // Row-major: within a row, features increase with the x-gradient.
         assert!(feats[3] > feats[0]);
         // Across rows the gradient is constant.

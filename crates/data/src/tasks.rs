@@ -105,17 +105,26 @@ impl Task {
     pub fn load(self, seed: u64) -> (Dataset, Dataset) {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x9c0_f00d);
         match self {
-            Task::Mnist2 => image_task(&[3, 6], self, &mut |d, r| {
-                image_to_features(&render_digit(d, r))
-            }, &mut rng),
-            Task::Mnist4 => image_task(&[0, 1, 2, 3], self, &mut |d, r| {
-                image_to_features(&render_digit(d, r))
-            }, &mut rng),
+            Task::Mnist2 => image_task(
+                &[3, 6],
+                self,
+                &mut |d, r| image_to_features(&render_digit(d, r)),
+                &mut rng,
+            ),
+            Task::Mnist4 => image_task(
+                &[0, 1, 2, 3],
+                self,
+                &mut |d, r| image_to_features(&render_digit(d, r)),
+                &mut rng,
+            ),
             Task::Fashion2 => {
                 let classes = [FashionClass::Dress, FashionClass::Shirt];
-                image_task(&[0, 1], self, &mut |i, r| {
-                    image_to_features(&render_fashion(classes[i as usize], r))
-                }, &mut rng)
+                image_task(
+                    &[0, 1],
+                    self,
+                    &mut |i, r| image_to_features(&render_fashion(classes[i as usize], r)),
+                    &mut rng,
+                )
             }
             Task::Fashion4 => {
                 let classes = [
@@ -124,9 +133,12 @@ impl Task {
                     FashionClass::Pullover,
                     FashionClass::Dress,
                 ];
-                image_task(&[0, 1, 2, 3], self, &mut |i, r| {
-                    image_to_features(&render_fashion(classes[i as usize], r))
-                }, &mut rng)
+                image_task(
+                    &[0, 1, 2, 3],
+                    self,
+                    &mut |i, r| image_to_features(&render_fashion(classes[i as usize], r)),
+                    &mut rng,
+                )
             }
             Task::Vowel4 => vowel_task(self, &mut rng),
         }
@@ -147,7 +159,11 @@ pub struct ParseTaskError {
 
 impl fmt::Display for ParseTaskError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown task {:?} (try mnist-2/mnist-4/fashion-2/fashion-4/vowel-4)", self.name)
+        write!(
+            f,
+            "unknown task {:?} (try mnist-2/mnist-4/fashion-2/fashion-4/vowel-4)",
+            self.name
+        )
     }
 }
 
@@ -280,8 +296,16 @@ mod tests {
                 let (f, l) = val.example(i);
                 let pred = (0..k)
                     .min_by(|&a, &b| {
-                        let da: f64 = centroids[a].iter().zip(f).map(|(c, x)| (c - x).powi(2)).sum();
-                        let db: f64 = centroids[b].iter().zip(f).map(|(c, x)| (c - x).powi(2)).sum();
+                        let da: f64 = centroids[a]
+                            .iter()
+                            .zip(f)
+                            .map(|(c, x)| (c - x).powi(2))
+                            .sum();
+                        let db: f64 = centroids[b]
+                            .iter()
+                            .zip(f)
+                            .map(|(c, x)| (c - x).powi(2))
+                            .sum();
                         da.total_cmp(&db)
                     })
                     .unwrap();

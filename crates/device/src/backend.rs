@@ -13,9 +13,24 @@
 //!
 //! Backends count every circuit execution: the paper's Figure 6 x-axis
 //! ("number of inferences") comes from these counters.
+//!
+//! # Batched execution
+//!
+//! Real hardware accepts circuits in *batches* (one IBM job holds many bound
+//! circuits), and the parameter-shift rule produces exactly such batches:
+//! 2·n shifted bindings of one prepared circuit. [`CircuitJob`] describes one
+//! bound execution; [`QuantumBackend::run_batch`] fans a job list out over
+//! `std::thread::scope` workers. Every job carries its own RNG seed, derived
+//! from a caller-chosen master seed and a stable per-job stream id via
+//! [`job_seed`] (a SplitMix64 mix), so results are bit-identical regardless
+//! of worker count or scheduling order. Backends are `Send + Sync`; stats are
+//! atomic counters, with device-seconds accumulated as integer nanoseconds so
+//! parallel accumulation stays exact (integer addition commutes; float
+//! addition does not).
 
-use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering};
 
+use rand::rngs::StdRng;
 use rand::RngCore;
 
 use qoc_sim::circuit::Circuit;
@@ -103,11 +118,105 @@ impl PreparedCircuit {
     }
 }
 
+/// Derives a per-job RNG seed from a master seed and a stable stream id.
+///
+/// SplitMix64 finalizer over the mixed pair: statistically independent
+/// streams for distinct `(master, stream)` pairs, and a pure function of
+/// them — the foundation of batch determinism. Callers assign each job a
+/// stream id that depends only on *what* the job computes (parameter index,
+/// shift sign, example index, …), never on submission order, so the same
+/// logical job always consumes the same randomness.
+pub fn job_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// What a [`CircuitJob`] should produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// Per-logical-qubit ⟨Z⟩ expectations (the training hot path).
+    ExpectationZ,
+    /// Probability distribution over logical bitstrings — exact under
+    /// [`Execution::Exact`], a normalized shot histogram under
+    /// [`Execution::Shots`]. Joint observables (VQE Hamiltonian terms) need
+    /// this instead of per-qubit marginals.
+    OutcomeDistribution,
+}
+
+/// One bound circuit execution inside a batch: a prepared circuit, a
+/// parameter binding, a shot spec, and the job's own RNG seed.
+#[derive(Debug, Clone)]
+pub struct CircuitJob<'a> {
+    /// The compiled circuit to execute.
+    pub prepared: &'a PreparedCircuit,
+    /// Parameter binding for this execution.
+    pub theta: Vec<f64>,
+    /// Shot specification.
+    pub execution: Execution,
+    /// Seed for this job's private RNG stream (see [`job_seed`]).
+    pub seed: u64,
+    /// What to return.
+    pub kind: JobKind,
+}
+
+impl<'a> CircuitJob<'a> {
+    /// An expectation-value job (the common case).
+    pub fn expectation(
+        prepared: &'a PreparedCircuit,
+        theta: Vec<f64>,
+        execution: Execution,
+        seed: u64,
+    ) -> Self {
+        CircuitJob {
+            prepared,
+            theta,
+            execution,
+            seed,
+            kind: JobKind::ExpectationZ,
+        }
+    }
+
+    /// An outcome-distribution job (exact or shot-estimated).
+    pub fn distribution(
+        prepared: &'a PreparedCircuit,
+        theta: Vec<f64>,
+        execution: Execution,
+        seed: u64,
+    ) -> Self {
+        CircuitJob {
+            prepared,
+            theta,
+            execution,
+            seed,
+            kind: JobKind::OutcomeDistribution,
+        }
+    }
+}
+
+/// Worker-thread count for [`QuantumBackend::run_batch`]: the `QOC_WORKERS`
+/// environment variable when set (≥ 1), else the machine's available
+/// parallelism.
+pub fn default_worker_count() -> usize {
+    if let Ok(v) = std::env::var("QOC_WORKERS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
 /// An execution target for circuits.
 ///
-/// Dynamically dispatched so training code can hold `&dyn QuantumBackend`;
-/// randomness comes in as `&mut dyn RngCore` for the same reason.
-pub trait QuantumBackend: std::fmt::Debug {
+/// Dynamically dispatched so training code can hold `&dyn QuantumBackend`.
+/// Implementations must be `Send + Sync`: all mutable execution state lives
+/// either in per-run locals or in atomic counters, which is what lets
+/// [`Self::run_batch`] fan jobs out over scoped threads.
+pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
     /// Backend name (e.g. `"ibmq_santiago"`).
     fn name(&self) -> &str;
 
@@ -157,6 +266,78 @@ pub trait QuantumBackend: std::fmt::Debug {
         self.run_prepared(&prepared, theta, execution, rng)
     }
 
+    /// Executes one job with its own deterministic RNG stream.
+    ///
+    /// This is the unit of work [`Self::run_batch`] parallelizes; running it
+    /// serially yields bit-identical results because the job's seed — not a
+    /// shared RNG threaded through the call order — supplies all randomness.
+    fn run_job(&self, job: &CircuitJob<'_>) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(job.seed);
+        match job.kind {
+            JobKind::ExpectationZ => {
+                self.run_prepared(job.prepared, &job.theta, job.execution, &mut rng)
+            }
+            JobKind::OutcomeDistribution => match job.execution {
+                Execution::Exact => self.outcome_probabilities(job.prepared, &job.theta),
+                Execution::Shots(s) => {
+                    let counts = self.outcome_counts(job.prepared, &job.theta, s, &mut rng);
+                    let mut probs = vec![0.0; 1 << job.prepared.logical_qubits()];
+                    for (outcome, count) in counts {
+                        probs[outcome] += f64::from(count);
+                    }
+                    let total = f64::from(s);
+                    for p in &mut probs {
+                        *p /= total;
+                    }
+                    probs
+                }
+            },
+        }
+    }
+
+    /// Executes a batch of jobs, fanned out over [`default_worker_count`]
+    /// scoped worker threads. `results[i]` corresponds to `jobs[i]`.
+    fn run_batch(&self, jobs: &[CircuitJob<'_>]) -> Vec<Vec<f64>> {
+        self.run_batch_workers(jobs, default_worker_count())
+    }
+
+    /// [`Self::run_batch`] with an explicit worker count.
+    ///
+    /// Jobs are assigned to workers in strides (worker `w` takes jobs `w`,
+    /// `w + workers`, …) and merged back by index, so the output order —
+    /// and, because every job owns its seed, the output *values* — are
+    /// independent of scheduling.
+    fn run_batch_workers(&self, jobs: &[CircuitJob<'_>], workers: usize) -> Vec<Vec<f64>> {
+        let workers = workers.max(1).min(jobs.len());
+        if workers <= 1 {
+            return jobs.iter().map(|job| self.run_job(job)).collect();
+        }
+        let mut results: Vec<Option<Vec<f64>>> = vec![None; jobs.len()];
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    scope.spawn(move || {
+                        jobs.iter()
+                            .enumerate()
+                            .skip(w)
+                            .step_by(workers)
+                            .map(|(i, job)| (i, self.run_job(job)))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                for (i, result) in handle.join().expect("batch worker panicked") {
+                    results[i] = Some(result);
+                }
+            }
+        });
+        results
+            .into_iter()
+            .map(|r| r.expect("strided assignment covers every job"))
+            .collect()
+    }
+
     /// Cumulative execution statistics.
     fn stats(&self) -> ExecutionStats;
 
@@ -164,32 +345,39 @@ pub trait QuantumBackend: std::fmt::Debug {
     fn reset_stats(&self);
 }
 
+/// Lock-free execution counters, shared across batch workers.
+///
+/// Device time is accumulated as integer nanoseconds: each job's duration is
+/// a deterministic `f64 → u64` rounding, and integer addition commutes, so
+/// the total is exact (and identical) no matter how many threads record
+/// concurrently — a float accumulator would drift with summation order.
 #[derive(Debug, Default)]
 struct StatCells {
-    circuits: Cell<u64>,
-    shots: Cell<u64>,
-    seconds: Cell<f64>,
+    circuits: AtomicU64,
+    shots: AtomicU64,
+    nanos: AtomicU64,
 }
 
 impl StatCells {
     fn record(&self, shots: u64, seconds: f64) {
-        self.circuits.set(self.circuits.get() + 1);
-        self.shots.set(self.shots.get() + shots);
-        self.seconds.set(self.seconds.get() + seconds);
+        self.circuits.fetch_add(1, Ordering::Relaxed);
+        self.shots.fetch_add(shots, Ordering::Relaxed);
+        self.nanos
+            .fetch_add((seconds * 1e9).round() as u64, Ordering::Relaxed);
     }
 
     fn snapshot(&self) -> ExecutionStats {
         ExecutionStats {
-            circuits_run: self.circuits.get(),
-            total_shots: self.shots.get(),
-            estimated_device_seconds: self.seconds.get(),
+            circuits_run: self.circuits.load(Ordering::Relaxed),
+            total_shots: self.shots.load(Ordering::Relaxed),
+            estimated_device_seconds: self.nanos.load(Ordering::Relaxed) as f64 / 1e9,
         }
     }
 
     fn reset(&self) {
-        self.circuits.set(0);
-        self.shots.set(0);
-        self.seconds.set(0.0);
+        self.circuits.store(0, Ordering::Relaxed);
+        self.shots.store(0, Ordering::Relaxed);
+        self.nanos.store(0, Ordering::Relaxed);
     }
 }
 
@@ -313,7 +501,11 @@ impl FakeDevice {
 
     /// Compacts a transpiled circuit onto only its touched wires and builds
     /// the matching compact noise model.
-    fn compact(&self, t: &TranspiledCircuit, logical_qubits: usize) -> (Circuit, Vec<usize>, NoiseModel) {
+    fn compact(
+        &self,
+        t: &TranspiledCircuit,
+        logical_qubits: usize,
+    ) -> (Circuit, Vec<usize>, NoiseModel) {
         let cal = &self.description.calibration;
         // Wires that matter: everything the circuit touches plus every
         // readout target.
@@ -366,7 +558,10 @@ impl FakeDevice {
         let mut seen_pairs = std::collections::BTreeSet::new();
         for op in compact.ops() {
             if op.qubits.len() == 2 {
-                let (a, b) = (op.qubits[0].min(op.qubits[1]), op.qubits[0].max(op.qubits[1]));
+                let (a, b) = (
+                    op.qubits[0].min(op.qubits[1]),
+                    op.qubits[0].max(op.qubits[1]),
+                );
                 if !seen_pairs.insert((a, b)) {
                     continue;
                 }
@@ -381,10 +576,7 @@ impl FakeDevice {
                     .two_qubit_depolarizing(
                         a,
                         b,
-                        qoc_noise::channels::error_rate_to_depolarizing_prob(
-                            edge.gate_error_cx,
-                            2,
-                        ),
+                        qoc_noise::channels::error_rate_to_depolarizing_prob(edge.gate_error_cx, 2),
                     )
                     .two_qubit_wire(
                         a,
@@ -634,17 +826,16 @@ mod tests {
             let probs = backend.outcome_probabilities(&prepared, &theta);
             assert_eq!(probs.len(), 16);
             assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
-            for q in 0..4 {
+            for (q, &expected) in ez.iter().enumerate() {
                 let marginal: f64 = probs
                     .iter()
                     .enumerate()
                     .map(|(s, p)| if s & (1 << q) == 0 { *p } else { -*p })
                     .sum();
                 assert!(
-                    (marginal - ez[q]).abs() < 1e-9,
-                    "{}: qubit {q} marginal {marginal} vs ⟨Z⟩ {}",
+                    (marginal - expected).abs() < 1e-9,
+                    "{}: qubit {q} marginal {marginal} vs ⟨Z⟩ {expected}",
                     backend.name(),
-                    ez[q]
                 );
             }
         }
@@ -659,6 +850,109 @@ mod tests {
         let counts = device.outcome_counts(&prepared, &[0.1; 8], 777, &mut rng);
         assert_eq!(counts.values().sum::<u32>(), 777);
         assert!(counts.keys().all(|&s| s < 16));
+    }
+
+    #[test]
+    fn job_seed_is_pure_and_stream_separating() {
+        assert_eq!(job_seed(1, 2), job_seed(1, 2));
+        assert_ne!(job_seed(1, 2), job_seed(1, 3));
+        assert_ne!(job_seed(1, 2), job_seed(2, 2));
+        // Small consecutive stream ids must still give unrelated seeds.
+        let seeds: Vec<u64> = (0..64).map(|s| job_seed(42, s)).collect();
+        let mut sorted = seeds.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64);
+    }
+
+    fn shift_style_jobs<'a>(
+        prepared: &'a PreparedCircuit,
+        execution: Execution,
+        master: u64,
+    ) -> Vec<CircuitJob<'a>> {
+        (0..12)
+            .map(|i| {
+                let mut theta = vec![0.1; 8];
+                theta[i % 8] += 0.3 * (i as f64);
+                CircuitJob::expectation(prepared, theta, execution, job_seed(master, i as u64))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn run_batch_is_bit_identical_to_serial_at_any_worker_count() {
+        for backend in [
+            Box::new(NoiselessBackend::new()) as Box<dyn QuantumBackend>,
+            Box::new(FakeDevice::new(fake_lima())),
+        ] {
+            let prepared = backend.prepare(&qnn_circuit());
+            for execution in [Execution::Exact, Execution::Shots(256)] {
+                let jobs = shift_style_jobs(&prepared, execution, 0xA5A5);
+                let serial: Vec<Vec<f64>> = jobs.iter().map(|j| backend.run_job(j)).collect();
+                for workers in [1, 2, 3, 8, 64] {
+                    let batched = backend.run_batch_workers(&jobs, workers);
+                    assert_eq!(
+                        batched,
+                        serial,
+                        "{} diverged at {workers} workers ({execution:?})",
+                        backend.name()
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn run_batch_stats_are_exact_under_parallelism() {
+        let device = FakeDevice::new(fake_santiago());
+        let prepared = device.prepare(&qnn_circuit());
+        let jobs = shift_style_jobs(&prepared, Execution::Shots(1024), 7);
+
+        device.reset_stats();
+        for job in &jobs {
+            device.run_job(job);
+        }
+        let serial = device.stats();
+
+        device.reset_stats();
+        device.run_batch_workers(&jobs, 8);
+        let parallel = device.stats();
+
+        assert_eq!(parallel.circuits_run, jobs.len() as u64);
+        assert_eq!(parallel.total_shots, jobs.len() as u64 * 1024);
+        assert_eq!(
+            parallel, serial,
+            "atomic stats must not drift under threads"
+        );
+        assert!(parallel.estimated_device_seconds > 0.0);
+    }
+
+    #[test]
+    fn distribution_jobs_match_outcome_apis() {
+        let device = FakeDevice::new(fake_lima());
+        let prepared = device.prepare(&qnn_circuit());
+        let theta = vec![0.1; 8];
+
+        let exact = device.run_job(&CircuitJob::distribution(
+            &prepared,
+            theta.clone(),
+            Execution::Exact,
+            0,
+        ));
+        assert_eq!(exact, device.outcome_probabilities(&prepared, &theta));
+
+        let sampled = device.run_job(&CircuitJob::distribution(
+            &prepared,
+            theta.clone(),
+            Execution::Shots(512),
+            9,
+        ));
+        let mut rng = StdRng::seed_from_u64(9);
+        let counts = device.outcome_counts(&prepared, &theta, 512, &mut rng);
+        for (outcome, count) in counts {
+            assert!((sampled[outcome] - f64::from(count) / 512.0).abs() < 1e-12);
+        }
+        assert!((sampled.iter().sum::<f64>() - 1.0).abs() < 1e-9);
     }
 
     #[test]

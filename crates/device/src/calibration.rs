@@ -9,9 +9,7 @@ use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
-use qoc_noise::channels::{
-    error_rate_to_depolarizing_prob, thermal_relaxation,
-};
+use qoc_noise::channels::{error_rate_to_depolarizing_prob, thermal_relaxation};
 use qoc_noise::model::NoiseModel;
 use qoc_noise::readout::ReadoutError;
 
@@ -94,7 +92,10 @@ impl DeviceCalibration {
         rep_delay_ns: f64,
     ) -> Self {
         for &(a, b) in edges.keys() {
-            assert!(a < qubits.len() && b < qubits.len(), "edge ({a},{b}) out of range");
+            assert!(
+                a < qubits.len() && b < qubits.len(),
+                "edge ({a},{b}) out of range"
+            );
         }
         DeviceCalibration {
             qubits,
@@ -169,10 +170,7 @@ impl DeviceCalibration {
         let mut builder = NoiseModel::builder(self.qubits.len());
         for (q, cal) in self.qubits.iter().enumerate() {
             builder = builder
-                .one_qubit_depolarizing(
-                    q,
-                    error_rate_to_depolarizing_prob(cal.gate_error_1q, 1),
-                )
+                .one_qubit_depolarizing(q, error_rate_to_depolarizing_prob(cal.gate_error_1q, 1))
                 .one_qubit(
                     q,
                     thermal_relaxation(cal.t1_us, cal.t2_us, cal.gate_duration_1q_ns),

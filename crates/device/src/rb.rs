@@ -31,8 +31,7 @@ impl CliffordGroup {
     pub fn generate() -> Self {
         let h = GateKind::H.matrix(&[]);
         let s = GateKind::S.matrix(&[]);
-        let mut elements: Vec<(Vec<GateKind>, CMatrix)> =
-            vec![(vec![], CMatrix::identity(2))];
+        let mut elements: Vec<(Vec<GateKind>, CMatrix)> = vec![(vec![], CMatrix::identity(2))];
         // BFS closure; the 1q Clifford group has exactly 24 elements.
         let mut frontier = vec![0usize];
         while let Some(idx) = frontier.pop() {
@@ -50,7 +49,11 @@ impl CliffordGroup {
                 }
             }
         }
-        assert_eq!(elements.len(), 24, "1q Clifford group must have 24 elements");
+        assert_eq!(
+            elements.len(),
+            24,
+            "1q Clifford group must have 24 elements"
+        );
         CliffordGroup { elements }
     }
 
@@ -147,7 +150,7 @@ pub fn randomized_benchmarking(
                 for &g in group.word(i) {
                     circuit.push(g, &[qubit], &[]);
                 }
-                product = &*group.matrix(i) * &product;
+                product = group.matrix(i) * &product;
             }
             let rec = group.inverse_of(&product);
             for &g in group.word(rec) {
@@ -214,10 +217,10 @@ mod tests {
             let mut product = CMatrix::identity(2);
             for _ in 0..6 {
                 let i = rng.gen_range(0..24);
-                product = &*g.matrix(i) * &product;
+                product = g.matrix(i) * &product;
             }
             let inv = g.inverse_of(&product);
-            let closed = &*g.matrix(inv) * &product;
+            let closed = g.matrix(inv) * &product;
             assert!(closed.approx_eq_up_to_phase(&CMatrix::identity(2), 1e-8));
         }
     }
@@ -226,19 +229,10 @@ mod tests {
     fn noiseless_rb_has_unit_survival() {
         let backend = NoiselessBackend::new();
         let mut rng = StdRng::seed_from_u64(2);
-        let result = randomized_benchmarking(
-            &backend,
-            0,
-            &[1, 4, 8],
-            4,
-            Execution::Exact,
-            &mut rng,
-        );
+        let result =
+            randomized_benchmarking(&backend, 0, &[1, 4, 8], 4, Execution::Exact, &mut rng);
         for p in &result.points {
-            assert!(
-                (p.survival - 1.0).abs() < 1e-9,
-                "noiseless survival {p:?}"
-            );
+            assert!((p.survival - 1.0).abs() < 1e-9, "noiseless survival {p:?}");
         }
         assert!(result.error_per_clifford < 1e-9);
     }
@@ -246,21 +240,14 @@ mod tests {
     #[test]
     fn device_rb_decays_and_matches_calibration_scale() {
         // Disable gate fusion: RB must execute the sequence as written.
-        let device = FakeDevice::new(fake_lima()).with_options(
-            crate::transpile::TranspileOptions {
+        let device =
+            FakeDevice::new(fake_lima()).with_options(crate::transpile::TranspileOptions {
                 optimize: false,
                 smart_layout: true,
-            },
-        );
+            });
         let mut rng = StdRng::seed_from_u64(3);
-        let result = randomized_benchmarking(
-            &device,
-            0,
-            &[1, 8, 20, 40],
-            6,
-            Execution::Exact,
-            &mut rng,
-        );
+        let result =
+            randomized_benchmarking(&device, 0, &[1, 8, 20, 40], 6, Execution::Exact, &mut rng);
         // Survival decays with sequence length.
         assert!(result.points[0].survival > result.points.last().unwrap().survival);
         // Error per Clifford: each Clifford averages ~1.9 {H,S} gates, H

@@ -50,11 +50,7 @@ pub const JOB_OVERHEAD_NS: f64 = 2.0e9;
 ///
 /// Unknown (non-basis) gates are charged as one generic two-qubit or
 /// single-qubit duration so the model stays total.
-pub fn gate_duration_ns(
-    gate: GateKind,
-    qubits: &[usize],
-    calibration: &DeviceCalibration,
-) -> f64 {
+pub fn gate_duration_ns(gate: GateKind, qubits: &[usize], calibration: &DeviceCalibration) -> f64 {
     match gate {
         GateKind::Rz | GateKind::Phase | GateKind::I | GateKind::Z => 0.0,
         GateKind::Sx | GateKind::Sxdg | GateKind::X => {

@@ -44,7 +44,10 @@ impl CouplingMap {
         let mut adjacency = vec![Vec::new(); num_qubits];
         let mut normalized = Vec::with_capacity(edges.len());
         for &(a, b) in edges {
-            assert!(a < num_qubits && b < num_qubits, "edge ({a},{b}) out of range");
+            assert!(
+                a < num_qubits && b < num_qubits,
+                "edge ({a},{b}) out of range"
+            );
             assert_ne!(a, b, "self-loop edge ({a},{b})");
             if !adjacency[a].contains(&b) {
                 adjacency[a].push(b);
@@ -92,7 +95,9 @@ impl CouplingMap {
 
     /// A 1-D chain `0 — 1 — … — (n−1)` (the manila/santiago layout).
     pub fn line(num_qubits: usize) -> Self {
-        let edges: Vec<_> = (0..num_qubits.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+        let edges: Vec<_> = (0..num_qubits.saturating_sub(1))
+            .map(|i| (i, i + 1))
+            .collect();
         CouplingMap::from_edges(num_qubits, &edges)
     }
 

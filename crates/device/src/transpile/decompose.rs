@@ -430,7 +430,13 @@ mod tests {
 
     #[test]
     fn z_family_becomes_single_rz() {
-        for &g in &[GateKind::Z, GateKind::S, GateKind::Sdg, GateKind::T, GateKind::Tdg] {
+        for &g in &[
+            GateKind::Z,
+            GateKind::S,
+            GateKind::Sdg,
+            GateKind::T,
+            GateKind::Tdg,
+        ] {
             let mut c = Circuit::new(1);
             c.push(g, &[0], &[]);
             let d = decompose_circuit(&c);

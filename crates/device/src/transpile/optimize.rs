@@ -104,8 +104,10 @@ fn pass(circuit: &mut Vec<Operation>) -> bool {
                 }
             }
             // Cancel self-inverse pairs on identical wires.
-            let self_inverse =
-                matches!(op.gate, GateKind::Cx | GateKind::X | GateKind::Cz | GateKind::Swap);
+            let self_inverse = matches!(
+                op.gate,
+                GateKind::Cx | GateKind::X | GateKind::Cz | GateKind::Swap
+            );
             if self_inverse && prev.gate == op.gate && prev.qubits == op.qubits {
                 out.remove(i);
                 changed = true;
@@ -175,11 +177,7 @@ pub fn fuse_1q_runs(circuit: &Circuit) -> Circuit {
         // left).
         let mut matrix = CMatrix::identity(2);
         for &j in &run {
-            let angles: Vec<f64> = ops[j]
-                .params
-                .iter()
-                .map(|p| p.eval(&[]))
-                .collect();
+            let angles: Vec<f64> = ops[j].params.iter().map(|p| p.eval(&[])).collect();
             matrix = &ops[j].gate.matrix(&angles) * &matrix;
             consumed[j] = true;
         }

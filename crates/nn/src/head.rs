@@ -61,10 +61,7 @@ impl MeasurementHead {
         match self {
             MeasurementHead::TwoClassPairSum => {
                 assert_eq!(num_qubits, 4, "pair-sum head expects 4 qubits");
-                vec![
-                    vec![1.0, 1.0, 0.0, 0.0],
-                    vec![0.0, 0.0, 1.0, 1.0],
-                ]
+                vec![vec![1.0, 1.0, 0.0, 0.0], vec![0.0, 0.0, 1.0, 1.0]]
             }
             MeasurementHead::Identity => (0..num_qubits)
                 .map(|i| {
@@ -98,7 +95,10 @@ mod tests {
     #[test]
     fn pair_sum_sums_pairs() {
         let head = MeasurementHead::TwoClassPairSum;
-        assert_eq!(head.apply(&[0.1, 0.2, 0.3, 0.4]), vec![0.30000000000000004, 0.7]);
+        assert_eq!(
+            head.apply(&[0.1, 0.2, 0.3, 0.4]),
+            vec![0.30000000000000004, 0.7]
+        );
         assert_eq!(head.num_outputs(4), 2);
     }
 
@@ -111,7 +111,10 @@ mod tests {
 
     #[test]
     fn for_classes_selects_paper_heads() {
-        assert_eq!(MeasurementHead::for_classes(2), MeasurementHead::TwoClassPairSum);
+        assert_eq!(
+            MeasurementHead::for_classes(2),
+            MeasurementHead::TwoClassPairSum
+        );
         assert_eq!(MeasurementHead::for_classes(4), MeasurementHead::Identity);
     }
 

@@ -173,7 +173,9 @@ mod tests {
         assert_eq!(build_ansatz(&mut c, &layers), 24);
         // Vowel-4: 2 × (RZZ+RXX) = 16 params.
         let mut c = Circuit::new(4);
-        let layers: Vec<Layer> = (0..2).flat_map(|_| [Layer::RzzRing, Layer::RxxRing]).collect();
+        let layers: Vec<Layer> = (0..2)
+            .flat_map(|_| [Layer::RzzRing, Layer::RxxRing])
+            .collect();
         assert_eq!(build_ansatz(&mut c, &layers), 16);
         // MNIST-2/Fashion-2: RZZ+RY = 8 params.
         let mut c = Circuit::new(4);

@@ -106,7 +106,11 @@ mod tests {
             let mut lp = logits;
             lp[j] += eps;
             let fd = (cross_entropy(&lp, target) - cross_entropy(&logits, target)) / eps;
-            assert!((fd - grad[j]).abs() < 1e-5, "grad[{j}]: fd {fd} vs {}", grad[j]);
+            assert!(
+                (fd - grad[j]).abs() < 1e-5,
+                "grad[{j}]: fd {fd} vs {}",
+                grad[j]
+            );
         }
     }
 
@@ -120,8 +124,7 @@ mod tests {
     fn batch_mean_matches_manual() {
         let batch = vec![(vec![1.0, 0.0], 0), (vec![0.0, 1.0], 0)];
         let (loss, grads) = batch_loss_and_grads(&batch);
-        let manual =
-            (cross_entropy(&[1.0, 0.0], 0) + cross_entropy(&[0.0, 1.0], 0)) / 2.0;
+        let manual = (cross_entropy(&[1.0, 0.0], 0) + cross_entropy(&[0.0, 1.0], 0)) / 2.0;
         assert!((loss - manual).abs() < 1e-12);
         assert_eq!(grads.len(), 2);
         // Per-example grads carry the 1/n factor.

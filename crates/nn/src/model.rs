@@ -50,11 +50,7 @@ impl QnnModel {
         layers: Vec<Layer>,
         head: MeasurementHead,
     ) -> Self {
-        assert_eq!(
-            encoder.num_qubits(),
-            num_qubits,
-            "encoder width mismatch"
-        );
+        assert_eq!(encoder.num_qubits(), num_qubits, "encoder width mismatch");
         // Build the symbolic template: ansatz symbols first, then encoder
         // symbols.
         let mut ansatz = Circuit::new(num_qubits);
@@ -246,14 +242,8 @@ mod tests {
         // outputs (no trivially-flat landscape at init).
         let m = QnnModel::mnist2();
         let sim = StatevectorSimulator::new();
-        let a = sim.expectations_z(
-            m.circuit(),
-            &m.symbol_vector(&[0.0; 8], &[0.4; 16]),
-        );
-        let b = sim.expectations_z(
-            m.circuit(),
-            &m.symbol_vector(&[0.0; 8], &[2.0; 16]),
-        );
+        let a = sim.expectations_z(m.circuit(), &m.symbol_vector(&[0.0; 8], &[0.4; 16]));
+        let b = sim.expectations_z(m.circuit(), &m.symbol_vector(&[0.0; 8], &[2.0; 16]));
         let diff: f64 = a.iter().zip(&b).map(|(x, y)| (x - y).abs()).sum();
         assert!(diff > 0.1);
     }

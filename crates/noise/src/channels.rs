@@ -233,8 +233,7 @@ mod tests {
     fn thermal_relaxation_limits() {
         // Zero duration → identity channel (γ = λ = 0).
         let ch = thermal_relaxation(100.0, 100.0, 0.0);
-        assert!(ch.operators()[0]
-            .approx_eq(&CMatrix::identity(2), 1e-12));
+        assert!(ch.operators()[0].approx_eq(&CMatrix::identity(2), 1e-12));
     }
 
     #[test]

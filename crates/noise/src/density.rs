@@ -249,8 +249,7 @@ impl DensityMatrix {
         let dim = self.mat.rows();
         for i in 0..dim {
             for j in 0..dim {
-                self.mat[(i, j)] =
-                    self.mat[(i, j)] * (1.0 - lambda) + mixed[(i, j)] * lambda;
+                self.mat[(i, j)] = self.mat[(i, j)] * (1.0 - lambda) + mixed[(i, j)] * lambda;
             }
         }
     }
@@ -300,7 +299,9 @@ impl DensityMatrix {
 
     /// Measurement probabilities in the computational basis (the diagonal).
     pub fn probabilities(&self) -> Vec<f64> {
-        (0..self.mat.rows()).map(|i| self.mat[(i, i)].re.max(0.0)).collect()
+        (0..self.mat.rows())
+            .map(|i| self.mat[(i, i)].re.max(0.0))
+            .collect()
     }
 
     /// Pauli-Z expectation of qubit `q`.

@@ -43,7 +43,10 @@ impl KrausChannel {
             Some(k) => k.rows(),
         };
         if !dim.is_power_of_two() || dim < 2 {
-            return Err(KrausError::BadShape { rows: dim, cols: dim });
+            return Err(KrausError::BadShape {
+                rows: dim,
+                cols: dim,
+            });
         }
         for k in &ops {
             if k.rows() != dim || k.cols() != dim {

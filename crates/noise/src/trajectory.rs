@@ -73,24 +73,22 @@ impl TrajectorySimulator {
             let params = op.resolve(theta);
             sv.apply_unitary(&op.gate.matrix(&params), &op.qubits);
             match op.qubits.len() {
-                1
-                    if self.noise.p1 > 0.0 && rng.gen::<f64>() < self.noise.p1 => {
-                        let p = PAULIS[rng.gen_range(0..3)];
-                        sv.apply_1q(&p.matrix(&[]), op.qubits[0]);
+                1 if self.noise.p1 > 0.0 && rng.gen::<f64>() < self.noise.p1 => {
+                    let p = PAULIS[rng.gen_range(0..3)];
+                    sv.apply_1q(&p.matrix(&[]), op.qubits[0]);
+                }
+                2 if self.noise.p2 > 0.0 && rng.gen::<f64>() < self.noise.p2 => {
+                    // Uniform non-identity two-qubit Pauli: draw from the
+                    // 15 pairs (a, b) ≠ (I, I).
+                    let idx = rng.gen_range(1..16);
+                    let (a, b) = (idx % 4, idx / 4);
+                    if a > 0 {
+                        sv.apply_1q(&PAULIS[a - 1].matrix(&[]), op.qubits[0]);
                     }
-                2
-                    if self.noise.p2 > 0.0 && rng.gen::<f64>() < self.noise.p2 => {
-                        // Uniform non-identity two-qubit Pauli: draw from the
-                        // 15 pairs (a, b) ≠ (I, I).
-                        let idx = rng.gen_range(1..16);
-                        let (a, b) = (idx % 4, idx / 4);
-                        if a > 0 {
-                            sv.apply_1q(&PAULIS[a - 1].matrix(&[]), op.qubits[0]);
-                        }
-                        if b > 0 {
-                            sv.apply_1q(&PAULIS[b - 1].matrix(&[]), op.qubits[1]);
-                        }
+                    if b > 0 {
+                        sv.apply_1q(&PAULIS[b - 1].matrix(&[]), op.qubits[1]);
                     }
+                }
                 _ => {}
             }
         }

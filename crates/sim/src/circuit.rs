@@ -417,7 +417,10 @@ impl Circuit {
         (0..self.num_symbols)
             .filter(|&s| {
                 let occ = self.symbol_occurrences(s);
-                !occ.is_empty() && occ.iter().all(|&(i, _)| self.ops[i].gate.supports_shift_rule())
+                !occ.is_empty()
+                    && occ
+                        .iter()
+                        .all(|&(i, _)| self.ops[i].gate.supports_shift_rule())
             })
             .collect()
     }
@@ -425,7 +428,12 @@ impl Circuit {
 
 impl fmt::Display for Circuit {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "circuit({} qubits, {} ops):", self.num_qubits, self.ops.len())?;
+        writeln!(
+            f,
+            "circuit({} qubits, {} ops):",
+            self.num_qubits,
+            self.ops.len()
+        )?;
         for op in &self.ops {
             write!(f, "  {}", op.gate)?;
             if !op.params.is_empty() {

@@ -303,10 +303,9 @@ impl GateKind {
             GateKind::X => pauli_x(),
             GateKind::Y => pauli_y(),
             GateKind::Z => pauli_z(),
-            GateKind::H => CMatrix::from_rows_real(&[
-                &[inv_sqrt2, inv_sqrt2],
-                &[inv_sqrt2, -inv_sqrt2],
-            ]),
+            GateKind::H => {
+                CMatrix::from_rows_real(&[&[inv_sqrt2, inv_sqrt2], &[inv_sqrt2, -inv_sqrt2]])
+            }
             GateKind::S => CMatrix::from_rows(&[
                 &[Complex64::ONE, Complex64::ZERO],
                 &[Complex64::ZERO, Complex64::I],
@@ -436,7 +435,9 @@ mod tests {
     use std::f64::consts::{FRAC_PI_2, PI};
 
     fn params_for(g: GateKind) -> Vec<f64> {
-        (0..g.num_params()).map(|k| 0.37 + 0.59 * k as f64).collect()
+        (0..g.num_params())
+            .map(|k| 0.37 + 0.59 * k as f64)
+            .collect()
     }
 
     #[test]
@@ -476,8 +477,16 @@ mod tests {
 
     #[test]
     fn rotation_at_zero_is_identity() {
-        for g in [GateKind::Rx, GateKind::Ry, GateKind::Rz, GateKind::Rzz, GateKind::Rxx] {
-            assert!(g.matrix(&[0.0]).approx_eq(&CMatrix::identity(1 << g.num_qubits()), 1e-12));
+        for g in [
+            GateKind::Rx,
+            GateKind::Ry,
+            GateKind::Rz,
+            GateKind::Rzz,
+            GateKind::Rxx,
+        ] {
+            assert!(g
+                .matrix(&[0.0])
+                .approx_eq(&CMatrix::identity(1 << g.num_qubits()), 1e-12));
         }
     }
 
@@ -491,8 +500,8 @@ mod tests {
     fn rx_half_pi_matches_paper_form() {
         // Paper Eq. 4: RX(±π/2) = (I ∓ iX)/√2.
         let rx = GateKind::Rx.matrix(&[FRAC_PI_2]);
-        let want = &CMatrix::identity(2).scaled(Complex64::real(1.0))
-            - &pauli_x().scaled(Complex64::I);
+        let want =
+            &CMatrix::identity(2).scaled(Complex64::real(1.0)) - &pauli_x().scaled(Complex64::I);
         let want = want.scaled(Complex64::real(std::f64::consts::FRAC_1_SQRT_2));
         assert!(rx.approx_eq(&want, 1e-12));
     }

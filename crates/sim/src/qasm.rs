@@ -307,11 +307,15 @@ mod tests {
         c.rx(1, 0.7);
         c.rzz(0, 2, -1.3);
         c.cx(1, 2);
-        c.push(crate::gates::GateKind::U3, &[0], &[
-            ParamValue::Const(0.2),
-            ParamValue::Const(-0.4),
-            ParamValue::Const(1.1),
-        ]);
+        c.push(
+            crate::gates::GateKind::U3,
+            &[0],
+            &[
+                ParamValue::Const(0.2),
+                ParamValue::Const(-0.4),
+                ParamValue::Const(1.1),
+            ],
+        );
         let parsed = from_qasm(&to_qasm(&c).unwrap()).unwrap();
         assert_eq!(parsed.len(), c.len());
         let sim = StatevectorSimulator::new();

@@ -135,7 +135,10 @@ impl Statevector {
     /// Panics if `u` is not 4×4, indices repeat, or are out of range.
     pub fn apply_2q(&mut self, u: &CMatrix, q0: usize, q1: usize) {
         assert_eq!((u.rows(), u.cols()), (4, 4), "expected a 4x4 matrix");
-        assert!(q0 < self.num_qubits && q1 < self.num_qubits, "qubit out of range");
+        assert!(
+            q0 < self.num_qubits && q1 < self.num_qubits,
+            "qubit out of range"
+        );
         assert_ne!(q0, q1, "two-qubit gate on a repeated wire");
         let m = u.as_slice();
         let b0 = 1usize << q0;
@@ -417,8 +420,8 @@ mod tests {
         sv.apply_1q(&GateKind::Ry.matrix(&[0.7]), 0);
         sv.apply_1q(&GateKind::Ry.matrix(&[1.9]), 2);
         let all = sv.expectation_all_z();
-        for q in 0..3 {
-            assert!((all[q] - sv.expectation_z(q)).abs() < 1e-12);
+        for (q, &v) in all.iter().enumerate() {
+            assert!((v - sv.expectation_z(q)).abs() < 1e-12);
         }
         assert!((all[0] - 0.7f64.cos()).abs() < 1e-12);
         assert!((all[2] - 1.9f64.cos()).abs() < 1e-12);

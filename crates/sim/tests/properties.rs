@@ -21,7 +21,12 @@ fn arb_params(gate: GateKind) -> impl Strategy<Value = Vec<f64>> {
 
 /// A random constant circuit on `n` qubits.
 fn arb_circuit(n: usize, max_ops: usize) -> impl Strategy<Value = Circuit> {
-    let op = (arb_gate(), 0..n, 1..n.max(2), proptest::collection::vec(-3.0f64..3.0, 3));
+    let op = (
+        arb_gate(),
+        0..n,
+        1..n.max(2),
+        proptest::collection::vec(-3.0f64..3.0, 3),
+    );
     proptest::collection::vec(op, 1..max_ops).prop_map(move |ops| {
         let mut c = Circuit::new(n);
         for (gate, a, off, angles) in ops {

@@ -43,16 +43,17 @@ fn main() {
     let mitigator = ReadoutMitigator::calibrate(&device, 4, 100_000, &mut rng);
     for q in 0..4 {
         let a = mitigator.confusion(q);
-        println!(
-            "  logical q{q}: P(1|0) = {:.3}, P(0|1) = {:.3}",
-            a[2], a[1]
-        );
+        println!("  logical q{q}: P(1|0) = {:.3}, P(0|1) = {:.3}", a[2], a[1]);
     }
     let readout_fixed = mitigator.mitigated_expectations(&raw_probs);
 
     // 2. Zero-noise extrapolation over folded circuits (scales 1, 3, 5).
-    println!("\nfolding circuit for ZNE: {} gates at scale 1, {} at scale 3", c.len(), fold_global(&c, 3).len());
-    let zne = zero_noise_extrapolate(&device, &c, &theta, &[1, 3, 5], Execution::Exact, &mut rng);
+    println!(
+        "\nfolding circuit for ZNE: {} gates at scale 1, {} at scale 3",
+        c.len(),
+        fold_global(&c, 3).len()
+    );
+    let zne = zero_noise_extrapolate(&device, &c, &theta, &[1, 3, 5], Execution::Exact, 7);
 
     println!("\nper-qubit ⟨Z⟩:");
     println!(

@@ -13,7 +13,9 @@ use rand::SeedableRng;
 
 fn main() {
     let model = QnnModel::mnist2();
-    let params: Vec<f64> = (0..model.num_params()).map(|k| 0.4 - 0.1 * k as f64).collect();
+    let params: Vec<f64> = (0..model.num_params())
+        .map(|k| 0.4 - 0.1 * k as f64)
+        .collect();
     let input = vec![0.8; model.input_dim()];
     let theta = model.symbol_vector(&params, &input);
 
@@ -22,7 +24,10 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(1);
     let ideal = simulator.expectations(model.circuit(), &theta, Execution::Exact, &mut rng);
     println!("per-qubit ⟨Z⟩ of the MNIST-2 circuit:\n");
-    println!("{:<16} {:>8} {:>8} {:>8} {:>8}", "backend", "q0", "q1", "q2", "q3");
+    println!(
+        "{:<16} {:>8} {:>8} {:>8} {:>8}",
+        "backend", "q0", "q1", "q2", "q3"
+    );
     println!(
         "{:<16} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
         "ideal", ideal[0], ideal[1], ideal[2], ideal[3]
@@ -48,13 +53,16 @@ fn main() {
     let noisy_grad = QnnGradientComputer::new(&model, &device, Execution::Shots(1024));
     let (feat, label) = (input.as_slice(), 0usize);
     let batch = [(feat, label)];
-    let exact = exact_grad.batch_gradient(&params, &batch, None, &mut rng);
-    println!("parameter-shift gradients on {} (1024 shots):\n", device.name());
+    let exact = exact_grad.batch_gradient(&params, &batch, None, 1);
+    println!(
+        "parameter-shift gradients on {} (1024 shots):\n",
+        device.name()
+    );
     println!(
         "{:<6} {:>12} {:>12} {:>12} {:>10}",
         "param", "exact", "noisy", "rel. error", "sign flip"
     );
-    let noisy = noisy_grad.batch_gradient(&params, &batch, None, &mut rng);
+    let noisy = noisy_grad.batch_gradient(&params, &batch, None, 1);
     let mut indexed: Vec<usize> = (0..model.num_params()).collect();
     indexed.sort_by(|&a, &b| exact.grad[b].abs().total_cmp(&exact.grad[a].abs()));
     for &i in &indexed {

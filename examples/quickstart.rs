@@ -64,14 +64,13 @@ fn main() {
 
     // 5. Reference: the same parameters evaluated noise-free.
     let simulator = NoiselessBackend::new();
-    let mut rng: rand::rngs::StdRng = rand::SeedableRng::seed_from_u64(7);
     let noise_free = evaluate_with_params(
         &model,
         &simulator,
         &result.params,
         &val_set,
         Execution::Exact,
-        &mut rng,
+        7,
     );
     println!(
         "same parameters, noise-free simulation: {:.1}%",

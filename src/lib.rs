@@ -58,8 +58,6 @@ pub mod prelude {
     pub use qoc_core::spsa::{minimize_spsa, SpsaConfig};
     pub use qoc_core::vqe::{run_vqe, Hamiltonian, VqeConfig, VqeProblem};
     pub use qoc_core::zne::zero_noise_extrapolate;
-    pub use qoc_device::mitigation::ReadoutMitigator;
-    pub use qoc_device::rb::randomized_benchmarking;
     pub use qoc_data::dataset::Dataset;
     pub use qoc_data::tasks::Task;
     pub use qoc_device::backend::{
@@ -68,6 +66,8 @@ pub mod prelude {
     pub use qoc_device::backends::{
         all_paper_devices, fake_jakarta, fake_lima, fake_manila, fake_santiago, fake_toronto,
     };
+    pub use qoc_device::mitigation::ReadoutMitigator;
+    pub use qoc_device::rb::randomized_benchmarking;
     pub use qoc_nn::model::QnnModel;
     pub use qoc_sim::circuit::{Circuit, ParamValue};
     pub use qoc_sim::gates::GateKind;

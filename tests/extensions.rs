@@ -5,12 +5,13 @@
 use qoc::core::spsa::{minimize_spsa, SpsaConfig};
 use qoc::core::vqe::{hardware_efficient_ansatz, run_vqe, Hamiltonian, VqeConfig, VqeProblem};
 use qoc::core::zne::zero_noise_extrapolate;
+use qoc::device::backend::job_seed;
 use qoc::device::mitigation::ReadoutMitigator;
 use qoc::device::rb::randomized_benchmarking;
 use qoc::device::transpile::TranspileOptions;
 use qoc::prelude::*;
 use rand::rngs::StdRng;
-use rand::{RngCore, SeedableRng};
+use rand::SeedableRng;
 
 #[test]
 fn vqe_h2_runs_on_a_fake_device() {
@@ -31,7 +32,10 @@ fn vqe_h2_runs_on_a_fake_device() {
         "device VQE stuck at {} (exact {exact})",
         result.best_energy
     );
-    assert!(result.best_energy >= exact - 0.05, "below-ground energy is unphysical");
+    assert!(
+        result.best_energy >= exact - 0.05,
+        "below-ground energy is unphysical"
+    );
 }
 
 #[test]
@@ -42,25 +46,24 @@ fn spsa_trains_the_qnn_loss() {
     let computer = QnnGradientComputer::new(&model, &backend, Execution::Exact);
     let (train_set, _) = Task::Mnist2.load(3);
     let subset = train_set.take_front(8);
-    let mut objective = |theta: &[f64], rng: &mut dyn RngCore| -> f64 {
-        let mut loss = 0.0;
-        for i in 0..subset.len() {
-            let (input, label) = subset.example(i);
-            let logits = computer.forward(theta, input, rng);
-            loss += qoc::nn::loss::cross_entropy(&logits, label) / subset.len() as f64;
-        }
-        loss
+    let mut objective = |candidates: &[Vec<f64>], seed: u64| -> Vec<f64> {
+        candidates
+            .iter()
+            .enumerate()
+            .map(|(c, theta)| {
+                let mut loss = 0.0;
+                for i in 0..subset.len() {
+                    let (input, label) = subset.example(i);
+                    let logits = computer.forward(theta, input, job_seed(seed, c as u64));
+                    loss += qoc::nn::loss::cross_entropy(&logits, label) / subset.len() as f64;
+                }
+                loss
+            })
+            .collect()
     };
-    let mut rng = StdRng::seed_from_u64(5);
     let init = vec![0.05; model.num_params()];
-    let initial_loss = objective(&init, &mut rng);
-    let result = minimize_spsa(
-        &mut objective,
-        &init,
-        60,
-        &SpsaConfig::standard(60),
-        &mut rng,
-    );
+    let initial_loss = objective(std::slice::from_ref(&init), 0)[0];
+    let result = minimize_spsa(&mut objective, &init, 60, &SpsaConfig::standard(60), 5);
     let final_loss = *result.losses.last().unwrap();
     assert!(
         final_loss < initial_loss - 0.05,
@@ -101,7 +104,7 @@ fn zne_and_readout_mitigation_both_help() {
     assert!(err(&fixed) < err(&raw), "readout mitigation failed to help");
 
     // ZNE.
-    let zne = zero_noise_extrapolate(&device, &c, &theta, &[1, 3, 5], Execution::Exact, &mut rng);
+    let zne = zero_noise_extrapolate(&device, &c, &theta, &[1, 3, 5], Execution::Exact, 6);
     assert!(err(&zne.extrapolated) < err(&raw), "ZNE failed to help");
 }
 
@@ -114,14 +117,8 @@ fn rb_measures_calibration_scale_errors_on_every_device() {
             optimize: false, // RB needs compile barriers; see rb.rs docs
             smart_layout: true,
         });
-        let result = randomized_benchmarking(
-            &device,
-            0,
-            &[1, 10, 30],
-            4,
-            Execution::Exact,
-            &mut rng,
-        );
+        let result =
+            randomized_benchmarking(&device, 0, &[1, 10, 30], 4, Execution::Exact, &mut rng);
         assert!(
             result.points[0].survival > result.points[2].survival,
             "{name}: no RB decay"

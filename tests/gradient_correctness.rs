@@ -46,7 +46,7 @@ fn all_paper_models_match_finite_difference() {
             .collect();
         let target = model.num_classes() - 1;
         let batch = [(input.as_slice(), target)];
-        let got = computer.batch_gradient(&params, &batch, None, &mut rng);
+        let got = computer.batch_gradient(&params, &batch, None, 0);
         let want = fd_loss_grad(&model, &params, &input, target);
         for (i, (a, b)) in got.grad.iter().zip(&want).enumerate() {
             assert!(
@@ -65,16 +65,15 @@ fn shot_sampled_gradients_are_unbiased() {
     let backend = NoiselessBackend::new();
     let exact_computer = QnnGradientComputer::new(&model, &backend, Execution::Exact);
     let noisy_computer = QnnGradientComputer::new(&model, &backend, Execution::Shots(512));
-    let mut rng = StdRng::seed_from_u64(5);
     let params = vec![0.3; 8];
     let input = vec![1.0; 16];
     let batch = [(input.as_slice(), 0usize)];
-    let exact = exact_computer.batch_gradient(&params, &batch, None, &mut rng);
+    let exact = exact_computer.batch_gradient(&params, &batch, None, 0);
 
-    let reps = 60;
+    let reps = 60u64;
     let mut mean = [0.0; 8];
-    for _ in 0..reps {
-        let noisy = noisy_computer.batch_gradient(&params, &batch, None, &mut rng);
+    for rep in 0..reps {
+        let noisy = noisy_computer.batch_gradient(&params, &batch, None, rep);
         for (m, g) in mean.iter_mut().zip(&noisy.grad) {
             *m += g / reps as f64;
         }
@@ -96,12 +95,11 @@ fn device_gradients_correlate_with_exact() {
     let device = FakeDevice::new(fake_santiago());
     let exact_computer = QnnGradientComputer::new(&model, &simulator, Execution::Exact);
     let noisy_computer = QnnGradientComputer::new(&model, &device, Execution::Shots(4096));
-    let mut rng = StdRng::seed_from_u64(9);
     let params: Vec<f64> = (0..8).map(|k| 0.5 - 0.17 * k as f64).collect();
     let input = vec![1.2; 16];
     let batch = [(input.as_slice(), 1usize)];
-    let exact = exact_computer.batch_gradient(&params, &batch, None, &mut rng);
-    let noisy = noisy_computer.batch_gradient(&params, &batch, None, &mut rng);
+    let exact = exact_computer.batch_gradient(&params, &batch, None, 9);
+    let noisy = noisy_computer.batch_gradient(&params, &batch, None, 9);
 
     // The largest exact component keeps its sign on hardware.
     let i_max = (0..8)
@@ -127,14 +125,14 @@ fn loss_decreases_along_negative_gradient() {
     let params: Vec<f64> = (0..16).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let input: Vec<f64> = (0..10).map(|_| rng.gen_range(-1.0..1.0)).collect();
     let batch = [(input.as_slice(), 2usize)];
-    let g = computer.batch_gradient(&params, &batch, None, &mut rng);
+    let g = computer.batch_gradient(&params, &batch, None, 3);
     let step = 0.05;
     let moved: Vec<f64> = params
         .iter()
         .zip(&g.grad)
         .map(|(p, gi)| p - step * gi)
         .collect();
-    let after = computer.batch_gradient(&moved, &batch, None, &mut rng);
+    let after = computer.batch_gradient(&moved, &batch, None, 4);
     assert!(
         after.loss < g.loss,
         "gradient step increased loss: {} → {}",

@@ -1,0 +1,294 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmarking surface the workspace's `benches/` use —
+//! `Criterion`, `benchmark_group`, `bench_function`, `bench_with_input`,
+//! `BenchmarkId`, `Bencher::iter`, `criterion_group!`/`criterion_main!` —
+//! backed by a simple calibrated wall-clock timer instead of criterion's
+//! statistical machinery. Each benchmark is auto-calibrated to run for
+//! roughly `sample_size × 10 ms`, then reports mean / median / min
+//! nanoseconds per iteration to stdout.
+//!
+//! Results are also collected in-process: [`Criterion::take_results`] lets a
+//! harness dump every `(id, median_ns)` pair, which the batched
+//! parameter-shift bench uses to write its JSON artifact.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a computed value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `group/function/parameter`-style id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// Id that is just the parameter (the group name provides context).
+    pub fn from_parameter(parameter: impl Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> BenchmarkId {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> BenchmarkId {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` for the calibrated iteration count, timing the whole batch.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One finished measurement.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    pub id: String,
+    pub mean_ns: f64,
+    pub median_ns: f64,
+    pub min_ns: f64,
+    pub samples: usize,
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            results: Vec::new(),
+        }
+    }
+}
+
+const TARGET_SAMPLE: Duration = Duration::from_millis(10);
+
+impl Criterion {
+    /// Runs one benchmark under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().id;
+        let sample_size = self.sample_size;
+        let result = run_benchmark(&id, sample_size, f);
+        self.results.push(result);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            criterion: self,
+        }
+    }
+
+    /// Drains every result measured so far (for artifact writers).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+fn run_benchmark<F>(id: &str, sample_size: usize, mut f: F) -> BenchResult
+where
+    F: FnMut(&mut Bencher),
+{
+    // Calibrate: grow the iteration count until one batch takes long enough
+    // to time reliably.
+    let mut iters: u64 = 1;
+    let per_iter_estimate = loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(1) || iters >= 1 << 24 {
+            break b.elapsed.as_nanos() as f64 / iters as f64;
+        }
+        iters *= 8;
+    };
+    let batch_iters =
+        ((TARGET_SAMPLE.as_nanos() as f64 / per_iter_estimate.max(1.0)).ceil() as u64).max(1);
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher {
+            iters: batch_iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_nanos() as f64 / batch_iters as f64);
+    }
+    per_iter.sort_by(|a, b| a.total_cmp(b));
+    let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+    let median = per_iter[per_iter.len() / 2];
+    let min = per_iter[0];
+    println!(
+        "bench {id:<48} median {:>12} mean {:>12} min {:>12} ({} samples x {} iters)",
+        format_ns(median),
+        format_ns(mean),
+        format_ns(min),
+        sample_size,
+        batch_iters,
+    );
+    BenchResult {
+        id: id.to_string(),
+        mean_ns: mean,
+        median_ns: median,
+        min_ns: min,
+        samples: sample_size,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let result = run_benchmark(&full, self.sample_size, f);
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into().id);
+        let result = run_benchmark(&full, self.sample_size, |b| f(b, input));
+        self.criterion.results.push(result);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $(
+                $target(&mut criterion);
+            )+
+        }
+    };
+}
+
+/// Declares the benchmark binary entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:ident),+ $(,)?) => {
+        fn main() {
+            $(
+                $group();
+            )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_a_trivial_closure() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert!(results[0].median_ns > 0.0);
+        assert!(results[0].median_ns < 1e6, "noop should be well under 1ms");
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(3);
+            g.bench_with_input(BenchmarkId::from_parameter(4), &4u32, |b, &n| {
+                b.iter(|| black_box(n * 2))
+            });
+            g.finish();
+        }
+        let results = c.take_results();
+        assert_eq!(results[0].id, "grp/4");
+        assert_eq!(results[0].samples, 3);
+    }
+}

@@ -1,0 +1,225 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace only *serializes* (bench artifacts via
+//! `serde_json::to_string_pretty`); deserialization is never invoked. So this
+//! shim models serialization structurally — [`Serialize::to_json`] produces a
+//! [`Value`] tree — and keeps [`Deserialize`] as a derive-able marker trait
+//! so existing `#[derive(Serialize, Deserialize)]` lines compile unchanged.
+//!
+//! The JSON data model follows serde's conventions: unit enum variants
+//! serialize as `"Name"`, newtype variants as `{"Name": value}`, struct
+//! variants as `{"Name": {...}}`, tuples as arrays, and object keys preserve
+//! declaration order (`Vec<(String, Value)>`, not a hash map).
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A structural JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    /// Key order is preserved (declaration order of the serialized fields).
+    Object(Vec<(String, Value)>),
+}
+
+/// Types that can render themselves as a [`Value`] tree.
+pub trait Serialize {
+    fn to_json(&self) -> Value;
+}
+
+/// Marker trait kept so `#[derive(Deserialize)]` compiles; no runtime
+/// deserialization exists in this workspace.
+pub trait Deserialize {}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for bool {
+    fn to_json(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+macro_rules! ser_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+ser_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+ser_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for u128 {
+    fn to_json(&self) -> Value {
+        match u64::try_from(*self) {
+            Ok(v) => Value::UInt(v),
+            // Beyond u64 range: fall back to the closest double.
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Serialize for i128 {
+    fn to_json(&self) -> Value {
+        match i64::try_from(*self) {
+            Ok(v) => Value::Int(v),
+            Err(_) => Value::Float(*self as f64),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_json(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        // JSON objects need string keys; scalar keys stringify, anything
+        // richer (tuple keys, …) degrades to an array of [key, value] pairs.
+        let mut entries = Vec::with_capacity(self.len());
+        for (k, v) in self {
+            let key = match k.to_json() {
+                Value::Str(s) => s,
+                Value::Int(i) => i.to_string(),
+                Value::UInt(u) => u.to_string(),
+                Value::Bool(b) => b.to_string(),
+                _ => {
+                    return Value::Array(
+                        self.iter()
+                            .map(|(k, v)| Value::Array(vec![k.to_json(), v.to_json()]))
+                            .collect(),
+                    );
+                }
+            };
+            entries.push((key, v.to_json()));
+        }
+        Value::Object(entries)
+    }
+}
+
+macro_rules! ser_tuple {
+    ($($name:ident : $idx:tt),+) => {
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_json(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_json()),+])
+            }
+        }
+    };
+}
+ser_tuple!(A: 0);
+ser_tuple!(A: 0, B: 1);
+ser_tuple!(A: 0, B: 1, C: 2);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4);
+ser_tuple!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_json(), Value::UInt(3));
+        assert_eq!((-3i32).to_json(), Value::Int(-3));
+        assert_eq!(1.5f64.to_json(), Value::Float(1.5));
+        assert_eq!(true.to_json(), Value::Bool(true));
+        assert_eq!("x".to_json(), Value::Str("x".into()));
+        assert_eq!(Option::<u8>::None.to_json(), Value::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1usize, 2.0f64)];
+        assert_eq!(
+            v.to_json(),
+            Value::Array(vec![Value::Array(vec![Value::UInt(1), Value::Float(2.0)])])
+        );
+    }
+}

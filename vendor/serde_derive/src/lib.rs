@@ -1,0 +1,305 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Derives the workspace's [`serde::Serialize`] (structural JSON via
+//! `to_json`) and the marker trait [`serde::Deserialize`] by parsing the item
+//! token stream directly — no `syn`/`quote`, since the build container cannot
+//! fetch crates. Supports exactly the shapes this workspace uses:
+//!
+//! - structs with named fields,
+//! - tuple structs (serialized as an array; single-field newtypes as the
+//!   inner value, matching serde's convention),
+//! - enums with unit variants (`"Name"`), newtype variants
+//!   (`{"Name": value}`), and struct variants (`{"Name": {...}}`).
+//!
+//! Generic types and `#[serde(...)]` attributes are unsupported and panic at
+//! compile time with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    TupleStruct(usize),
+    /// Enum: variants with their shapes.
+    Enum(Vec<(String, VariantShape)>),
+}
+
+enum VariantShape {
+    Unit,
+    /// Unnamed fields (1 = newtype).
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skips any number of leading `#[...]` attributes.
+fn skip_attrs(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next();
+                // The attribute body: `[...]` (outer) — consume it.
+                match tokens.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                    other => panic!("expected attribute brackets after '#', got {other:?}"),
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Skips `pub`, `pub(crate)`, `pub(super)`, ….
+fn skip_visibility(tokens: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    if let Some(TokenTree::Ident(id)) = tokens.peek() {
+        if id.to_string() == "pub" {
+            tokens.next();
+            if let Some(TokenTree::Group(g)) = tokens.peek() {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    tokens.next();
+                }
+            }
+        }
+    }
+}
+
+/// Parses the names of named fields out of a brace-group body.
+///
+/// Commas inside nested groups are invisible (groups are single trees), but
+/// commas inside generic arguments (`HashMap<K, V>`) are not — so the walk
+/// tracks angle-bracket depth.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        skip_visibility(&mut tokens);
+        match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(name)) => {
+                match tokens.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!("expected ':' after field `{name}`, got {other:?}"),
+                }
+                fields.push(name.to_string());
+                // Consume the type, up to a comma at angle depth 0.
+                let mut angle_depth = 0i32;
+                for tok in tokens.by_ref() {
+                    if let TokenTree::Punct(p) = &tok {
+                        match p.as_char() {
+                            '<' => angle_depth += 1,
+                            '>' => angle_depth -= 1,
+                            ',' if angle_depth == 0 => break,
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            Some(other) => panic!("unexpected token in struct body: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Counts top-level fields of a paren-group (tuple struct / tuple variant).
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_any = false;
+    for tok in body {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => count += 1,
+                _ => {}
+            }
+        }
+    }
+    if saw_any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_enum_variants(body: TokenStream) -> Vec<(String, VariantShape)> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        skip_attrs(&mut tokens);
+        let name = match tokens.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("unexpected token in enum body: {other:?}"),
+        };
+        let shape = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantShape::Tuple(n)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantShape::Struct(fields)
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) and the trailing comma.
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.peek() {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        tokens.next();
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            tokens.next();
+        }
+        variants.push((name, shape));
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut tokens = input.into_iter().peekable();
+    skip_attrs(&mut tokens);
+    skip_visibility(&mut tokens);
+    let kind = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("derive(Serialize/Deserialize) shim does not support generics on `{name}`");
+        }
+    }
+    let shape = match kind.as_str() {
+        "struct" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            other => panic!("unsupported struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_enum_variants(g.stream()))
+            }
+            other => panic!("expected enum body for `{name}`, got {other:?}"),
+        },
+        other => panic!("derive shim supports struct/enum only, got `{other}` for `{name}`"),
+    };
+    Item { name, shape }
+}
+
+fn serialize_impl(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::Struct(fields) => {
+            let mut s =
+                String::from("let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json(&self.{f})));\n"
+                ));
+            }
+            s.push_str("::serde::Value::Object(__fields)");
+            s
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let mut s = String::from("::serde::Value::Array(vec![");
+            for i in 0..*n {
+                s.push_str(&format!("::serde::Serialize::to_json(&self.{i}),"));
+            }
+            s.push_str("])");
+            s
+        }
+        Shape::Enum(variants) => {
+            let mut s = String::from("match self {\n");
+            for (v, shape) in variants {
+                match shape {
+                    VariantShape::Unit => s.push_str(&format!(
+                        "{name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                    )),
+                    VariantShape::Tuple(1) => s.push_str(&format!(
+                        "{name}::{v}(__f0) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Serialize::to_json(__f0))]),\n"
+                    )),
+                    VariantShape::Tuple(n) => {
+                        let binders: Vec<String> =
+                            (0..*n).map(|i| format!("__f{i}")).collect();
+                        let elems: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json({b}),"))
+                            .collect();
+                        s.push_str(&format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Array(vec![{}]))]),\n",
+                            binders.join(", "),
+                            elems.join("")
+                        ));
+                    }
+                    VariantShape::Struct(fields) => {
+                        let binders = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut __fields: Vec<(String, ::serde::Value)> = Vec::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((\"{f}\".to_string(), ::serde::Serialize::to_json({f})));\n"
+                            ));
+                        }
+                        s.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => {{\n{inner}\n::serde::Value::Object(vec![(\"{v}\".to_string(), ::serde::Value::Object(__fields))])\n}},\n"
+                        ));
+                    }
+                }
+            }
+            s.push('}');
+            s
+        }
+    };
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+/// Derives the workspace `Serialize` trait (structural JSON via `to_json`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    serialize_impl(&item)
+        .parse()
+        .expect("derive(Serialize) shim emitted invalid Rust")
+}
+
+/// Derives the workspace `Deserialize` marker trait.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {} {{}}\n",
+        item.name
+    )
+    .parse()
+    .expect("derive(Deserialize) shim emitted invalid Rust")
+}
