@@ -16,4 +16,9 @@ cargo build --offline --release
 echo "==> tier-1: cargo test -q"
 cargo test --offline -q
 
+echo "==> telemetry: traced training run + trace validation"
+QOC_LOG=debug QOC_TRACE_FILE=results/ci_trace.jsonl \
+    cargo run --offline --release --example traced_training > /dev/null 2>&1
+cargo run --offline --release -p qoc-bench --bin validate_trace results/ci_trace.jsonl
+
 echo "CI OK"

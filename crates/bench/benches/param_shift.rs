@@ -99,6 +99,83 @@ fn bench_batched_jacobian(c: &mut Criterion) {
     group.finish();
 }
 
+/// Overhead of a span at a disabled telemetry site: one relaxed atomic load
+/// and no allocation. This must stay in the few-nanosecond range — it is the
+/// price every instrumented hot path pays in ordinary (untraced) runs.
+fn bench_disabled_span(c: &mut Criterion) {
+    assert!(
+        !qoc_telemetry::enabled(),
+        "telemetry must be disabled for the overhead bench (unset QOC_LOG/QOC_TRACE_FILE)"
+    );
+    c.bench_function("telemetry/span_disabled", |b| {
+        b.iter(|| {
+            let span = qoc_telemetry::span!("bench.noop", jobs = 17usize,);
+            std::hint::black_box(span)
+        })
+    });
+}
+
+/// Per-worker utilization and queue-wait percentiles for the batched
+/// Jacobian, measured through the telemetry registry itself: force-enable
+/// dispatch, reset the global metrics, run a fixed number of Jacobians, and
+/// read the `qoc.device.*` histograms back. Utilization is the fraction of
+/// `workers × wall` actually spent inside jobs. Must run after the
+/// criterion benches (it enables telemetry for the rest of the process).
+fn worker_telemetry_rows() -> Vec<qoc_bench::suite::Measurement> {
+    use qoc_telemetry::metrics::Registry;
+
+    let model = QnnModel::mnist2();
+    let device = FakeDevice::new(fake_santiago());
+    let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
+    qoc_telemetry::force_enable();
+    let mut rows = Vec::new();
+    const REPS: usize = 5;
+    for workers in [1usize, 2, 4, 8] {
+        let engine = ParameterShiftEngine::new(
+            &device,
+            model.circuit(),
+            model.num_params(),
+            Execution::Shots(1024),
+        )
+        .with_workers(workers);
+        let registry = Registry::global();
+        registry.reset();
+        let start = std::time::Instant::now();
+        for rep in 0..REPS {
+            std::hint::black_box(engine.jacobian(&theta, rep as u64));
+        }
+        let wall_ns = start.elapsed().as_nanos() as f64;
+        let snap = registry.snapshot();
+        let queue = snap.histogram("qoc.device.queue_wait_ns");
+        let busy = snap.histogram("qoc.device.worker_busy_ns");
+        let busy_ns: f64 = busy.map_or(0.0, |h| h.sum as f64);
+        rows.push(qoc_bench::suite::Measurement {
+            label: format!("telemetry/batched_santiago/{workers}workers"),
+            values: vec![
+                ("jobs".into(), queue.map_or(0.0, |h| h.count as f64)),
+                (
+                    "queue_wait_p50_ns".into(),
+                    queue.map_or(0.0, |h| h.quantile(0.5) as f64),
+                ),
+                (
+                    "queue_wait_p90_ns".into(),
+                    queue.map_or(0.0, |h| h.quantile(0.9) as f64),
+                ),
+                (
+                    "queue_wait_p99_ns".into(),
+                    queue.map_or(0.0, |h| h.quantile(0.99) as f64),
+                ),
+                (
+                    "worker_utilization".into(),
+                    busy_ns / (wall_ns * workers as f64),
+                ),
+                ("wall_ns".into(), wall_ns / REPS as f64),
+            ],
+        });
+    }
+    rows
+}
+
 fn dump_artifact(c: &mut Criterion) {
     let results = c.take_results();
     let mut rows: Vec<qoc_bench::suite::Measurement> = results
@@ -113,6 +190,7 @@ fn dump_artifact(c: &mut Criterion) {
             ],
         })
         .collect();
+    rows.extend(worker_telemetry_rows());
     let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
     rows.push(qoc_bench::suite::Measurement {
         label: "host".into(),
@@ -132,6 +210,7 @@ criterion_group!(
     bench_jacobian,
     bench_sampled_forward,
     bench_batched_jacobian,
+    bench_disabled_span,
     dump_artifact
 );
 criterion_main!(benches);

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    qoc_bench::init();
     let steps = arg_usize("--steps", 20);
     let seed = arg_usize("--seed", 42) as u64;
     let shots_grid = [128u32, 512, 1024, 4096];

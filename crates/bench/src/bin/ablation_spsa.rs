@@ -19,6 +19,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    qoc_bench::init();
     let steps = arg_usize("--steps", 25);
     let seed = arg_usize("--seed", 42) as u64;
     let bench = TaskBench::new(Task::Mnist2, seed);

@@ -9,6 +9,7 @@ use qoc_bench::{format_table, save_json};
 use qoc_sim::resources::paper_workload_cost;
 
 fn main() {
+    qoc_bench::init();
     let mut rows = Vec::new();
     let mut json = Vec::new();
     for n in (4..=34).step_by(2) {

@@ -8,6 +8,7 @@ use qoc_bench::{arg_usize, format_table, save_json};
 use qoc_data::tasks::Task;
 
 fn main() {
+    qoc_bench::init();
     let steps = arg_usize("--steps", 25);
     let seed = arg_usize("--seed", 42) as u64;
     let mut rows = Vec::new();

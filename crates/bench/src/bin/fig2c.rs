@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 fn main() {
+    qoc_bench::init();
     let samples = arg_usize("--samples", 12);
     let seed = arg_usize("--seed", 42) as u64;
     let bench = TaskBench::new(Task::Mnist4, seed);

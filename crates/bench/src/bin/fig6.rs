@@ -32,6 +32,7 @@ fn curve(task: Task, setting: &str, result: &TrainResult) -> Curve {
 }
 
 fn main() {
+    qoc_bench::init();
     let steps = arg_usize("--steps", 30);
     let seed = arg_usize("--seed", 42) as u64;
     let tasks = [Task::Mnist4, Task::Fashion2, Task::Fashion4, Task::Vowel4];

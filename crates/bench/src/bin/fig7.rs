@@ -24,6 +24,7 @@ fn run(bench: &TaskBench, cfg: PruneConfig, steps: usize, seed: u64) -> f64 {
 }
 
 fn main() {
+    qoc_bench::init();
     let steps = arg_usize("--steps", 24);
     let seed = arg_usize("--seed", 42) as u64;
     let mut json = Vec::new();

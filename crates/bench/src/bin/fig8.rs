@@ -39,6 +39,7 @@ fn probe_circuit(n: usize) -> Circuit {
 }
 
 fn main() {
+    qoc_bench::init();
     let circuits = arg_usize("--circuits", 50) as u32;
     let measured_max = arg_usize("--measured-max", 18);
     let toronto = fake_toronto();

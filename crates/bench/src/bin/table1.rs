@@ -12,6 +12,7 @@ use qoc_bench::{arg_usize, format_table, save_json};
 use qoc_data::tasks::ALL_TASKS;
 
 fn main() {
+    qoc_bench::init();
     let steps = arg_usize("--steps", 30);
     let seed = arg_usize("--seed", 42) as u64;
     let mut rows = Vec::new();

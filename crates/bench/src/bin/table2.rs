@@ -11,6 +11,7 @@ use qoc_core::engine::{train, PruningKind};
 use qoc_data::tasks::Task;
 
 fn main() {
+    qoc_bench::init();
     let steps = arg_usize("--steps", 25);
     let seed = arg_usize("--seed", 42) as u64;
     let tasks = [Task::Mnist4, Task::Mnist2, Task::Fashion4, Task::Fashion2];

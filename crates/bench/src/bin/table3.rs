@@ -11,6 +11,7 @@ use qoc_core::optim::OptimizerKind;
 use qoc_data::tasks::Task;
 
 fn main() {
+    qoc_bench::init();
     let steps = arg_usize("--steps", 40);
     let seed = arg_usize("--seed", 42) as u64;
     let tasks = [Task::Mnist4, Task::Mnist2, Task::Fashion4, Task::Fashion2];

@@ -1,0 +1,135 @@
+//! Validates a telemetry trace produced under `QOC_TRACE_FILE`: every line
+//! must parse as a JSON object carrying the pinned schema keys, and the run
+//! manifest written next to the trace must report nonzero circuit-run
+//! counters. CI runs this after a short traced training run.
+//!
+//! Usage: `validate_trace [TRACE_FILE]` (defaults to `$QOC_TRACE_FILE`).
+//! Exits nonzero with a diagnostic on the first violation.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use serde::Value;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("validate_trace: {msg}");
+    ExitCode::FAILURE
+}
+
+/// Checks one trace line against the JSONL schema contract.
+fn check_line(line: &str, lineno: usize) -> Result<(), String> {
+    let value = serde_json::from_str(line)
+        .map_err(|e| format!("line {lineno}: not valid JSON ({e}): {line}"))?;
+    if value.as_object().is_none() {
+        return Err(format!("line {lineno}: not a JSON object"));
+    }
+    for key in ["ts", "kind", "level", "span", "thread", "fields"] {
+        if value.get(key).is_none() {
+            return Err(format!("line {lineno}: missing key {key:?}"));
+        }
+    }
+    let kind = value
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("line {lineno}: kind is not a string"))?;
+    match kind {
+        "span" => {
+            if value.get("dur_ns").and_then(Value::as_u64).is_none() {
+                return Err(format!("line {lineno}: span without integer dur_ns"));
+            }
+        }
+        "event" => {
+            if value.get("dur_ns").is_some() {
+                return Err(format!("line {lineno}: event carries dur_ns"));
+            }
+        }
+        other => return Err(format!("line {lineno}: unknown kind {other:?}")),
+    }
+    if value.get("ts").and_then(Value::as_u64).is_none() {
+        return Err(format!("line {lineno}: ts is not an unsigned integer"));
+    }
+    if value.get("fields").and_then(Value::as_object).is_none() {
+        return Err(format!("line {lineno}: fields is not an object"));
+    }
+    Ok(())
+}
+
+/// Checks the run manifest for nonzero circuit-run accounting.
+fn check_manifest(path: &Path) -> Result<(), String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
+    let manifest =
+        serde_json::from_str(&text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+    let stats_runs = manifest
+        .get("execution_stats")
+        .and_then(|s| s.get("circuits_run"))
+        .and_then(Value::as_u64)
+        .ok_or("manifest missing execution_stats.circuits_run")?;
+    if stats_runs == 0 {
+        return Err("manifest reports zero circuits run".to_string());
+    }
+    let counters = manifest
+        .get("metrics")
+        .and_then(|m| m.get("counters"))
+        .ok_or("manifest missing metrics.counters")?;
+    for counter in ["qoc.train.circuit_runs", "qoc.device.circuits_run"] {
+        let runs = counter_value(counters, counter)?;
+        if runs == 0 {
+            return Err(format!("manifest counter {counter} is zero"));
+        }
+    }
+    println!(
+        "manifest ok: {} circuits run, {} steps",
+        stats_runs,
+        counter_value(counters, "qoc.train.steps").unwrap_or(0)
+    );
+    Ok(())
+}
+
+fn counter_value(counters: &Value, name: &str) -> Result<u64, String> {
+    counters
+        .get(name)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("manifest missing counter {name}"))
+}
+
+fn main() -> ExitCode {
+    let trace_path: PathBuf = match std::env::args().nth(1) {
+        Some(p) => PathBuf::from(p),
+        None => match std::env::var("QOC_TRACE_FILE") {
+            Ok(p) => PathBuf::from(p),
+            Err(_) => return fail("no trace file given (argument or QOC_TRACE_FILE)"),
+        },
+    };
+    let text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) => return fail(&format!("cannot read {}: {e}", trace_path.display())),
+    };
+    let mut lines = 0usize;
+    let mut spans = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        if let Err(msg) = check_line(line, i + 1) {
+            return fail(&msg);
+        }
+        lines += 1;
+        if line.contains("\"kind\":\"span\"") {
+            spans += 1;
+        }
+    }
+    if lines == 0 {
+        return fail("trace file is empty");
+    }
+    println!(
+        "trace ok: {} lines ({} spans) in {}",
+        lines,
+        spans,
+        trace_path.display()
+    );
+    if let Err(msg) = check_manifest(&trace_path.with_extension("manifest.json")) {
+        return fail(&msg);
+    }
+    ExitCode::SUCCESS
+}

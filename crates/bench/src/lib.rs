@@ -11,6 +11,13 @@ use std::path::Path;
 
 use serde::Serialize;
 
+/// Standard entry-point setup for every experiment binary: activates
+/// telemetry from `QOC_LOG` / `QOC_TRACE_FILE` so any harness run can be
+/// traced without code changes.
+pub fn init() {
+    qoc_telemetry::init_from_env();
+}
+
 /// Renders a rows-of-strings table with aligned columns.
 pub fn format_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let cols = header.len();

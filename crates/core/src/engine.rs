@@ -10,7 +10,9 @@ use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
 use qoc_data::dataset::Dataset;
-use qoc_device::backend::{job_seed, Execution, QuantumBackend};
+use qoc_device::backend::{
+    default_worker_count, job_seed, Execution, ExecutionStats, QuantumBackend,
+};
 use qoc_nn::model::QnnModel;
 
 use crate::eval::evaluate_params_prepared;
@@ -206,6 +208,15 @@ pub fn train(
     let mut checkpoint_params = Vec::new();
     let mut best_accuracy = 0.0f64;
 
+    let run_span = qoc_telemetry::span!(
+        "train.run",
+        steps = config.steps,
+        batch_size = config.batch_size,
+        params = n,
+        backend = backend.name(),
+    );
+    let mut prev_inferences = 0u64;
+
     for step in 0..config.steps {
         let lr = config.schedule.lr(step);
         let selection = pruner.begin_step(&mut rng);
@@ -236,6 +247,31 @@ pub fn train(
             inferences,
         });
 
+        // `runs_delta` is the circuit-run cost of this step alone (plus any
+        // checkpoint that ran since the previous step's snapshot) — summing
+        // it over a checkpoint-free stretch empirically exhibits the paper's
+        // `r·w_p/(w_a+w_p)` savings ratio.
+        let runs_delta = inferences - prev_inferences;
+        prev_inferences = inferences;
+        if qoc_telemetry::enabled() {
+            let grad_norm = result.grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            let metrics = qoc_telemetry::metrics::Registry::global();
+            metrics.counter("qoc.train.steps").inc();
+            metrics.counter("qoc.train.circuit_runs").add(runs_delta);
+            metrics.gauge("qoc.train.loss").set(result.loss);
+            qoc_telemetry::event!(
+                qoc_telemetry::Level::Info,
+                "train.step",
+                step = step,
+                loss = result.loss,
+                lr = lr,
+                evaluated_params = evaluated,
+                inferences = inferences,
+                runs_delta = runs_delta,
+                grad_norm = grad_norm,
+            );
+        }
+
         let last = step + 1 == config.steps;
         if last || (step + 1) % config.eval_every == 0 {
             let snapshot = backend.stats().circuits_run;
@@ -249,6 +285,18 @@ pub fn train(
                 job_seed(config.seed, EVAL_STREAM_BASE + step as u64),
             );
             best_accuracy = best_accuracy.max(eval.accuracy);
+            if qoc_telemetry::enabled() {
+                let metrics = qoc_telemetry::metrics::Registry::global();
+                metrics.counter("qoc.train.evals").inc();
+                metrics.gauge("qoc.train.accuracy").set(eval.accuracy);
+                qoc_telemetry::event!(
+                    qoc_telemetry::Level::Info,
+                    "train.eval",
+                    step = step,
+                    inferences = snapshot,
+                    accuracy = eval.accuracy,
+                );
+            }
             evals.push(EvalRecord {
                 step,
                 inferences: snapshot,
@@ -257,8 +305,20 @@ pub fn train(
             checkpoint_params.push(params.clone());
         }
     }
+    drop(run_span);
 
     let stats = backend.stats();
+    if let Some(trace_path) = qoc_telemetry::trace_file_path() {
+        persist_run(
+            &trace_path,
+            config,
+            &steps,
+            &evals,
+            &stats,
+            backend.name(),
+            best_accuracy,
+        );
+    }
     TrainResult {
         params,
         steps,
@@ -267,6 +327,72 @@ pub fn train(
         best_accuracy,
         total_inferences: stats.circuits_run,
         device_seconds: stats.estimated_device_seconds,
+    }
+}
+
+/// Writes one serialized record per line (JSONL).
+fn write_jsonl<T: serde::Serialize>(path: &std::path::Path, records: &[T]) {
+    let mut out = String::new();
+    for record in records {
+        if let Ok(line) = serde_json::to_string(record) {
+            out.push_str(&line);
+            out.push('\n');
+        }
+    }
+    if let Err(e) = std::fs::write(path, out) {
+        eprintln!("qoc: failed to write {}: {e}", path.display());
+    }
+}
+
+/// Persists the run next to the trace file (`QOC_TRACE_FILE`): per-step and
+/// per-checkpoint records as JSONL (`<stem>.steps.jsonl`,
+/// `<stem>.evals.jsonl`) and a run manifest (`<stem>.manifest.json`) tying
+/// together the config, environment, execution stats, and a final snapshot
+/// of the global metrics registry. I/O failures are reported to stderr, not
+/// propagated — telemetry must never fail a training run.
+fn persist_run(
+    trace_path: &std::path::Path,
+    config: &TrainConfig,
+    steps: &[StepRecord],
+    evals: &[EvalRecord],
+    stats: &ExecutionStats,
+    backend_name: &str,
+    best_accuracy: f64,
+) {
+    use serde::Value;
+
+    write_jsonl(&trace_path.with_extension("steps.jsonl"), steps);
+    write_jsonl(&trace_path.with_extension("evals.jsonl"), evals);
+
+    let manifest = Value::Object(vec![
+        ("config".to_string(), serde_json::to_value(config)),
+        ("seed".to_string(), Value::UInt(config.seed)),
+        ("backend".to_string(), Value::Str(backend_name.to_string())),
+        (
+            "workers".to_string(),
+            Value::UInt(default_worker_count() as u64),
+        ),
+        (
+            "available_parallelism".to_string(),
+            Value::UInt(
+                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get) as u64,
+            ),
+        ),
+        ("best_accuracy".to_string(), Value::Float(best_accuracy)),
+        ("execution_stats".to_string(), serde_json::to_value(stats)),
+        (
+            "metrics".to_string(),
+            serde_json::to_value(&qoc_telemetry::metrics::Registry::global().snapshot()),
+        ),
+    ]);
+    let manifest_path = trace_path.with_extension("manifest.json");
+    match serde_json::to_string_pretty(&manifest) {
+        Ok(text) => {
+            if let Err(e) = std::fs::write(&manifest_path, text) {
+                eprintln!("qoc: failed to write {}: {e}", manifest_path.display());
+            }
+        }
+        Err(e) => eprintln!("qoc: failed to serialize run manifest: {e}"),
     }
 }
 

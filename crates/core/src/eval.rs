@@ -100,13 +100,18 @@ fn evaluate_prepared(
             )
         })
         .collect();
+    let mut span = qoc_telemetry::span!("eval.dataset", examples = dataset.len(),);
     let predictions: Vec<usize> = backend
         .run_batch(&jobs)
         .iter()
         .map(|expectations| argmax(&model.logits_from_expectations(expectations)))
         .collect();
+    let accuracy = accuracy(&predictions, dataset.labels());
+    if let Some(s) = span.as_mut() {
+        s.field("accuracy", accuracy);
+    }
     EvalResult {
-        accuracy: accuracy(&predictions, dataset.labels()),
+        accuracy,
         predictions,
     }
 }

@@ -115,6 +115,12 @@ impl<'a> QnnGradientComputer<'a> {
             jobs.extend(shift_jobs);
             layout.push((forward_idx, plan));
         }
+        let mut span = qoc_telemetry::span!(
+            "grad.minibatch",
+            batch = batch.len(),
+            evaluated = indices.len(),
+            jobs = jobs.len(),
+        );
         let results = self.engine.run_batch(&jobs);
 
         // Classical stages: backprop through the head and dot with the rows.
@@ -138,8 +144,15 @@ impl<'a> QnnGradientComputer<'a> {
             all_logits.push(logits);
         }
 
+        let mean_loss = total_loss * scale;
+        if let Some(s) = span.as_mut() {
+            let grad_norm = grad.iter().map(|g| g * g).sum::<f64>().sqrt();
+            s.field("loss", mean_loss);
+            s.field("grad_norm", grad_norm);
+        }
+
         BatchGradient {
-            loss: total_loss * scale,
+            loss: mean_loss,
             grad,
             logits: all_logits,
         }

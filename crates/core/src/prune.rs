@@ -139,18 +139,28 @@ impl Pruner for ProbabilisticPruner {
     fn begin_step(&mut self, rng: &mut dyn rand::RngCore) -> Selection {
         match self.phase {
             Phase::Accumulating(done) => {
-                self.phase = if done + 1 >= self.config.accumulation_window {
+                let window_ends = done + 1 >= self.config.accumulation_window;
+                self.phase = if window_ends {
                     Phase::Pruning(0)
                 } else {
                     Phase::Accumulating(done + 1)
                 };
                 self.last_was_full = true;
+                qoc_telemetry::event!(
+                    qoc_telemetry::Level::Debug,
+                    "prune.window",
+                    phase = "accumulating",
+                    step_in_phase = done,
+                    window_ends = window_ends,
+                );
                 Selection::Full
             }
             Phase::Pruning(done) => {
                 let subset =
                     weighted_sample_without_replacement(&self.magnitude, self.keep_count(), rng);
-                if done + 1 >= self.config.pruning_window {
+                let stage_ends = done + 1 >= self.config.pruning_window;
+                let magnitude_l1: f64 = self.magnitude.iter().sum();
+                if stage_ends {
                     // Stage over: reset the accumulator for the next stage.
                     self.magnitude.iter_mut().for_each(|m| *m = 0.0);
                     self.phase = Phase::Accumulating(0);
@@ -158,6 +168,22 @@ impl Pruner for ProbabilisticPruner {
                     self.phase = Phase::Pruning(done + 1);
                 }
                 self.last_was_full = false;
+                let frozen = self.num_params - subset.len();
+                if qoc_telemetry::enabled() {
+                    qoc_telemetry::metrics::Registry::global()
+                        .counter("qoc.prune.frozen_params")
+                        .add(frozen as u64);
+                    qoc_telemetry::event!(
+                        qoc_telemetry::Level::Debug,
+                        "prune.select",
+                        phase = "pruning",
+                        step_in_phase = done,
+                        stage_ends = stage_ends,
+                        kept = subset.len(),
+                        frozen = frozen,
+                        magnitude_l1 = magnitude_l1,
+                    );
+                }
                 Selection::Subset(subset)
             }
         }

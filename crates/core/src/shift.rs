@@ -338,6 +338,11 @@ impl<'a> ParameterShiftEngine<'a> {
     /// batch submission.
     pub fn jacobian(&self, theta: &[f64], master_seed: u64) -> Jacobian {
         let (jobs, plan) = self.jacobian_jobs(theta, None, master_seed);
+        let _span = qoc_telemetry::span!(
+            "shift.jacobian",
+            rows = self.num_trainable,
+            jobs = jobs.len(),
+        );
         plan.assemble(&self.run_batch(&jobs))
     }
 
@@ -346,6 +351,7 @@ impl<'a> ParameterShiftEngine<'a> {
     /// rows of the full [`Self::jacobian`] under the same master seed.
     pub fn jacobian_subset(&self, theta: &[f64], subset: &[usize], master_seed: u64) -> Jacobian {
         let (jobs, plan) = self.jacobian_jobs(theta, Some(subset), master_seed);
+        let _span = qoc_telemetry::span!("shift.jacobian", rows = subset.len(), jobs = jobs.len(),);
         plan.assemble(&self.run_batch(&jobs))
     }
 }

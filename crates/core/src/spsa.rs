@@ -135,6 +135,14 @@ pub fn minimize_spsa(
             std::slice::from_ref(&params),
             job_seed(master_seed, 2 * k as u64 + 1),
         );
+        qoc_telemetry::event!(
+            qoc_telemetry::Level::Debug,
+            "spsa.step",
+            step = k,
+            loss = monitor[0],
+            step_size = ak,
+            perturbation = ck,
+        );
         losses.push(monitor[0]);
         evaluations += 1;
     }

@@ -373,6 +373,12 @@ impl<'a> VqeProblem<'a> {
                 jobs.extend(self.term_jobs(&shifted, master_seed, stream));
             }
         }
+        let _span = qoc_telemetry::span!(
+            "vqe.gradient",
+            params = indices.len(),
+            terms = self.prepared_terms.len(),
+            jobs = jobs.len(),
+        );
         let results = self.backend.run_batch(&jobs);
         let per_eval = self.prepared_terms.len();
         let mut grad = vec![0.0; self.num_params];
@@ -470,6 +476,13 @@ pub fn run_vqe(problem: &VqeProblem<'_>, config: &VqeConfig) -> VqeResult {
             subset.as_deref(),
         );
         let e = problem.energy(&params, job_seed(config.seed, 2 * step as u64 + 1));
+        qoc_telemetry::event!(
+            qoc_telemetry::Level::Debug,
+            "vqe.step",
+            step = step,
+            energy = e,
+            evaluated_params = selection.evaluated(n),
+        );
         best = best.min(e);
         energies.push(e);
     }

@@ -97,6 +97,7 @@ pub fn zero_noise_extrapolate(
             )
         })
         .collect();
+    let _span = qoc_telemetry::span!("zne.extrapolate", scales = scales.len(), jobs = jobs.len(),);
     let points: Vec<ZnePoint> = backend
         .run_batch(&jobs)
         .into_iter()

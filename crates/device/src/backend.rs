@@ -28,7 +28,10 @@
 //! parallel accumulation stays exact (integer addition commutes; float
 //! addition does not).
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Instant;
+
+use qoc_telemetry::metrics::{Counter, Histogram, Registry};
 
 use rand::rngs::StdRng;
 use rand::RngCore;
@@ -59,7 +62,7 @@ pub enum Execution {
 pub const PAPER_SHOTS: u32 = 1024;
 
 /// Cumulative execution accounting.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize)]
 pub struct ExecutionStats {
     /// Circuits executed ("inferences" in the paper's Figure 6).
     pub circuits_run: u64,
@@ -307,22 +310,80 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
     /// `w + workers`, …) and merged back by index, so the output order —
     /// and, because every job owns its seed, the output *values* — are
     /// independent of scheduling.
+    ///
+    /// When telemetry is enabled ([`qoc_telemetry::enabled`]) the batch
+    /// emits a `device.batch` span and feeds the per-job queue-wait and
+    /// wall-time histograms plus the per-worker jobs/busy-time histograms
+    /// (`qoc.device.*` in the global registry); when disabled, no clock is
+    /// read per job.
     fn run_batch_workers(&self, jobs: &[CircuitJob<'_>], workers: usize) -> Vec<Vec<f64>> {
         let workers = workers.max(1).min(jobs.len());
+        let span = qoc_telemetry::span!(
+            "device.batch",
+            backend = self.name(),
+            jobs = jobs.len(),
+            workers = workers,
+        );
+        let telemetry = span.as_ref().map(|_| {
+            let m = batch_metrics();
+            m.batches.inc();
+            (m, Instant::now())
+        });
         if workers <= 1 {
-            return jobs.iter().map(|job| self.run_job(job)).collect();
+            let mut busy_ns = 0u64;
+            let results: Vec<_> = jobs
+                .iter()
+                .map(|job| {
+                    let start = telemetry.as_ref().map(|(m, epoch)| {
+                        m.queue_wait_ns.record(epoch.elapsed().as_nanos() as u64);
+                        Instant::now()
+                    });
+                    let result = self.run_job(job);
+                    if let (Some(start), Some((m, _))) = (start, &telemetry) {
+                        let dur = start.elapsed().as_nanos() as u64;
+                        m.job_wall_ns.record(dur);
+                        busy_ns += dur;
+                    }
+                    result
+                })
+                .collect();
+            if let Some((m, _)) = &telemetry {
+                m.worker_jobs.record(jobs.len() as u64);
+                m.worker_busy_ns.record(busy_ns);
+            }
+            return results;
         }
         let mut results: Vec<Option<Vec<f64>>> = vec![None; jobs.len()];
         std::thread::scope(|scope| {
+            let telemetry = &telemetry;
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
-                        jobs.iter()
+                        let mut busy_ns = 0u64;
+                        let out: Vec<_> = jobs
+                            .iter()
                             .enumerate()
                             .skip(w)
                             .step_by(workers)
-                            .map(|(i, job)| (i, self.run_job(job)))
-                            .collect::<Vec<_>>()
+                            .map(|(i, job)| {
+                                let start = telemetry.as_ref().map(|(m, epoch)| {
+                                    m.queue_wait_ns.record(epoch.elapsed().as_nanos() as u64);
+                                    Instant::now()
+                                });
+                                let result = self.run_job(job);
+                                if let (Some(start), Some((m, _))) = (start, telemetry) {
+                                    let dur = start.elapsed().as_nanos() as u64;
+                                    m.job_wall_ns.record(dur);
+                                    busy_ns += dur;
+                                }
+                                (i, result)
+                            })
+                            .collect();
+                        if let Some((m, _)) = telemetry {
+                            m.worker_jobs.record(out.len() as u64);
+                            m.worker_busy_ns.record(busy_ns);
+                        }
+                        out
                     })
                 })
                 .collect();
@@ -345,39 +406,113 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
     fn reset_stats(&self);
 }
 
+/// Process-wide device metrics mirrored from every backend instance
+/// (`qoc.device.*` counters in [`Registry::global`]). These are cumulative
+/// across the process and are *not* cleared by
+/// [`QuantumBackend::reset_stats`] — they feed run manifests, while
+/// [`ExecutionStats`] stays the per-backend, resettable view. Both are fed
+/// by the single [`StatCells::record`] code path so they cannot drift.
+struct DeviceMetrics {
+    circuits: Arc<Counter>,
+    shots: Arc<Counter>,
+    device_ns: Arc<Counter>,
+    job_shots: Arc<Histogram>,
+    job_device_ns: Arc<Histogram>,
+}
+
+fn device_metrics() -> &'static DeviceMetrics {
+    static METRICS: OnceLock<DeviceMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        DeviceMetrics {
+            circuits: reg.counter("qoc.device.circuits_run"),
+            shots: reg.counter("qoc.device.total_shots"),
+            device_ns: reg.counter("qoc.device.device_ns"),
+            // Shots per job: 1 .. 262144 in powers of 4 (0-shot exact jobs
+            // land in the first bucket).
+            job_shots: reg.histogram(
+                "qoc.device.job_shots",
+                &Histogram::exponential_bounds(1, 4, 10),
+            ),
+            // Modeled device time per job: 1µs .. ~17s in powers of 4.
+            job_device_ns: reg.histogram(
+                "qoc.device.job_device_ns",
+                &Histogram::exponential_bounds(1_000, 4, 12),
+            ),
+        }
+    })
+}
+
+/// Batch-level metrics, recorded only while telemetry is enabled (they need
+/// wall-clock reads around every job).
+struct BatchMetrics {
+    batches: Arc<Counter>,
+    queue_wait_ns: Arc<Histogram>,
+    job_wall_ns: Arc<Histogram>,
+    worker_jobs: Arc<Histogram>,
+    worker_busy_ns: Arc<Histogram>,
+}
+
+fn batch_metrics() -> &'static BatchMetrics {
+    static METRICS: OnceLock<BatchMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = Registry::global();
+        let latency_bounds = Histogram::exponential_bounds(1_000, 4, 16);
+        BatchMetrics {
+            batches: reg.counter("qoc.device.batches"),
+            queue_wait_ns: reg.histogram("qoc.device.queue_wait_ns", &latency_bounds),
+            job_wall_ns: reg.histogram("qoc.device.job_wall_ns", &latency_bounds),
+            worker_jobs: reg.histogram(
+                "qoc.device.worker_jobs",
+                &Histogram::exponential_bounds(1, 2, 12),
+            ),
+            worker_busy_ns: reg.histogram("qoc.device.worker_busy_ns", &latency_bounds),
+        }
+    })
+}
+
 /// Lock-free execution counters, shared across batch workers.
 ///
-/// Device time is accumulated as integer nanoseconds: each job's duration is
-/// a deterministic `f64 → u64` rounding, and integer addition commutes, so
+/// Backed by telemetry [`Counter`]s (the satellite migration): device time
+/// is accumulated as integer nanoseconds — each job's duration is a
+/// deterministic `f64 → u64` rounding, and integer addition commutes, so
 /// the total is exact (and identical) no matter how many threads record
-/// concurrently — a float accumulator would drift with summation order.
+/// concurrently; a float accumulator would drift with summation order.
+/// Every [`StatCells::record`] also mirrors into the process-cumulative
+/// `qoc.device.*` registry metrics (see [`device_metrics`]).
 #[derive(Debug, Default)]
 struct StatCells {
-    circuits: AtomicU64,
-    shots: AtomicU64,
-    nanos: AtomicU64,
+    circuits: Counter,
+    shots: Counter,
+    nanos: Counter,
 }
 
 impl StatCells {
     fn record(&self, shots: u64, seconds: f64) {
-        self.circuits.fetch_add(1, Ordering::Relaxed);
-        self.shots.fetch_add(shots, Ordering::Relaxed);
-        self.nanos
-            .fetch_add((seconds * 1e9).round() as u64, Ordering::Relaxed);
+        let nanos = (seconds * 1e9).round() as u64;
+        self.circuits.inc();
+        self.shots.add(shots);
+        self.nanos.add(nanos);
+        let global = device_metrics();
+        global.circuits.inc();
+        global.shots.add(shots);
+        global.device_ns.add(nanos);
+        global.job_shots.record(shots);
+        global.job_device_ns.record(nanos);
     }
 
     fn snapshot(&self) -> ExecutionStats {
         ExecutionStats {
-            circuits_run: self.circuits.load(Ordering::Relaxed),
-            total_shots: self.shots.load(Ordering::Relaxed),
-            estimated_device_seconds: self.nanos.load(Ordering::Relaxed) as f64 / 1e9,
+            circuits_run: self.circuits.get(),
+            total_shots: self.shots.get(),
+            estimated_device_seconds: self.nanos.get() as f64 / 1e9,
         }
     }
 
     fn reset(&self) {
-        self.circuits.store(0, Ordering::Relaxed);
-        self.shots.store(0, Ordering::Relaxed);
-        self.nanos.store(0, Ordering::Relaxed);
+        self.circuits.reset();
+        self.shots.reset();
+        self.nanos.reset();
     }
 }
 
@@ -925,6 +1060,50 @@ mod tests {
             "atomic stats must not drift under threads"
         );
         assert!(parallel.estimated_device_seconds > 0.0);
+    }
+
+    #[test]
+    fn batch_telemetry_feeds_span_and_registry() {
+        use qoc_telemetry::sink::CaptureSubscriber;
+        use qoc_telemetry::{FieldValue, Level};
+
+        let capture = Arc::new(CaptureSubscriber::new(Level::Trace));
+        let guard = qoc_telemetry::install_for_test(vec![capture.clone()], None);
+        let before = Registry::global().snapshot();
+        let device = FakeDevice::new(fake_lima());
+        let prepared = device.prepare(&qnn_circuit());
+        let jobs = shift_style_jobs(&prepared, Execution::Shots(64), 11);
+        device.run_batch_workers(&jobs, 3);
+        let after = Registry::global().snapshot();
+        let records = capture.records();
+        drop(guard);
+
+        // The batch emitted a span carrying its geometry.
+        let batch = records
+            .iter()
+            .find(|r| {
+                r.span == "device.batch"
+                    && r.fields.contains(&("jobs".into(), FieldValue::U64(12)))
+                    && r.fields.contains(&("workers".into(), FieldValue::U64(3)))
+            })
+            .expect("device.batch span with jobs=12 workers=3");
+        assert!(batch.dur_ns.expect("span duration") > 0);
+
+        // Registry deltas (>= because unrelated tests in this binary may
+        // mirror into the same process-wide metrics concurrently).
+        let counter_delta = |name: &str| after.counter(name).saturating_sub(before.counter(name));
+        assert!(counter_delta("qoc.device.circuits_run") >= 12);
+        assert!(counter_delta("qoc.device.total_shots") >= 12 * 64);
+        assert!(counter_delta("qoc.device.batches") >= 1);
+        let hist_delta = |name: &str| {
+            after.histogram(name).map_or(0, |h| h.count)
+                - before.histogram(name).map_or(0, |h| h.count)
+        };
+        assert!(hist_delta("qoc.device.queue_wait_ns") >= 12);
+        assert!(hist_delta("qoc.device.job_wall_ns") >= 12);
+        assert!(hist_delta("qoc.device.worker_jobs") >= 3);
+        assert!(hist_delta("qoc.device.worker_busy_ns") >= 3);
+        assert!(hist_delta("qoc.device.job_shots") >= 12);
     }
 
     #[test]

@@ -15,6 +15,7 @@
 //! | [`data`] | synthetic MNIST/Fashion/vowel tasks with the paper's splits |
 //! | [`nn`] | QNN encoders, ansatz layers, heads, loss |
 //! | [`core`] | parameter shift, gradient pruning, optimizers, training engine |
+//! | [`telemetry`] | structured tracing, metrics registry, JSONL trace sink |
 //!
 //! # Quickstart
 //!
@@ -45,6 +46,7 @@ pub use qoc_device as device;
 pub use qoc_nn as nn;
 pub use qoc_noise as noise;
 pub use qoc_sim as sim;
+pub use qoc_telemetry as telemetry;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {

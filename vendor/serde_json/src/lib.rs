@@ -1,29 +1,285 @@
 //! Offline stand-in for `serde_json`.
 //!
 //! Renders the workspace's structural [`Value`] tree (produced by
-//! `serde::Serialize::to_json`) as JSON text. Output conventions match
-//! upstream serde_json where observable: 2-space pretty indentation, floats
-//! printed with Rust's shortest round-trip repr (`1.0`, not `1`), non-finite
-//! floats as `null`, and full string escaping.
+//! `serde::Serialize::to_json`) as JSON text, and parses JSON text back into
+//! a [`Value`] tree via [`from_str`] (used by the telemetry trace validator
+//! and the JSONL schema tests). Output conventions match upstream serde_json
+//! where observable: 2-space pretty indentation, floats printed with Rust's
+//! shortest round-trip repr (`1.0`, not `1`), non-finite floats as `null`,
+//! and full string escaping.
 
 use serde::Serialize;
 pub use serde::Value;
 
-/// Serialization error. The structural pipeline is infallible, so this is
-/// never produced today; the type exists to keep `serde_json`'s fallible
-/// signatures source-compatible.
+/// Serialization or parse error. Serialization through the structural
+/// pipeline is infallible; parse errors carry a message and byte offset.
 #[derive(Debug)]
-pub struct Error(());
+pub struct Error(Option<String>);
+
+impl Error {
+    fn parse(msg: impl Into<String>, offset: usize) -> Self {
+        Error(Some(format!("{} at byte {offset}", msg.into())))
+    }
+}
 
 impl std::fmt::Display for Error {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.write_str("json serialization error")
+        match &self.0 {
+            Some(msg) => f.write_str(msg),
+            None => f.write_str("json serialization error"),
+        }
     }
 }
 
 impl std::error::Error for Error {}
 
 pub type Result<T> = std::result::Result<T, Error>;
+
+/// Parses a JSON document into a [`Value`] tree. Numbers without `.`/`e`
+/// parse as `UInt`/`Int`; everything else numeric parses as `Float`.
+pub fn from_str(input: &str) -> Result<Value> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_whitespace();
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::parse("trailing characters", parser.pos));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_whitespace(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::parse(format!("expected `{}`", b as char), self.pos))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Value::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Value::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(b) => Err(Error::parse(
+                format!("unexpected character `{}`", b as char),
+                self.pos,
+            )),
+            None => Err(Error::parse("unexpected end of input", self.pos)),
+        }
+    }
+
+    fn parse_literal(&mut self, text: &str, value: Value) -> Result<Value> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(Error::parse(format!("expected `{text}`"), self.pos))
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(entries));
+                }
+                _ => return Err(Error::parse("expected `,` or `}`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(Error::parse("expected `,` or `]`", self.pos)),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: run of plain bytes up to the next quote/escape.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            out.push_str(
+                std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| Error::parse("invalid utf-8 in string", start))?,
+            );
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    self.parse_escape(&mut out)?;
+                }
+                Some(_) => {
+                    return Err(Error::parse("unescaped control character", self.pos));
+                }
+                None => return Err(Error::parse("unterminated string", self.pos)),
+            }
+        }
+    }
+
+    fn parse_escape(&mut self, out: &mut String) -> Result<()> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::parse("unterminated escape", self.pos))?;
+        self.pos += 1;
+        match b {
+            b'"' => out.push('"'),
+            b'\\' => out.push('\\'),
+            b'/' => out.push('/'),
+            b'b' => out.push('\u{0008}'),
+            b'f' => out.push('\u{000c}'),
+            b'n' => out.push('\n'),
+            b'r' => out.push('\r'),
+            b't' => out.push('\t'),
+            b'u' => {
+                let high = self.parse_hex4()?;
+                let c = if (0xD800..0xDC00).contains(&high) {
+                    // Surrogate pair: require a following \uXXXX low half.
+                    if self.peek() == Some(b'\\') {
+                        self.pos += 1;
+                        self.expect(b'u')?;
+                        let low = self.parse_hex4()?;
+                        if !(0xDC00..0xE000).contains(&low) {
+                            return Err(Error::parse("invalid low surrogate", self.pos));
+                        }
+                        let code = 0x10000 + ((high - 0xD800) << 10) + (low - 0xDC00);
+                        char::from_u32(code)
+                            .ok_or_else(|| Error::parse("invalid surrogate pair", self.pos))?
+                    } else {
+                        return Err(Error::parse("lone high surrogate", self.pos));
+                    }
+                } else {
+                    char::from_u32(high)
+                        .ok_or_else(|| Error::parse("invalid \\u escape", self.pos))?
+                };
+                out.push(c);
+            }
+            _ => return Err(Error::parse("invalid escape", self.pos - 1)),
+        }
+        Ok(())
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let end = self.pos + 4;
+        let hex = self
+            .bytes
+            .get(self.pos..end)
+            .ok_or_else(|| Error::parse("truncated \\u escape", self.pos))?;
+        let hex =
+            std::str::from_utf8(hex).map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        let code = u32::from_str_radix(hex, 16)
+            .map_err(|_| Error::parse("invalid \\u escape", self.pos))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::parse("invalid number", start))?;
+        if !is_float {
+            if let Some(digits) = text.strip_prefix('-') {
+                if !digits.is_empty() {
+                    if let Ok(i) = text.parse::<i64>() {
+                        return Ok(Value::Int(i));
+                    }
+                }
+            } else if let Ok(u) = text.parse::<u64>() {
+                return Ok(Value::UInt(u));
+            }
+        }
+        text.parse::<f64>()
+            .map(Value::Float)
+            .map_err(|_| Error::parse(format!("invalid number `{text}`"), start))
+    }
+}
 
 /// Converts any serializable value into a [`Value`] tree.
 pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
@@ -156,6 +412,73 @@ mod tests {
     fn non_finite_floats_become_null() {
         assert_eq!(to_string(&f64::NAN).unwrap(), "null");
         assert_eq!(to_string(&f64::INFINITY).unwrap(), "null");
+    }
+
+    #[test]
+    fn parser_round_trips_compact_output() {
+        let v = Value::Object(vec![
+            ("n".into(), Value::UInt(1024)),
+            ("i".into(), Value::Int(-7)),
+            ("x".into(), Value::Float(1.5)),
+            ("tag".into(), Value::Str("a\"b\\c\nd".into())),
+            ("ok".into(), Value::Bool(true)),
+            ("none".into(), Value::Null),
+            (
+                "xs".into(),
+                Value::Array(vec![Value::UInt(1), Value::Float(2.5)]),
+            ),
+            ("o".into(), Value::Object(vec![])),
+        ]);
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str(&text).unwrap(), v);
+        let pretty = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str(&pretty).unwrap(), v);
+    }
+
+    #[test]
+    fn parser_handles_escapes_and_unicode() {
+        assert_eq!(
+            from_str(r#""é€😀\t/""#).unwrap(),
+            Value::Str("é€😀\t/".into())
+        );
+        assert_eq!(from_str("1e3").unwrap(), Value::Float(1000.0));
+        assert_eq!(from_str("-0.5").unwrap(), Value::Float(-0.5));
+        assert_eq!(
+            from_str("  [1, 2]  ").unwrap(),
+            Value::Array(vec![Value::UInt(1), Value::UInt(2)])
+        );
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "tru",
+            "\"unterminated",
+            "1 2",
+            "{\"a\" 1}",
+        ] {
+            assert!(from_str(bad).is_err(), "should reject: {bad}");
+        }
+        let err = from_str("nope").unwrap_err();
+        assert!(err.to_string().contains("byte 0"));
+    }
+
+    #[test]
+    fn value_accessors_read_parsed_trees() {
+        let v =
+            from_str(r#"{"ts":12,"span":"train.step","fields":{"loss":0.25,"neg":-3}}"#).unwrap();
+        assert_eq!(v.get("ts").unwrap().as_u64(), Some(12));
+        assert_eq!(v.get("span").unwrap().as_str(), Some("train.step"));
+        let fields = v.get("fields").unwrap();
+        assert_eq!(fields.get("loss").unwrap().as_f64(), Some(0.25));
+        assert_eq!(fields.get("neg").unwrap().as_i64(), Some(-3));
+        assert_eq!(fields.get("neg").unwrap().as_u64(), None);
+        assert!(v.get("missing").is_none());
+        assert_eq!(v.as_object().unwrap().len(), 3);
     }
 
     #[test]
