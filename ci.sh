@@ -1,24 +1,135 @@
 #!/usr/bin/env bash
-# Local CI gate: formatting, lints, and the tier-1 verification suite.
-# Run from the repo root before pushing.
-set -euo pipefail
+# Local CI gate, staged: formatting, lints, tier-1 build+test, trace
+# validation, cross-worker determinism, fault soak, and a perf-regression
+# smoke against the committed bench baseline.
+#
+# Usage:
+#   ./ci.sh                 run every stage (fail-fast, timing summary)
+#   ./ci.sh --stage test    run one stage (repeatable: --stage fmt --stage test)
+#   ./ci.sh --list          list stages
+set -uo pipefail
 cd "$(dirname "$0")"
 
-echo "==> cargo fmt --check"
-cargo fmt --all -- --check
+ALL_STAGES=(fmt clippy build test trace-validate determinism fault-soak bench-smoke)
 
-echo "==> cargo clippy (workspace, all targets, warnings are errors)"
-cargo clippy --offline --workspace --all-targets -- -D warnings
+stage_fmt() {
+    cargo fmt --all -- --check
+}
 
-echo "==> tier-1: cargo build --release"
-cargo build --offline --release
+stage_clippy() {
+    cargo clippy --offline --workspace --all-targets -- -D warnings
+}
 
-echo "==> tier-1: cargo test -q"
-cargo test --offline -q
+stage_build() {
+    cargo build --offline --release
+}
 
-echo "==> telemetry: traced training run + trace validation"
-QOC_LOG=debug QOC_TRACE_FILE=results/ci_trace.jsonl \
-    cargo run --offline --release --example traced_training > /dev/null 2>&1
-cargo run --offline --release -p qoc-bench --bin validate_trace results/ci_trace.jsonl
+stage_test() {
+    cargo test --offline -q
+}
 
+stage_trace_validate() {
+    QOC_LOG=debug QOC_TRACE_FILE=results/ci_trace.jsonl \
+        cargo run --offline --release --example traced_training > /dev/null
+    # validate_trace exits 2 when the trace/manifest never appeared and 1 on
+    # schema violations — its stderr names the offending line either way.
+    cargo run --offline --release -p qoc-bench --bin validate_trace results/ci_trace.jsonl
+}
+
+stage_determinism() {
+    # The same training run must produce identical per-step and per-eval
+    # records at any worker count: batched parameter-shift seeds every job
+    # deterministically, so parallelism must never leak into results.
+    QOC_WORKERS=1 QOC_TRACE_FILE=results/ci_det_w1.jsonl \
+        cargo run --offline --release --example traced_training > /dev/null
+    QOC_WORKERS=4 QOC_TRACE_FILE=results/ci_det_w4.jsonl \
+        cargo run --offline --release --example traced_training > /dev/null
+    local artifact
+    for artifact in steps.jsonl evals.jsonl; do
+        if ! diff "results/ci_det_w1.${artifact%.jsonl}.jsonl" \
+                  "results/ci_det_w4.${artifact%.jsonl}.jsonl" > /dev/null; then
+            echo "determinism: $artifact differs between QOC_WORKERS=1 and QOC_WORKERS=4:" >&2
+            diff "results/ci_det_w1.${artifact%.jsonl}.jsonl" \
+                 "results/ci_det_w4.${artifact%.jsonl}.jsonl" | head -10 >&2
+            return 1
+        fi
+    done
+    echo "determinism: step and eval records identical at 1 and 4 workers"
+}
+
+stage_fault_soak() {
+    # Train under ≥ 10% transient failures (plus timeouts, latency spikes,
+    # drift): must converge with every retry accounted for, zero panics.
+    QOC_TRACE_FILE=results/ci_soak.jsonl \
+        cargo run --offline --release -p qoc-bench --bin fault_soak
+}
+
+stage_bench_smoke() {
+    # >25% serial-Jacobian regression vs BENCH_param_shift.json fails;
+    # tolerance is QOC_BENCH_TOLERANCE.
+    cargo run --offline --release -p qoc-bench --bin bench_smoke
+}
+
+STAGE_NAMES=()
+STAGE_TIMES=()
+STAGE_RESULTS=()
+
+print_summary() {
+    [ ${#STAGE_NAMES[@]} -eq 0 ] && return
+    echo
+    echo "== stage summary =="
+    local i
+    for i in "${!STAGE_NAMES[@]}"; do
+        printf '  %-16s %6ss  %s\n' \
+            "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" "${STAGE_RESULTS[$i]}"
+    done
+}
+trap print_summary EXIT
+
+run_stage() {
+    local name="$1" fn="stage_${1//-/_}" start elapsed
+    echo "==> $name"
+    start=$(date +%s)
+    if "$fn"; then
+        elapsed=$(( $(date +%s) - start ))
+        STAGE_NAMES+=("$name"); STAGE_TIMES+=("$elapsed"); STAGE_RESULTS+=("ok")
+    else
+        elapsed=$(( $(date +%s) - start ))
+        STAGE_NAMES+=("$name"); STAGE_TIMES+=("$elapsed"); STAGE_RESULTS+=("FAILED")
+        echo "ci.sh: stage $name failed (${elapsed}s)" >&2
+        exit 1
+    fi
+}
+
+SELECTED=()
+while [ $# -gt 0 ]; do
+    case "$1" in
+        --stage)
+            [ $# -ge 2 ] || { echo "ci.sh: --stage needs a name" >&2; exit 64; }
+            SELECTED+=("$2")
+            shift 2
+            ;;
+        --list)
+            printf '%s\n' "${ALL_STAGES[@]}"
+            exit 0
+            ;;
+        *)
+            echo "ci.sh: unknown argument $1 (try --list)" >&2
+            exit 64
+            ;;
+    esac
+done
+[ ${#SELECTED[@]} -eq 0 ] && SELECTED=("${ALL_STAGES[@]}")
+
+for stage in "${SELECTED[@]}"; do
+    case " ${ALL_STAGES[*]} " in
+        *" $stage "*) ;;
+        *) echo "ci.sh: unknown stage $stage (try --list)" >&2; exit 64 ;;
+    esac
+done
+
+for stage in "${SELECTED[@]}"; do
+    run_stage "$stage"
+done
+echo
 echo "CI OK"

@@ -1,0 +1,155 @@
+//! Quick perf-regression gate over the committed `BENCH_param_shift.json`
+//! artifact: re-measures the serial (1-worker) batched Jacobian on the
+//! emulated ibmq_santiago — the exact workload behind the
+//! `shift/jacobian_batched_santiago/1workers` row — and fails if the fresh
+//! timing regresses more than the tolerance against the committed baseline.
+//! Both sides compare their *minimum* sample: on shared/single-CPU runners
+//! medians swing ±25% with scheduler noise, while the minimum is a stable
+//! lower bound on the true cost.
+//!
+//! Usage: `bench_smoke [BASELINE_JSON]` (defaults to the repo-root
+//! `BENCH_param_shift.json`). Tolerance defaults to 0.25 (25 %) and can be
+//! overridden with `QOC_BENCH_TOLERANCE`. Exit codes: **0** within
+//! tolerance, **1** regression or malformed baseline, **2** baseline
+//! missing. Debug builds skip the gate — criterion baselines are measured
+//! with optimizations on, so unoptimized timings are not comparable.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use serde::Value;
+
+use qoc_core::shift::ParameterShiftEngine;
+use qoc_device::backend::{Execution, FakeDevice};
+use qoc_device::backends::fake_santiago;
+use qoc_nn::model::QnnModel;
+
+/// The criterion row this gate re-measures.
+const BASELINE_LABEL: &str = "shift/jacobian_batched_santiago/1workers";
+/// Allowed fractional slowdown before the gate fails.
+const DEFAULT_TOLERANCE: f64 = 0.25;
+/// Timed repetitions (minimum taken) after the warmup.
+const REPS: usize = 12;
+const WARMUP: usize = 2;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("bench_smoke: {msg}");
+    ExitCode::from(1)
+}
+
+/// Pulls `min_ns` for [`BASELINE_LABEL`] out of the bench artifact.
+fn baseline_min_ns(text: &str) -> Result<f64, String> {
+    let root =
+        serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
+    let rows = root
+        .as_array()
+        .ok_or("baseline is not a JSON array of measurements")?;
+    for row in rows {
+        let label = row.get("label").and_then(Value::as_str);
+        if label != Some(BASELINE_LABEL) {
+            continue;
+        }
+        let values = row
+            .get("values")
+            .and_then(Value::as_array)
+            .ok_or_else(|| format!("row {BASELINE_LABEL} has no values array"))?;
+        for pair in values {
+            let pair = pair
+                .as_array()
+                .ok_or_else(|| format!("row {BASELINE_LABEL} has a non-pair value"))?;
+            if pair.first().and_then(Value::as_str) == Some("min_ns") {
+                return pair
+                    .get(1)
+                    .and_then(Value::as_f64)
+                    .ok_or_else(|| format!("row {BASELINE_LABEL} min_ns is not a number"));
+            }
+        }
+        return Err(format!("row {BASELINE_LABEL} has no min_ns"));
+    }
+    Err(format!("baseline has no row labelled {BASELINE_LABEL}"))
+}
+
+/// Re-runs the baseline workload and returns the minimum wall time in ns.
+fn measure_min_ns() -> f64 {
+    let model = QnnModel::mnist2();
+    let device = FakeDevice::new(fake_santiago());
+    let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
+    let engine = ParameterShiftEngine::new(
+        &device,
+        model.circuit(),
+        model.num_params(),
+        Execution::Shots(1024),
+    )
+    .with_workers(1);
+    for _ in 0..WARMUP {
+        std::hint::black_box(engine.jacobian(&theta, 4));
+    }
+    (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            std::hint::black_box(engine.jacobian(&theta, 4));
+            start.elapsed().as_nanos() as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn main() -> ExitCode {
+    qoc_bench::init();
+    let path: PathBuf = std::env::args().nth(1).map_or_else(
+        || {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_param_shift.json"
+            ))
+        },
+        PathBuf::from,
+    );
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "bench_smoke: baseline {} does not exist (run `cargo bench -p qoc-bench --bench param_shift` to create it)",
+                path.display()
+            );
+            return ExitCode::from(2);
+        }
+        Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
+    };
+    let baseline = match baseline_min_ns(&text) {
+        Ok(b) => b,
+        Err(msg) => return fail(&msg),
+    };
+    if cfg!(debug_assertions) {
+        println!(
+            "bench_smoke: skipped — debug build; baselines are measured with \
+             optimizations (run via `cargo run --release -p qoc-bench --bin bench_smoke`)"
+        );
+        return ExitCode::SUCCESS;
+    }
+    let tolerance = match std::env::var("QOC_BENCH_TOLERANCE") {
+        Ok(raw) => match raw.parse::<f64>() {
+            Ok(t) if t >= 0.0 => t,
+            _ => return fail(&format!("QOC_BENCH_TOLERANCE {raw:?} is not a number ≥ 0")),
+        },
+        Err(_) => DEFAULT_TOLERANCE,
+    };
+    let current = measure_min_ns();
+    let ratio = current / baseline;
+    println!(
+        "bench_smoke: {BASELINE_LABEL}: baseline min {:.3} ms, current min {:.3} ms ({:+.1}%), tolerance +{:.0}%",
+        baseline / 1e6,
+        current / 1e6,
+        (ratio - 1.0) * 100.0,
+        tolerance * 100.0,
+    );
+    if current > baseline * (1.0 + tolerance) {
+        return fail(&format!(
+            "serial Jacobian regressed {:.1}% (> {:.0}% tolerance); if intentional, refresh \
+             BENCH_param_shift.json with `cargo bench -p qoc-bench --bench param_shift`",
+            (ratio - 1.0) * 100.0,
+            tolerance * 100.0,
+        ));
+    }
+    ExitCode::SUCCESS
+}

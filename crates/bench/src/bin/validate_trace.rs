@@ -4,16 +4,33 @@
 //! counters. CI runs this after a short traced training run.
 //!
 //! Usage: `validate_trace [TRACE_FILE]` (defaults to `$QOC_TRACE_FILE`).
-//! Exits nonzero with a diagnostic on the first violation.
+//!
+//! Exit codes distinguish the two failure families so CI can tell "the run
+//! never produced a trace" from "the trace is wrong": **2** when an input
+//! file is missing, **1** when a file exists but violates the schema (the
+//! diagnostic includes the offending line).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 use serde::Value;
 
+/// A file exists but its content violates the contract → exit 1.
 fn fail(msg: &str) -> ExitCode {
-    eprintln!("validate_trace: {msg}");
-    ExitCode::FAILURE
+    eprintln!("validate_trace: malformed: {msg}");
+    ExitCode::from(1)
+}
+
+/// An input file is absent entirely → exit 2.
+fn fail_missing(msg: &str) -> ExitCode {
+    eprintln!("validate_trace: missing input: {msg}");
+    ExitCode::from(2)
+}
+
+/// A manifest violation, classified for the right exit code.
+enum ManifestError {
+    Missing(String),
+    Malformed(String),
 }
 
 /// Checks one trace line against the JSONL schema contract.
@@ -21,11 +38,11 @@ fn check_line(line: &str, lineno: usize) -> Result<(), String> {
     let value = serde_json::from_str(line)
         .map_err(|e| format!("line {lineno}: not valid JSON ({e}): {line}"))?;
     if value.as_object().is_none() {
-        return Err(format!("line {lineno}: not a JSON object"));
+        return Err(format!("line {lineno}: not a JSON object: {line}"));
     }
     for key in ["ts", "kind", "level", "span", "thread", "fields"] {
         if value.get(key).is_none() {
-            return Err(format!("line {lineno}: missing key {key:?}"));
+            return Err(format!("line {lineno}: missing key {key:?}: {line}"));
         }
     }
     let kind = value
@@ -55,27 +72,34 @@ fn check_line(line: &str, lineno: usize) -> Result<(), String> {
 }
 
 /// Checks the run manifest for nonzero circuit-run accounting.
-fn check_manifest(path: &Path) -> Result<(), String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read manifest {}: {e}", path.display()))?;
-    let manifest =
-        serde_json::from_str(&text).map_err(|e| format!("manifest is not valid JSON: {e}"))?;
+fn check_manifest(path: &Path) -> Result<(), ManifestError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        let msg = format!("cannot read manifest {}: {e}", path.display());
+        if e.kind() == std::io::ErrorKind::NotFound {
+            ManifestError::Missing(msg)
+        } else {
+            ManifestError::Malformed(msg)
+        }
+    })?;
+    let malformed = ManifestError::Malformed;
+    let manifest = serde_json::from_str(&text)
+        .map_err(|e| malformed(format!("manifest is not valid JSON: {e}")))?;
     let stats_runs = manifest
         .get("execution_stats")
         .and_then(|s| s.get("circuits_run"))
         .and_then(Value::as_u64)
-        .ok_or("manifest missing execution_stats.circuits_run")?;
+        .ok_or_else(|| malformed("manifest missing execution_stats.circuits_run".to_string()))?;
     if stats_runs == 0 {
-        return Err("manifest reports zero circuits run".to_string());
+        return Err(malformed("manifest reports zero circuits run".to_string()));
     }
     let counters = manifest
         .get("metrics")
         .and_then(|m| m.get("counters"))
-        .ok_or("manifest missing metrics.counters")?;
+        .ok_or_else(|| malformed("manifest missing metrics.counters".to_string()))?;
     for counter in ["qoc.train.circuit_runs", "qoc.device.circuits_run"] {
-        let runs = counter_value(counters, counter)?;
+        let runs = counter_value(counters, counter).map_err(malformed)?;
         if runs == 0 {
-            return Err(format!("manifest counter {counter} is zero"));
+            return Err(malformed(format!("manifest counter {counter} is zero")));
         }
     }
     println!(
@@ -98,11 +122,17 @@ fn main() -> ExitCode {
         Some(p) => PathBuf::from(p),
         None => match std::env::var("QOC_TRACE_FILE") {
             Ok(p) => PathBuf::from(p),
-            Err(_) => return fail("no trace file given (argument or QOC_TRACE_FILE)"),
+            Err(_) => return fail_missing("no trace file given (argument or QOC_TRACE_FILE)"),
         },
     };
     let text = match std::fs::read_to_string(&trace_path) {
         Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return fail_missing(&format!(
+                "trace {} does not exist (did the traced run start?)",
+                trace_path.display()
+            ))
+        }
         Err(e) => return fail(&format!("cannot read {}: {e}", trace_path.display())),
     };
     let mut lines = 0usize;
@@ -128,8 +158,9 @@ fn main() -> ExitCode {
         spans,
         trace_path.display()
     );
-    if let Err(msg) = check_manifest(&trace_path.with_extension("manifest.json")) {
-        return fail(&msg);
+    match check_manifest(&trace_path.with_extension("manifest.json")) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(ManifestError::Missing(msg)) => fail_missing(&msg),
+        Err(ManifestError::Malformed(msg)) => fail(&msg),
     }
-    ExitCode::SUCCESS
 }

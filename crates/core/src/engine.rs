@@ -4,6 +4,20 @@
 //! parameter-shift gradients on the backend, update the parameters, and
 //! record losses, validation accuracies, and the cumulative number of
 //! circuit executions ("inferences", the x-axis of the paper's Figure 6).
+//!
+//! # Failure and recovery
+//!
+//! Backends surface unrecoverable job failures as
+//! [`BatchError`](qoc_device::retry::BatchError)s. [`try_train`] (and the
+//! checkpoint-aware variants) map those to [`TrainError::Execution`],
+//! writing an *emergency checkpoint* first when checkpointing is configured
+//! — captured from the state at the top of the failing step, so
+//! [`resume_training`] replays that step exactly and the combined run is
+//! bit-identical to an uninterrupted one. Periodic checkpoints
+//! ([`CheckpointConfig::every`]) guard against harder crashes (kill -9,
+//! power loss) with the same replay guarantee.
+
+use std::path::PathBuf;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -13,13 +27,16 @@ use qoc_data::dataset::Dataset;
 use qoc_device::backend::{
     default_worker_count, job_seed, Execution, ExecutionStats, QuantumBackend,
 };
+use qoc_device::retry::BatchError;
 use qoc_nn::model::QnnModel;
 
-use crate::eval::evaluate_params_prepared;
+use crate::checkpoint::{CheckpointConfig, TrainState, CHECKPOINT_SCHEMA_VERSION};
+use crate::eval::try_evaluate_params_prepared;
 use crate::grad::QnnGradientComputer;
-use crate::optim::OptimizerKind;
+use crate::optim::{OptimizerKind, OptimizerState};
 use crate::prune::{
-    DeterministicPruner, NoPruning, ProbabilisticPruner, PruneConfig, Pruner, Selection,
+    DeterministicPruner, NoPruning, ProbabilisticPruner, PruneConfig, Pruner, PrunerState,
+    Selection,
 };
 use crate::sched::LrSchedule;
 
@@ -154,14 +171,89 @@ pub struct TrainResult {
     pub device_seconds: f64,
 }
 
+/// Why a training run stopped before completing its steps.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A gradient or evaluation batch failed permanently (retries
+    /// exhausted or a fatal fault) at `step`.
+    Execution {
+        /// 0-based step that failed.
+        step: usize,
+        /// The batch failure that aborted the run.
+        source: BatchError,
+        /// Emergency checkpoint written just before surfacing the error
+        /// (`None` when checkpointing is not configured or the save failed).
+        checkpoint: Option<PathBuf>,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Execution {
+                step,
+                source,
+                checkpoint,
+            } => {
+                write!(f, "training step {step} failed: {source}")?;
+                if let Some(path) = checkpoint {
+                    write!(f, " (state saved to {})", path.display())?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Execution { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Backend usage carried over from before a resume, in exactly-additive
+/// integer units (circuit counts, shots, nanoseconds).
+#[derive(Debug, Default, Clone, Copy)]
+struct StatsBase {
+    circuits: u64,
+    shots: u64,
+    nanos: u64,
+}
+
+/// Recovers the integer nanoseconds behind `estimated_device_seconds`
+/// (stored internally as a nanosecond counter; the `/1e9` is undone by
+/// rounding, exact for any plausible run length).
+fn stats_nanos(stats: &ExecutionStats) -> u64 {
+    (stats.estimated_device_seconds * 1e9).round() as u64
+}
+
+/// Everything needed to replay the current step from scratch, captured
+/// before the step consumes RNG draws or mutates state. An execution
+/// failure mid-step turns this into an emergency checkpoint with
+/// `next_step` = the failing step.
+struct PreStep {
+    rng: [u64; 4],
+    pruner: PrunerState,
+    optimizer: OptimizerState,
+    params: Vec<f64>,
+    steps_len: usize,
+    best_accuracy: f64,
+    stats: StatsBase,
+}
+
 /// Trains `model` on `backend` per Algorithm 1 and records the run.
 ///
 /// The backend's statistics counters are reset at entry so inference counts
-/// start from zero.
+/// start from zero. Checkpointing is driven by the environment:
+/// `QOC_CHECKPOINT_FILE` (save path) and `QOC_CHECKPOINT_EVERY` (cadence,
+/// default 10 steps).
 ///
 /// # Panics
 ///
-/// Panics if dataset widths do not match the model or the config is invalid.
+/// Panics if dataset widths do not match the model, the config is invalid,
+/// or a batch fails permanently (use [`try_train`] to handle failures).
 pub fn train(
     model: &QnnModel,
     backend: &dyn QuantumBackend,
@@ -169,6 +261,109 @@ pub fn train(
     val_data: &Dataset,
     config: &TrainConfig,
 ) -> TrainResult {
+    try_train(model, backend, train_data, val_data, config).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Like [`train`] but surfaces permanent batch failures as
+/// [`TrainError::Execution`] instead of panicking. Checkpointing still
+/// comes from the environment (`QOC_CHECKPOINT_FILE`).
+///
+/// # Errors
+///
+/// [`TrainError::Execution`] when a gradient or evaluation batch fails
+/// permanently; an emergency checkpoint is written first if configured.
+///
+/// # Panics
+///
+/// Panics if dataset widths do not match the model or the config is invalid.
+pub fn try_train(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    train_data: &Dataset,
+    val_data: &Dataset,
+    config: &TrainConfig,
+) -> Result<TrainResult, TrainError> {
+    let checkpoint = CheckpointConfig::from_env();
+    train_impl(
+        model,
+        backend,
+        train_data,
+        val_data,
+        config,
+        checkpoint.as_ref(),
+        None,
+    )
+}
+
+/// Like [`try_train`] with an explicit checkpoint configuration (pass
+/// `None` to disable checkpointing regardless of the environment).
+///
+/// # Errors
+///
+/// [`TrainError::Execution`] when a batch fails permanently.
+///
+/// # Panics
+///
+/// Panics if dataset widths do not match the model or the config is invalid.
+pub fn train_with_checkpoints(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    train_data: &Dataset,
+    val_data: &Dataset,
+    config: &TrainConfig,
+    checkpoint: Option<&CheckpointConfig>,
+) -> Result<TrainResult, TrainError> {
+    train_impl(
+        model, backend, train_data, val_data, config, checkpoint, None,
+    )
+}
+
+/// Resumes an interrupted run from a [`TrainState`] checkpoint.
+///
+/// Must be called with the same model, datasets, and config as the original
+/// run: the initialization prefix (parameter init, validation subset) is
+/// replayed from `config.seed`, then the checkpointed RNG words, parameters,
+/// optimizer moments, and pruner window state are installed verbatim. The
+/// returned [`TrainResult`] is bit-identical to an uninterrupted run —
+/// including resumes that land mid-pruning-window.
+///
+/// # Errors
+///
+/// [`TrainError::Execution`] when a batch fails permanently.
+///
+/// # Panics
+///
+/// Panics if the checkpoint does not match the config (seed, parameter
+/// width, step count) or the datasets do not match the model.
+pub fn resume_training(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    train_data: &Dataset,
+    val_data: &Dataset,
+    config: &TrainConfig,
+    state: TrainState,
+    checkpoint: Option<&CheckpointConfig>,
+) -> Result<TrainResult, TrainError> {
+    train_impl(
+        model,
+        backend,
+        train_data,
+        val_data,
+        config,
+        checkpoint,
+        Some(state),
+    )
+}
+
+fn train_impl(
+    model: &QnnModel,
+    backend: &dyn QuantumBackend,
+    train_data: &Dataset,
+    val_data: &Dataset,
+    config: &TrainConfig,
+    checkpoint: Option<&CheckpointConfig>,
+    resume: Option<TrainState>,
+) -> Result<TrainResult, TrainError> {
     assert!(config.steps > 0, "need at least one training step");
     assert!(config.batch_size > 0, "batch size must be positive");
     assert_eq!(
@@ -207,6 +402,49 @@ pub fn train(
     let mut evals = Vec::new();
     let mut checkpoint_params = Vec::new();
     let mut best_accuracy = 0.0f64;
+    let mut start_step = 0usize;
+    let mut base = StatsBase::default();
+
+    if let Some(state) = &resume {
+        assert_eq!(
+            state.master_seed, config.seed,
+            "checkpoint was written under seed {}, config has seed {}",
+            state.master_seed, config.seed
+        );
+        assert_eq!(
+            state.params.len(),
+            n,
+            "checkpoint parameter width does not match the model"
+        );
+        assert!(
+            state.next_step <= config.steps,
+            "checkpoint is at step {} but the config only has {} steps",
+            state.next_step,
+            config.steps
+        );
+        assert_eq!(
+            state.steps.len(),
+            state.next_step,
+            "checkpoint history is inconsistent with its step counter"
+        );
+        // The draws above replayed the original run's serial RNG prefix
+        // (parameter init, validation subset) so `eval_set` is identical;
+        // now install the mid-run state verbatim.
+        params.clone_from(&state.params);
+        optimizer.restore(&state.optimizer);
+        pruner.restore(&state.pruner);
+        rng = StdRng::from_state(state.rng);
+        steps.clone_from(&state.steps);
+        evals.clone_from(&state.evals);
+        checkpoint_params.clone_from(&state.checkpoint_params);
+        best_accuracy = state.best_accuracy;
+        start_step = state.next_step;
+        base = StatsBase {
+            circuits: state.inferences_base,
+            shots: state.total_shots_base,
+            nanos: state.device_ns_base,
+        };
+    }
 
     let run_span = qoc_telemetry::span!(
         "train.run",
@@ -215,9 +453,22 @@ pub fn train(
         params = n,
         backend = backend.name(),
     );
-    let mut prev_inferences = 0u64;
+    let mut prev_inferences = steps.last().map_or(0, |s: &StepRecord| s.inferences);
 
-    for step in 0..config.steps {
+    for step in start_step..config.steps {
+        // Captured before the step consumes RNG draws or mutates anything,
+        // so a failure anywhere in the step can checkpoint a state that
+        // replays the whole step.
+        let prestep = checkpoint.map(|_| PreStep {
+            rng: rng.state(),
+            pruner: pruner.state(),
+            optimizer: optimizer.state(),
+            params: params.clone(),
+            steps_len: steps.len(),
+            best_accuracy,
+            stats: combined_stats_base(backend, base),
+        });
+
         let lr = config.schedule.lr(step);
         let selection = pruner.begin_step(&mut rng);
         let batch_idx = train_data.sample_batch(config.batch_size, &mut rng);
@@ -234,11 +485,26 @@ pub fn train(
             Selection::Subset(s) => (Some(s.clone()), s.len()),
         };
         let step_master = job_seed(config.seed, TRAIN_STREAM_BASE + step as u64);
-        let result = computer.batch_gradient(&params, &batch, subset.as_deref(), step_master);
+        let result =
+            match computer.try_batch_gradient(&params, &batch, subset.as_deref(), step_master) {
+                Ok(r) => r,
+                Err(source) => {
+                    return Err(abort_with_checkpoint(
+                        step,
+                        source,
+                        prestep,
+                        checkpoint,
+                        config,
+                        &steps,
+                        &evals,
+                        &checkpoint_params,
+                    ));
+                }
+            };
         pruner.record(&result.grad);
         optimizer.step(&mut params, &result.grad, lr, subset.as_deref());
 
-        let inferences = backend.stats().circuits_run;
+        let inferences = base.circuits + backend.stats().circuits_run;
         steps.push(StepRecord {
             step,
             loss: result.loss,
@@ -274,8 +540,8 @@ pub fn train(
 
         let last = step + 1 == config.steps;
         if last || (step + 1) % config.eval_every == 0 {
-            let snapshot = backend.stats().circuits_run;
-            let eval = evaluate_params_prepared(
+            let snapshot = base.circuits + backend.stats().circuits_run;
+            let eval = match try_evaluate_params_prepared(
                 model,
                 backend,
                 &eval_prepared,
@@ -283,7 +549,21 @@ pub fn train(
                 &eval_set,
                 config.execution,
                 job_seed(config.seed, EVAL_STREAM_BASE + step as u64),
-            );
+            ) {
+                Ok(e) => e,
+                Err(source) => {
+                    return Err(abort_with_checkpoint(
+                        step,
+                        source,
+                        prestep,
+                        checkpoint,
+                        config,
+                        &steps,
+                        &evals,
+                        &checkpoint_params,
+                    ));
+                }
+            };
             best_accuracy = best_accuracy.max(eval.accuracy);
             if qoc_telemetry::enabled() {
                 let metrics = qoc_telemetry::metrics::Registry::global();
@@ -304,29 +584,142 @@ pub fn train(
             });
             checkpoint_params.push(params.clone());
         }
+
+        if let Some(ck) = checkpoint {
+            if (step + 1) % ck.every == 0 && step + 1 < config.steps {
+                let state = TrainState {
+                    schema_version: CHECKPOINT_SCHEMA_VERSION,
+                    master_seed: config.seed,
+                    next_step: step + 1,
+                    params: params.clone(),
+                    optimizer: optimizer.state(),
+                    pruner: pruner.state(),
+                    rng: rng.state(),
+                    steps: steps.clone(),
+                    evals: evals.clone(),
+                    checkpoint_params: checkpoint_params.clone(),
+                    best_accuracy,
+                    inferences_base: base.circuits + backend.stats().circuits_run,
+                    total_shots_base: base.shots + backend.stats().total_shots,
+                    device_ns_base: base.nanos + stats_nanos(&backend.stats()),
+                };
+                match state.save(&ck.path) {
+                    Ok(()) => {
+                        if qoc_telemetry::enabled() {
+                            qoc_telemetry::metrics::Registry::global()
+                                .counter("qoc.train.checkpoints")
+                                .inc();
+                            qoc_telemetry::event!(
+                                qoc_telemetry::Level::Debug,
+                                "train.checkpoint",
+                                step = step,
+                                next_step = step + 1,
+                            );
+                        }
+                    }
+                    Err(e) => {
+                        eprintln!("qoc: failed to write checkpoint {}: {e}", ck.path.display())
+                    }
+                }
+            }
+        }
     }
     drop(run_span);
 
     let stats = backend.stats();
+    let totals = ExecutionStats {
+        circuits_run: base.circuits + stats.circuits_run,
+        total_shots: base.shots + stats.total_shots,
+        estimated_device_seconds: (base.nanos + stats_nanos(&stats)) as f64 / 1e9,
+    };
     if let Some(trace_path) = qoc_telemetry::trace_file_path() {
         persist_run(
             &trace_path,
             config,
             &steps,
             &evals,
-            &stats,
+            &totals,
             backend.name(),
             best_accuracy,
         );
     }
-    TrainResult {
+    Ok(TrainResult {
         params,
         steps,
         evals,
         checkpoint_params,
         best_accuracy,
-        total_inferences: stats.circuits_run,
-        device_seconds: stats.estimated_device_seconds,
+        total_inferences: totals.circuits_run,
+        device_seconds: totals.estimated_device_seconds,
+    })
+}
+
+/// Combined (pre-resume base + this run) backend counters as exact integers.
+fn combined_stats_base(backend: &dyn QuantumBackend, base: StatsBase) -> StatsBase {
+    let stats = backend.stats();
+    StatsBase {
+        circuits: base.circuits + stats.circuits_run,
+        shots: base.shots + stats.total_shots,
+        nanos: base.nanos + stats_nanos(&stats),
+    }
+}
+
+/// Writes the emergency checkpoint (when configured) and builds the
+/// [`TrainError`] for a batch failure at `step`. The checkpoint uses the
+/// pre-step snapshot so the resumed run replays the failed step in full.
+#[allow(clippy::too_many_arguments)]
+fn abort_with_checkpoint(
+    step: usize,
+    source: BatchError,
+    prestep: Option<PreStep>,
+    checkpoint: Option<&CheckpointConfig>,
+    config: &TrainConfig,
+    steps: &[StepRecord],
+    evals: &[EvalRecord],
+    checkpoint_params: &[Vec<f64>],
+) -> TrainError {
+    let mut saved = None;
+    if let (Some(ck), Some(pre)) = (checkpoint, prestep) {
+        let state = TrainState {
+            schema_version: CHECKPOINT_SCHEMA_VERSION,
+            master_seed: config.seed,
+            next_step: step,
+            params: pre.params,
+            optimizer: pre.optimizer,
+            pruner: pre.pruner,
+            rng: pre.rng,
+            steps: steps[..pre.steps_len].to_vec(),
+            evals: evals.to_vec(),
+            checkpoint_params: checkpoint_params.to_vec(),
+            best_accuracy: pre.best_accuracy,
+            inferences_base: pre.stats.circuits,
+            total_shots_base: pre.stats.shots,
+            device_ns_base: pre.stats.nanos,
+        };
+        match state.save(&ck.path) {
+            Ok(()) => saved = Some(ck.path.clone()),
+            Err(e) => eprintln!(
+                "qoc: failed to write emergency checkpoint {}: {e}",
+                ck.path.display()
+            ),
+        }
+    }
+    if qoc_telemetry::enabled() {
+        qoc_telemetry::metrics::Registry::global()
+            .counter("qoc.train.aborted_runs")
+            .inc();
+        qoc_telemetry::event!(
+            qoc_telemetry::Level::Warn,
+            "train.abort",
+            step = step,
+            error = source.to_string(),
+            checkpointed = saved.is_some(),
+        );
+    }
+    TrainError::Execution {
+        step,
+        source,
+        checkpoint: saved,
     }
 }
 

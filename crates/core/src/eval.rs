@@ -7,6 +7,7 @@
 
 use qoc_data::dataset::Dataset;
 use qoc_device::backend::{job_seed, CircuitJob, Execution, QuantumBackend};
+use qoc_device::retry::BatchError;
 use qoc_nn::loss::argmax;
 use qoc_nn::metrics::accuracy;
 use qoc_nn::model::QnnModel;
@@ -48,6 +49,7 @@ pub fn evaluate(
         master_seed,
         None,
     )
+    .unwrap_or_else(|e| panic!("evaluation batch failed: {e}"))
 }
 
 /// Like [`evaluate`] but with fixed parameters (`params` of zeros is a
@@ -70,6 +72,7 @@ pub fn evaluate_with_params(
         master_seed,
         Some(params),
     )
+    .unwrap_or_else(|e| panic!("evaluation batch failed: {e}"))
 }
 
 fn evaluate_prepared(
@@ -80,7 +83,7 @@ fn evaluate_prepared(
     execution: Execution,
     master_seed: u64,
     params: Option<&[f64]>,
-) -> EvalResult {
+) -> Result<EvalResult, BatchError> {
     let zeros;
     let params = match params {
         Some(p) => p,
@@ -102,7 +105,7 @@ fn evaluate_prepared(
         .collect();
     let mut span = qoc_telemetry::span!("eval.dataset", examples = dataset.len(),);
     let predictions: Vec<usize> = backend
-        .run_batch(&jobs)
+        .run_batch(&jobs)?
         .iter()
         .map(|expectations| argmax(&model.logits_from_expectations(expectations)))
         .collect();
@@ -110,15 +113,15 @@ fn evaluate_prepared(
     if let Some(s) = span.as_mut() {
         s.field("accuracy", accuracy);
     }
-    EvalResult {
+    Ok(EvalResult {
         accuracy,
         predictions,
-    }
+    })
 }
 
 /// Internal hook used by the training engine: evaluate with an
-/// already-prepared circuit.
-pub(crate) fn evaluate_params_prepared(
+/// already-prepared circuit, surfacing job failures.
+pub(crate) fn try_evaluate_params_prepared(
     model: &QnnModel,
     backend: &dyn QuantumBackend,
     prepared: &qoc_device::backend::PreparedCircuit,
@@ -126,7 +129,7 @@ pub(crate) fn evaluate_params_prepared(
     dataset: &Dataset,
     execution: Execution,
     master_seed: u64,
-) -> EvalResult {
+) -> Result<EvalResult, BatchError> {
     evaluate_prepared(
         model,
         backend,

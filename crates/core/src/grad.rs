@@ -17,6 +17,7 @@
 //! so results do not depend on batch composition order or worker count.
 
 use qoc_device::backend::{job_seed, Execution, QuantumBackend};
+use qoc_device::retry::BatchError;
 use qoc_nn::loss::loss_and_grad;
 use qoc_nn::model::QnnModel;
 
@@ -83,7 +84,8 @@ impl<'a> QnnGradientComputer<'a> {
     ///
     /// # Panics
     ///
-    /// Panics on an empty batch.
+    /// Panics on an empty batch or when a job ultimately fails; the
+    /// fault-tolerant training loop uses [`Self::try_batch_gradient`].
     pub fn batch_gradient(
         &self,
         params: &[f64],
@@ -91,6 +93,24 @@ impl<'a> QnnGradientComputer<'a> {
         subset: Option<&[usize]>,
         master_seed: u64,
     ) -> BatchGradient {
+        self.try_batch_gradient(params, batch, subset, master_seed)
+            .unwrap_or_else(|e| panic!("minibatch gradient failed: {e}"))
+    }
+
+    /// [`Self::batch_gradient`] with the typed failure path: returns the
+    /// [`BatchError`] of the first job that exhausted the backend's retry
+    /// policy instead of panicking.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch.
+    pub fn try_batch_gradient(
+        &self,
+        params: &[f64],
+        batch: &[(&[f64], usize)],
+        subset: Option<&[usize]>,
+        master_seed: u64,
+    ) -> Result<BatchGradient, BatchError> {
         assert!(!batch.is_empty(), "empty batch");
         let n_params = self.model.num_params();
         let indices: Vec<usize> = match subset {
@@ -121,7 +141,7 @@ impl<'a> QnnGradientComputer<'a> {
             evaluated = indices.len(),
             jobs = jobs.len(),
         );
-        let results = self.engine.run_batch(&jobs);
+        let results = self.engine.try_run_batch(&jobs)?;
 
         // Classical stages: backprop through the head and dot with the rows.
         let mut grad = vec![0.0; n_params];
@@ -151,11 +171,11 @@ impl<'a> QnnGradientComputer<'a> {
             s.field("grad_norm", grad_norm);
         }
 
-        BatchGradient {
+        Ok(BatchGradient {
             loss: mean_loss,
             grad,
             logits: all_logits,
-        }
+        })
     }
 }
 

@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod checkpoint;
 pub mod engine;
 pub mod eval;
 pub mod grad;
@@ -53,7 +54,11 @@ pub mod spsa;
 pub mod vqe;
 pub mod zne;
 
-pub use engine::{train, PruningKind, TrainConfig, TrainResult};
+pub use checkpoint::{CheckpointConfig, CheckpointError, TrainState};
+pub use engine::{
+    resume_training, train, train_with_checkpoints, try_train, PruningKind, TrainConfig,
+    TrainError, TrainResult,
+};
 pub use grad::QnnGradientComputer;
 pub use optim::OptimizerKind;
 pub use prune::{PruneConfig, Pruner};

@@ -18,6 +18,37 @@ pub trait Optimizer: std::fmt::Debug {
 
     /// Human-readable name.
     fn name(&self) -> &'static str;
+
+    /// Snapshot of the mutable state for checkpointing.
+    fn state(&self) -> OptimizerState;
+
+    /// Restores a snapshot captured by [`Optimizer::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's kind or width does not match this optimizer.
+    fn restore(&mut self, state: &OptimizerState);
+}
+
+/// Serializable snapshot of an optimizer's mutable state (checkpointing).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerState {
+    /// SGD carries no state.
+    Sgd,
+    /// Momentum velocity.
+    Momentum {
+        /// Velocity vector `v`.
+        velocity: Vec<f64>,
+    },
+    /// Adam moments and per-parameter bias-correction counters.
+    Adam {
+        /// First moment `m`.
+        m: Vec<f64>,
+        /// Second moment `v`.
+        v: Vec<f64>,
+        /// Per-parameter step counters `t`.
+        t: Vec<u32>,
+    },
 }
 
 /// Which optimizer to construct (serializable experiment configs).
@@ -61,6 +92,17 @@ impl Optimizer for Sgd {
     fn name(&self) -> &'static str {
         "sgd"
     }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Sgd
+    }
+
+    fn restore(&mut self, state: &OptimizerState) {
+        assert!(
+            matches!(state, OptimizerState::Sgd),
+            "cannot restore SGD from a {state:?} snapshot"
+        );
+    }
 }
 
 /// SGD with momentum: `v ← β·v + g; θ ← θ − η·v`.
@@ -99,6 +141,26 @@ impl Optimizer for Momentum {
 
     fn name(&self) -> &'static str {
         "momentum"
+    }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Momentum {
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    fn restore(&mut self, state: &OptimizerState) {
+        match state {
+            OptimizerState::Momentum { velocity } => {
+                assert_eq!(
+                    velocity.len(),
+                    self.velocity.len(),
+                    "momentum snapshot width mismatch"
+                );
+                self.velocity.clone_from(velocity);
+            }
+            other => panic!("cannot restore momentum from a {other:?} snapshot"),
+        }
     }
 }
 
@@ -158,6 +220,29 @@ impl Optimizer for Adam {
 
     fn name(&self) -> &'static str {
         "adam"
+    }
+
+    fn state(&self) -> OptimizerState {
+        OptimizerState::Adam {
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t.clone(),
+        }
+    }
+
+    fn restore(&mut self, state: &OptimizerState) {
+        match state {
+            OptimizerState::Adam { m, v, t } => {
+                assert!(
+                    m.len() == self.m.len() && v.len() == self.v.len() && t.len() == self.t.len(),
+                    "adam snapshot width mismatch"
+                );
+                self.m.clone_from(m);
+                self.v.clone_from(v);
+                self.t.clone_from(t);
+            }
+            other => panic!("cannot restore adam from a {other:?} snapshot"),
+        }
     }
 }
 
@@ -249,6 +334,37 @@ mod tests {
         mom.step(&mut p, &[1.0], 0.1, None);
         mom.reset();
         assert_eq!(mom.velocity, vec![0.0]);
+    }
+
+    #[test]
+    fn state_round_trips_mid_run() {
+        for kind in [
+            OptimizerKind::Sgd,
+            OptimizerKind::Momentum { beta: 0.8 },
+            OptimizerKind::Adam,
+        ] {
+            let mut opt = kind.build(3);
+            let mut p = vec![0.1, 0.2, 0.3];
+            opt.step(&mut p, &[1.0, -0.5, 0.2], 0.1, None);
+            opt.step(&mut p, &[0.3, 0.1, -0.9], 0.1, Some(&[0, 2]));
+            let snap = opt.state();
+            let p_snap = p.clone();
+
+            // Diverge, then restore and replay: trajectories must coincide.
+            opt.step(&mut p, &[2.0, 2.0, 2.0], 0.1, None);
+            let mut fresh = kind.build(3);
+            fresh.restore(&snap);
+            let mut q = p_snap;
+            fresh.step(&mut q, &[2.0, 2.0, 2.0], 0.1, None);
+            assert_eq!(p, q, "restore diverged for {}", fresh.name());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "snapshot")]
+    fn restore_rejects_kind_mismatch() {
+        let mut opt = Adam::new(2);
+        opt.restore(&OptimizerState::Sgd);
     }
 
     #[test]

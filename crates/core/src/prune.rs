@@ -42,6 +42,39 @@ pub trait Pruner: std::fmt::Debug {
 
     /// Fraction of circuit runs saved in steady state.
     fn savings(&self) -> f64;
+
+    /// Snapshot of the mutable state for checkpointing.
+    fn state(&self) -> PrunerState;
+
+    /// Restores a snapshot captured by [`Pruner::state`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's kind or width does not match this pruner.
+    fn restore(&mut self, state: &PrunerState);
+}
+
+/// Serializable snapshot of a pruner's mutable state (checkpointing).
+///
+/// Both windowed pruners ([`ProbabilisticPruner`] and
+/// [`DeterministicPruner`]) share the [`PrunerState::Windowed`] shape: the
+/// accumulator `M`, the position inside the current window, and whether the
+/// previous step was a full (accumulation) step.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum PrunerState {
+    /// [`NoPruning`] carries no state.
+    None,
+    /// Windowed pruner mid-stage state.
+    Windowed {
+        /// Accumulated gradient magnitudes `M`.
+        magnitude: Vec<f64>,
+        /// Whether the pruner is inside the accumulation window.
+        accumulating: bool,
+        /// Completed steps inside the current window.
+        step_in_phase: usize,
+        /// Whether the previous step evaluated the full gradient.
+        last_was_full: bool,
+    },
 }
 
 /// Hyper-parameters of the windowed pruning schedule.
@@ -204,6 +237,44 @@ impl Pruner for ProbabilisticPruner {
     fn savings(&self) -> f64 {
         self.config.savings()
     }
+
+    fn state(&self) -> PrunerState {
+        let (accumulating, step_in_phase) = match self.phase {
+            Phase::Accumulating(k) => (true, k),
+            Phase::Pruning(k) => (false, k),
+        };
+        PrunerState::Windowed {
+            magnitude: self.magnitude.clone(),
+            accumulating,
+            step_in_phase,
+            last_was_full: self.last_was_full,
+        }
+    }
+
+    fn restore(&mut self, state: &PrunerState) {
+        match state {
+            PrunerState::Windowed {
+                magnitude,
+                accumulating,
+                step_in_phase,
+                last_was_full,
+            } => {
+                assert_eq!(
+                    magnitude.len(),
+                    self.num_params,
+                    "pruner snapshot width mismatch"
+                );
+                self.magnitude.clone_from(magnitude);
+                self.phase = if *accumulating {
+                    Phase::Accumulating(*step_in_phase)
+                } else {
+                    Phase::Pruning(*step_in_phase)
+                };
+                self.last_was_full = *last_was_full;
+            }
+            PrunerState::None => panic!("cannot restore a windowed pruner from PrunerState::None"),
+        }
+    }
 }
 
 /// The deterministic baseline of Table 2: always keep the top-`(1−r)n`
@@ -251,6 +322,14 @@ impl Pruner for DeterministicPruner {
     fn savings(&self) -> f64 {
         self.inner.savings()
     }
+
+    fn state(&self) -> PrunerState {
+        self.inner.state()
+    }
+
+    fn restore(&mut self, state: &PrunerState) {
+        self.inner.restore(state);
+    }
 }
 
 /// No-op pruner: every step evaluates every gradient (the paper's QC-Train
@@ -267,6 +346,17 @@ impl Pruner for NoPruning {
 
     fn savings(&self) -> f64 {
         0.0
+    }
+
+    fn state(&self) -> PrunerState {
+        PrunerState::None
+    }
+
+    fn restore(&mut self, state: &PrunerState) {
+        assert!(
+            matches!(state, PrunerState::None),
+            "cannot restore NoPruning from a {state:?} snapshot"
+        );
     }
 }
 
@@ -464,6 +554,37 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(8);
         let s = weighted_sample_without_replacement(&[0.0; 5], 2, &mut rng);
         assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn state_round_trips_mid_window() {
+        let cfg = PruneConfig {
+            accumulation_window: 2,
+            pruning_window: 3,
+            ratio: 0.5,
+        };
+        let mut p = ProbabilisticPruner::new(8, cfg);
+        let mut rng = StdRng::seed_from_u64(11);
+        // Advance into the middle of a pruning window (step 4 of the 5-step
+        // stage) so the snapshot carries a live accumulator and phase.
+        let _ = drive(&mut p, &[0.3; 8], 4, &mut rng);
+        let snap = p.state();
+        let rng_snap = rng.state();
+
+        let tail = drive(&mut p, &[0.3; 8], 6, &mut rng);
+
+        let mut q = ProbabilisticPruner::new(8, cfg);
+        q.restore(&snap);
+        let mut rng2 = StdRng::from_state(rng_snap);
+        let replay = drive(&mut q, &[0.3; 8], 6, &mut rng2);
+        assert_eq!(tail, replay, "restored pruner diverged");
+    }
+
+    #[test]
+    #[should_panic(expected = "PrunerState::None")]
+    fn restore_rejects_kind_mismatch() {
+        let mut p = ProbabilisticPruner::new(4, PruneConfig::paper_default());
+        p.restore(&PrunerState::None);
     }
 
     #[test]

@@ -33,6 +33,7 @@
 use std::f64::consts::FRAC_PI_2;
 
 use qoc_device::backend::{job_seed, CircuitJob, Execution, PreparedCircuit, QuantumBackend};
+use qoc_device::retry::{BatchError, BatchResult};
 use qoc_sim::circuit::{Circuit, ParamValue};
 
 /// Jacobian of circuit expectations w.r.t. trainable symbols: row `i` is
@@ -231,12 +232,20 @@ impl<'a> ParameterShiftEngine<'a> {
     /// Submits a job batch through the engine's backend, honouring a
     /// [`Self::with_workers`] override. Callers assembling their own
     /// batches (e.g. a whole minibatch) use this instead of going to the
-    /// backend directly.
-    pub fn run_batch(&self, jobs: &[CircuitJob<'_>]) -> Vec<Vec<f64>> {
+    /// backend directly. Fails when a job exhausts the backend's retry
+    /// policy (see [`qoc_device::retry::RetryPolicy`]).
+    pub fn try_run_batch(&self, jobs: &[CircuitJob<'_>]) -> BatchResult {
         match self.workers {
             Some(w) => self.backend.run_batch_workers(jobs, w),
             None => self.backend.run_batch(jobs),
         }
+    }
+
+    /// [`Self::try_run_batch`] for infallible callers: panics with the
+    /// batch error if a job ultimately fails.
+    pub fn run_batch(&self, jobs: &[CircuitJob<'_>]) -> Vec<Vec<f64>> {
+        self.try_run_batch(jobs)
+            .unwrap_or_else(|e| panic!("batch execution failed: {e}"))
     }
 
     /// The forward job `f(θ)` under `master_seed` (stream
@@ -335,24 +344,42 @@ impl<'a> ParameterShiftEngine<'a> {
     }
 
     /// The full Jacobian: `num_trainable` rows of `∂f/∂θᵢ`, computed as one
-    /// batch submission.
-    pub fn jacobian(&self, theta: &[f64], master_seed: u64) -> Jacobian {
+    /// batch submission. Fails when a shifted job exhausts the backend's
+    /// retry policy.
+    pub fn try_jacobian(&self, theta: &[f64], master_seed: u64) -> Result<Jacobian, BatchError> {
         let (jobs, plan) = self.jacobian_jobs(theta, None, master_seed);
         let _span = qoc_telemetry::span!(
             "shift.jacobian",
             rows = self.num_trainable,
             jobs = jobs.len(),
         );
-        plan.assemble(&self.run_batch(&jobs))
+        Ok(plan.assemble(&self.try_run_batch(&jobs)?))
+    }
+
+    /// [`Self::try_jacobian`] for infallible callers.
+    pub fn jacobian(&self, theta: &[f64], master_seed: u64) -> Jacobian {
+        self.try_jacobian(theta, master_seed)
+            .unwrap_or_else(|e| panic!("jacobian batch failed: {e}"))
     }
 
     /// Jacobian rows for a subset of symbols (the gradient-pruning path);
     /// rows come back in `subset` order and are bit-identical to the same
     /// rows of the full [`Self::jacobian`] under the same master seed.
-    pub fn jacobian_subset(&self, theta: &[f64], subset: &[usize], master_seed: u64) -> Jacobian {
+    pub fn try_jacobian_subset(
+        &self,
+        theta: &[f64],
+        subset: &[usize],
+        master_seed: u64,
+    ) -> Result<Jacobian, BatchError> {
         let (jobs, plan) = self.jacobian_jobs(theta, Some(subset), master_seed);
         let _span = qoc_telemetry::span!("shift.jacobian", rows = subset.len(), jobs = jobs.len(),);
-        plan.assemble(&self.run_batch(&jobs))
+        Ok(plan.assemble(&self.try_run_batch(&jobs)?))
+    }
+
+    /// [`Self::try_jacobian_subset`] for infallible callers.
+    pub fn jacobian_subset(&self, theta: &[f64], subset: &[usize], master_seed: u64) -> Jacobian {
+        self.try_jacobian_subset(theta, subset, master_seed)
+            .unwrap_or_else(|e| panic!("jacobian batch failed: {e}"))
     }
 }
 

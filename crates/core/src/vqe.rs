@@ -341,7 +341,7 @@ impl<'a> VqeProblem<'a> {
     /// every Hamiltonian term goes out in one backend batch.
     pub fn energy(&self, theta: &[f64], master_seed: u64) -> f64 {
         let jobs = self.term_jobs(theta, master_seed, 0);
-        self.energy_from_results(&self.backend.run_batch(&jobs))
+        self.energy_from_results(&self.backend.run_batch_expect(&jobs))
     }
 
     /// Energy gradient via the parameter-shift rule, restricted to `subset`
@@ -379,7 +379,7 @@ impl<'a> VqeProblem<'a> {
             terms = self.prepared_terms.len(),
             jobs = jobs.len(),
         );
-        let results = self.backend.run_batch(&jobs);
+        let results = self.backend.run_batch_expect(&jobs);
         let per_eval = self.prepared_terms.len();
         let mut grad = vec![0.0; self.num_params];
         for (slot, &i) in indices.iter().enumerate() {

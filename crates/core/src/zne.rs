@@ -99,7 +99,7 @@ pub fn zero_noise_extrapolate(
         .collect();
     let _span = qoc_telemetry::span!("zne.extrapolate", scales = scales.len(), jobs = jobs.len(),);
     let points: Vec<ZnePoint> = backend
-        .run_batch(&jobs)
+        .run_batch_expect(&jobs)
         .into_iter()
         .zip(scales)
         .map(|(expectations, &scale)| ZnePoint {

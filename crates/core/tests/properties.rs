@@ -13,6 +13,8 @@ use qoc_core::prune::{
 use qoc_core::sched::LrSchedule;
 use qoc_core::shift::ParameterShiftEngine;
 use qoc_device::backend::{Execution, NoiselessBackend};
+use qoc_device::faults::{FaultInjectingBackend, FaultPlan};
+use qoc_device::retry::RetryPolicy;
 use qoc_sim::circuit::{Circuit, ParamValue};
 use qoc_sim::gates::GateKind;
 use qoc_sim::simulator::StatevectorSimulator;
@@ -169,6 +171,68 @@ proptest! {
         opt.step(&mut p, &vec![0.0; params.len()], 0.1, None);
         for (a, b) in p.iter().zip(&params) {
             prop_assert!((a - b).abs() < 1e-12, "zero gradient moved parameters");
+        }
+    }
+
+    #[test]
+    fn recoverable_faults_leave_the_jacobian_bit_identical(
+        c in arb_trainable_circuit(3),
+        theta_seed in -2.0f64..2.0,
+        transient_rate in 0.0f64..1.0,
+        timeout_rate in 0.0f64..1.0,
+        fault_seed in 0u64..1_000,
+        master_seed in 0u64..1_000,
+    ) {
+        // Only value-preserving faults (transients, timeouts) at any rate;
+        // no permanents, drift, or shot degradation. Retries reuse each
+        // job's original seed, so the recovered Jacobian must match a
+        // fault-free backend bit for bit — even under shot noise.
+        let plan = FaultPlan {
+            seed: fault_seed,
+            transient_rate,
+            timeout_rate,
+            permanent_rate: 0.0,
+            slow_rate: 0.0,
+            slow_delay: std::time::Duration::ZERO,
+            drift_rate: 0.0,
+            drift_damping: 0.0,
+            max_failures_per_job: 2,
+        };
+        let policy = RetryPolicy {
+            max_attempts: 4,
+            degrade_after: None,
+            attempt_timeout: None,
+            ..RetryPolicy::default()
+        }
+        .without_backoff();
+        prop_assert!(plan.recoverable_under(&policy));
+
+        let n_params = c.num_symbols();
+        let theta: Vec<f64> = (0..n_params)
+            .map(|k| theta_seed + 0.41 * k as f64)
+            .collect();
+
+        let clean = NoiselessBackend::new();
+        let clean_engine =
+            ParameterShiftEngine::new(&clean, &c, n_params, Execution::Shots(64));
+        let reference = clean_engine.jacobian(&theta, master_seed);
+
+        let faulty = FaultInjectingBackend::new(NoiselessBackend::new(), plan)
+            .with_retry_policy(policy);
+        let faulty_engine =
+            ParameterShiftEngine::new(&faulty, &c, n_params, Execution::Shots(64));
+        let recovered = faulty_engine.jacobian(&theta, master_seed);
+
+        prop_assert_eq!(reference.len(), recovered.len());
+        for (i, (a, b)) in reference.iter().zip(&recovered).enumerate() {
+            for (q, (x, y)) in a.iter().zip(b).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "jacobian[{}][{}] diverged: {} vs {}",
+                    i, q, x, y
+                );
+            }
         }
     }
 

@@ -45,6 +45,7 @@ use qoc_noise::trajectory::{TrajectoryNoise, TrajectorySimulator};
 
 use crate::backends::DeviceDescription;
 use crate::calibration::DeviceCalibration;
+use crate::retry::{run_job_with_retry, BatchError, BatchResult, JobError, JobResult, RetryPolicy};
 use crate::schedule;
 use crate::topology::CouplingMap;
 use crate::transpile::{transpile, TranspileOptions, TranspiledCircuit};
@@ -298,10 +299,40 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
         }
     }
 
+    /// One *attempt* at executing a job — the fallible unit the batch
+    /// runner's retry loop drives.
+    ///
+    /// The default implementation cannot fail: it runs [`Self::run_job`] and
+    /// ignores `attempt`. Fault-aware backends (queues, real hardware,
+    /// [`crate::faults::FaultInjectingBackend`]) override this to surface
+    /// [`crate::retry::JobError`]s; `attempt` is 0-based and only informs
+    /// fault/telemetry decisions — **the job's seed is the same on every
+    /// attempt**, which is what keeps retried batches bit-identical.
+    fn try_run_job(&self, job: &CircuitJob<'_>, attempt: u32) -> JobResult {
+        let _ = attempt;
+        Ok(self.run_job(job))
+    }
+
+    /// The retry policy the batch runner applies to this backend's jobs.
+    /// Defaults to [`RetryPolicy::from_env`] (`QOC_MAX_RETRIES`).
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::from_env()
+    }
+
     /// Executes a batch of jobs, fanned out over [`default_worker_count`]
-    /// scoped worker threads. `results[i]` corresponds to `jobs[i]`.
-    fn run_batch(&self, jobs: &[CircuitJob<'_>]) -> Vec<Vec<f64>> {
+    /// scoped worker threads. On success `results[i]` corresponds to
+    /// `jobs[i]`; the first (lowest-index) job that exhausts
+    /// [`Self::retry_policy`] fails the whole batch.
+    fn run_batch(&self, jobs: &[CircuitJob<'_>]) -> BatchResult {
         self.run_batch_workers(jobs, default_worker_count())
+    }
+
+    /// [`Self::run_batch`] for infallible callers: unwraps with a
+    /// descriptive panic. Appropriate wherever job failure is impossible
+    /// (plain simulators) or unrecoverable anyway.
+    fn run_batch_expect(&self, jobs: &[CircuitJob<'_>]) -> Vec<Vec<f64>> {
+        self.run_batch(jobs)
+            .unwrap_or_else(|e| panic!("batch execution failed on {}: {e}", self.name()))
     }
 
     /// [`Self::run_batch`] with an explicit worker count.
@@ -311,13 +342,24 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
     /// and, because every job owns its seed, the output *values* — are
     /// independent of scheduling.
     ///
+    /// Each job runs under [`Self::retry_policy`]: failed attempts back off
+    /// and retry **with the original job seed** (see
+    /// [`crate::retry::RetryPolicy`]), optionally degrading the shot budget.
+    /// Every job is driven to success or exhaustion even after another job
+    /// has failed (keeps execution statistics independent of worker count);
+    /// the reported error is the failed job with the lowest index.
+    ///
     /// When telemetry is enabled ([`qoc_telemetry::enabled`]) the batch
     /// emits a `device.batch` span and feeds the per-job queue-wait and
     /// wall-time histograms plus the per-worker jobs/busy-time histograms
     /// (`qoc.device.*` in the global registry); when disabled, no clock is
-    /// read per job.
-    fn run_batch_workers(&self, jobs: &[CircuitJob<'_>], workers: usize) -> Vec<Vec<f64>> {
+    /// read per job. Retry counters (`qoc.device.retries`, `.gave_up`,
+    /// `.degraded_jobs`, backoff-wait histogram) are recorded regardless.
+    fn run_batch_workers(&self, jobs: &[CircuitJob<'_>], workers: usize) -> BatchResult {
+        /// One job's terminal outcome: expectations, or `(attempts, error)`.
+        type JobOutcome = Result<Vec<f64>, (u32, JobError)>;
         let workers = workers.max(1).min(jobs.len());
+        let policy = self.retry_policy();
         let span = qoc_telemetry::span!(
             "device.batch",
             backend = self.name(),
@@ -329,16 +371,34 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
             m.batches.inc();
             (m, Instant::now())
         });
+        let finish = |slots: Vec<Result<Vec<f64>, (u32, JobError)>>| -> BatchResult {
+            let mut out = Vec::with_capacity(slots.len());
+            for (i, slot) in slots.into_iter().enumerate() {
+                match slot {
+                    Ok(result) => out.push(result),
+                    Err((attempts, error)) => {
+                        return Err(BatchError {
+                            job_index: i,
+                            job_seed: jobs[i].seed,
+                            attempts,
+                            error,
+                        })
+                    }
+                }
+            }
+            Ok(out)
+        };
         if workers <= 1 {
             let mut busy_ns = 0u64;
-            let results: Vec<_> = jobs
+            let slots: Vec<_> = jobs
                 .iter()
                 .map(|job| {
                     let start = telemetry.as_ref().map(|(m, epoch)| {
                         m.queue_wait_ns.record(epoch.elapsed().as_nanos() as u64);
                         Instant::now()
                     });
-                    let result = self.run_job(job);
+                    let result =
+                        run_job_with_retry(job, &policy, |attempt, j| self.try_run_job(j, attempt));
                     if let (Some(start), Some((m, _))) = (start, &telemetry) {
                         let dur = start.elapsed().as_nanos() as u64;
                         m.job_wall_ns.record(dur);
@@ -351,11 +411,12 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
                 m.worker_jobs.record(jobs.len() as u64);
                 m.worker_busy_ns.record(busy_ns);
             }
-            return results;
+            return finish(slots);
         }
-        let mut results: Vec<Option<Vec<f64>>> = vec![None; jobs.len()];
+        let mut slots: Vec<Option<JobOutcome>> = vec![None; jobs.len()];
         std::thread::scope(|scope| {
             let telemetry = &telemetry;
+            let policy = &policy;
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     scope.spawn(move || {
@@ -370,7 +431,9 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
                                     m.queue_wait_ns.record(epoch.elapsed().as_nanos() as u64);
                                     Instant::now()
                                 });
-                                let result = self.run_job(job);
+                                let result = run_job_with_retry(job, policy, |attempt, j| {
+                                    self.try_run_job(j, attempt)
+                                });
                                 if let (Some(start), Some((m, _))) = (start, telemetry) {
                                     let dur = start.elapsed().as_nanos() as u64;
                                     m.job_wall_ns.record(dur);
@@ -389,14 +452,16 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
                 .collect();
             for handle in handles {
                 for (i, result) in handle.join().expect("batch worker panicked") {
-                    results[i] = Some(result);
+                    slots[i] = Some(result);
                 }
             }
         });
-        results
-            .into_iter()
-            .map(|r| r.expect("strided assignment covers every job"))
-            .collect()
+        finish(
+            slots
+                .into_iter()
+                .map(|r| r.expect("strided assignment covers every job"))
+                .collect(),
+        )
     }
 
     /// Cumulative execution statistics.
@@ -1025,7 +1090,9 @@ mod tests {
                 let jobs = shift_style_jobs(&prepared, execution, 0xA5A5);
                 let serial: Vec<Vec<f64>> = jobs.iter().map(|j| backend.run_job(j)).collect();
                 for workers in [1, 2, 3, 8, 64] {
-                    let batched = backend.run_batch_workers(&jobs, workers);
+                    let batched = backend
+                        .run_batch_workers(&jobs, workers)
+                        .expect("infallible backend");
                     assert_eq!(
                         batched,
                         serial,
@@ -1050,7 +1117,9 @@ mod tests {
         let serial = device.stats();
 
         device.reset_stats();
-        device.run_batch_workers(&jobs, 8);
+        device
+            .run_batch_workers(&jobs, 8)
+            .expect("infallible backend");
         let parallel = device.stats();
 
         assert_eq!(parallel.circuits_run, jobs.len() as u64);
@@ -1073,7 +1142,9 @@ mod tests {
         let device = FakeDevice::new(fake_lima());
         let prepared = device.prepare(&qnn_circuit());
         let jobs = shift_style_jobs(&prepared, Execution::Shots(64), 11);
-        device.run_batch_workers(&jobs, 3);
+        device
+            .run_batch_workers(&jobs, 3)
+            .expect("infallible backend");
         let after = Registry::global().snapshot();
         let records = capture.records();
         drop(guard);

@@ -40,8 +40,10 @@
 pub mod backend;
 pub mod backends;
 pub mod calibration;
+pub mod faults;
 pub mod mitigation;
 pub mod rb;
+pub mod retry;
 pub mod schedule;
 pub mod topology;
 pub mod transpile;
@@ -49,5 +51,7 @@ pub mod transpile;
 pub use backend::{Execution, ExecutionStats, FakeDevice, NoiselessBackend, QuantumBackend};
 pub use backends::DeviceDescription;
 pub use calibration::{DeviceCalibration, EdgeCalibration, QubitCalibration};
+pub use faults::{FaultInjectingBackend, FaultPlan};
+pub use retry::{BatchError, BatchResult, JobError, RetryPolicy};
 pub use topology::CouplingMap;
 pub use transpile::{transpile, TranspileOptions, TranspiledCircuit};

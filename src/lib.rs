@@ -50,7 +50,11 @@ pub use qoc_telemetry as telemetry;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
-    pub use qoc_core::engine::{train, PruningKind, TrainConfig, TrainResult};
+    pub use qoc_core::checkpoint::{CheckpointConfig, TrainState};
+    pub use qoc_core::engine::{
+        resume_training, train, train_with_checkpoints, try_train, PruningKind, TrainConfig,
+        TrainError, TrainResult,
+    };
     pub use qoc_core::eval::{evaluate, evaluate_with_params};
     pub use qoc_core::grad::QnnGradientComputer;
     pub use qoc_core::optim::OptimizerKind;
@@ -68,8 +72,10 @@ pub mod prelude {
     pub use qoc_device::backends::{
         all_paper_devices, fake_jakarta, fake_lima, fake_manila, fake_santiago, fake_toronto,
     };
+    pub use qoc_device::faults::{FaultInjectingBackend, FaultPlan};
     pub use qoc_device::mitigation::ReadoutMitigator;
     pub use qoc_device::rb::randomized_benchmarking;
+    pub use qoc_device::retry::{BatchError, JobError, RetryPolicy};
     pub use qoc_nn::model::QnnModel;
     pub use qoc_sim::circuit::{Circuit, ParamValue};
     pub use qoc_sim::gates::GateKind;

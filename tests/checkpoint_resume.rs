@@ -1,0 +1,259 @@
+//! Kill/resume bit-identity: a training run interrupted by a permanent
+//! backend failure (emergency checkpoint) or resumed from a periodic
+//! checkpoint must finish with a `TrainResult` identical — bit for bit —
+//! to an uninterrupted run, including resumes landing mid-pruning-window.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use qoc::core::checkpoint::{CheckpointConfig, TrainState};
+use qoc::core::engine::{
+    resume_training, train_with_checkpoints, PruningKind, TrainConfig, TrainError,
+};
+use qoc::core::prune::PruneConfig;
+use qoc::device::backend::{
+    CircuitJob, Execution, ExecutionStats, NoiselessBackend, PreparedCircuit, QuantumBackend,
+};
+use qoc::device::retry::{JobError, JobResult, RetryPolicy};
+use qoc::nn::model::QnnModel;
+use qoc::prelude::{Dataset, LrSchedule, OptimizerKind};
+use qoc::sim::circuit::Circuit;
+use rand::RngCore;
+
+/// Delegates to a noiseless simulator until its job fuse is spent, then
+/// fails every job fatally — a hardware backend going offline mid-run.
+#[derive(Debug)]
+struct KillSwitchBackend {
+    inner: NoiselessBackend,
+    fuse: AtomicU64,
+}
+
+impl KillSwitchBackend {
+    fn new(jobs_before_kill: u64) -> Self {
+        KillSwitchBackend {
+            inner: NoiselessBackend::new(),
+            fuse: AtomicU64::new(jobs_before_kill),
+        }
+    }
+}
+
+impl QuantumBackend for KillSwitchBackend {
+    fn name(&self) -> &str {
+        "kill-switch"
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.inner.num_qubits()
+    }
+
+    fn prepare(&self, circuit: &Circuit) -> PreparedCircuit {
+        self.inner.prepare(circuit)
+    }
+
+    fn run_prepared(
+        &self,
+        prepared: &PreparedCircuit,
+        theta: &[f64],
+        execution: Execution,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        self.inner.run_prepared(prepared, theta, execution, rng)
+    }
+
+    fn outcome_probabilities(&self, prepared: &PreparedCircuit, theta: &[f64]) -> Vec<f64> {
+        self.inner.outcome_probabilities(prepared, theta)
+    }
+
+    fn try_run_job(&self, job: &CircuitJob<'_>, _attempt: u32) -> JobResult {
+        let alive = self
+            .fuse
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |v| v.checked_sub(1))
+            .is_ok();
+        if alive {
+            Ok(self.inner.run_job(job))
+        } else {
+            Err(JobError::Fatal {
+                message: "backend went offline (kill switch)".to_string(),
+            })
+        }
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        RetryPolicy::no_retry()
+    }
+
+    fn stats(&self) -> ExecutionStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+}
+
+/// Tiny linearly-separable 2-class dataset in encoder space.
+fn toy_data(n: usize) -> Dataset {
+    let features: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            let base = if i % 2 == 0 { 0.4 } else { 2.4 };
+            (0..16)
+                .map(|k| base + 0.05 * ((i + k) % 3) as f64)
+                .collect()
+        })
+        .collect();
+    let labels = (0..n).map(|i| i % 2).collect();
+    Dataset::new(features, labels, 2)
+}
+
+/// PGP config (stage = 1 accumulation + 2 pruning steps) under shot noise,
+/// so resume correctness depends on every seed stream being restored.
+fn pgp_config(steps: usize) -> TrainConfig {
+    TrainConfig {
+        steps,
+        batch_size: 4,
+        optimizer: OptimizerKind::Adam,
+        schedule: LrSchedule::Constant { lr: 0.2 },
+        pruning: PruningKind::Probabilistic(PruneConfig::paper_default()),
+        execution: Execution::Shots(128),
+        seed: 7,
+        eval_every: 3,
+        eval_examples: 8,
+        init_scale: 0.1,
+    }
+}
+
+fn ckpt_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("qoc_resume_{tag}_{}.ckpt.json", std::process::id()))
+}
+
+fn assert_bit_identical(a: &qoc::core::engine::TrainResult, b: &qoc::core::engine::TrainResult) {
+    assert_eq!(a, b, "resumed run diverged from the uninterrupted run");
+    for (x, y) in a.params.iter().zip(&b.params) {
+        assert_eq!(x.to_bits(), y.to_bits(), "parameters differ bitwise");
+    }
+    assert_eq!(
+        a.device_seconds.to_bits(),
+        b.device_seconds.to_bits(),
+        "device time differs bitwise"
+    );
+}
+
+#[test]
+fn killed_run_resumes_bit_identically_mid_pruning_window() {
+    let model = QnnModel::mnist2();
+    let train_ds = toy_data(24);
+    let val_ds = toy_data(12);
+    let config = pgp_config(8);
+
+    let reference_backend = NoiselessBackend::new();
+    let reference = train_with_checkpoints(
+        &model,
+        &reference_backend,
+        &train_ds,
+        &val_ds,
+        &config,
+        None,
+    )
+    .expect("fault-free reference run");
+
+    // Job budget per step: full steps cost 4·(1+2·8) = 68 jobs, pruned
+    // steps 36, evals 8 — a 230-job fuse dies inside step 4, the middle of
+    // the second pruning window (stage pattern full/prune/prune).
+    let killer = KillSwitchBackend::new(230);
+    let path = ckpt_path("kill");
+    let ck = CheckpointConfig::new(&path, 3);
+    let err = train_with_checkpoints(&model, &killer, &train_ds, &val_ds, &config, Some(&ck))
+        .expect_err("fuse must abort the run");
+    let TrainError::Execution {
+        step, checkpoint, ..
+    } = &err;
+    assert!(*step > 0, "kill landed before any step completed");
+    assert_eq!(checkpoint.as_deref(), Some(path.as_path()));
+    assert!(err.to_string().contains("state saved to"), "{err}");
+
+    let state = TrainState::load(&path).expect("emergency checkpoint loads");
+    assert_eq!(
+        state.next_step, *step,
+        "emergency checkpoint replays the failed step"
+    );
+    assert_eq!(state.steps.len(), state.next_step);
+
+    let resume_backend = NoiselessBackend::new();
+    let resumed = resume_training(
+        &model,
+        &resume_backend,
+        &train_ds,
+        &val_ds,
+        &config,
+        state,
+        None,
+    )
+    .expect("resumed run completes");
+    std::fs::remove_file(&path).ok();
+
+    assert_bit_identical(&resumed, &reference);
+}
+
+#[test]
+fn periodic_checkpoint_resumes_bit_identically() {
+    let model = QnnModel::mnist2();
+    let train_ds = toy_data(24);
+    let val_ds = toy_data(12);
+    let config = pgp_config(8);
+
+    let reference_backend = NoiselessBackend::new();
+    let reference = train_with_checkpoints(
+        &model,
+        &reference_backend,
+        &train_ds,
+        &val_ds,
+        &config,
+        None,
+    )
+    .expect("fault-free reference run");
+
+    // Cadence 5 leaves the file at next_step = 5 — the middle of a pruning
+    // window — exactly what a kill -9 after that save would leave behind.
+    let path = ckpt_path("periodic");
+    let ck = CheckpointConfig::new(&path, 5);
+    let backend = NoiselessBackend::new();
+    let full = train_with_checkpoints(&model, &backend, &train_ds, &val_ds, &config, Some(&ck))
+        .expect("checkpointed run completes");
+    assert_bit_identical(&full, &reference);
+
+    let state = TrainState::load(&path).expect("periodic checkpoint loads");
+    assert_eq!(state.next_step, 5);
+
+    let resume_backend = NoiselessBackend::new();
+    let resumed = resume_training(
+        &model,
+        &resume_backend,
+        &train_ds,
+        &val_ds,
+        &config,
+        state,
+        None,
+    )
+    .expect("resumed run completes");
+    std::fs::remove_file(&path).ok();
+
+    assert_bit_identical(&resumed, &reference);
+}
+
+#[test]
+#[should_panic(expected = "seed")]
+fn resume_rejects_checkpoint_from_another_seed() {
+    let model = QnnModel::mnist2();
+    let ds = toy_data(8);
+    let config = pgp_config(4);
+
+    let path = ckpt_path("seed_mismatch");
+    let ck = CheckpointConfig::new(&path, 2);
+    let backend = NoiselessBackend::new();
+    train_with_checkpoints(&model, &backend, &ds, &ds, &config, Some(&ck)).expect("run completes");
+    let state = TrainState::load(&path).expect("checkpoint loads");
+    std::fs::remove_file(&path).ok();
+
+    let mut other = config;
+    other.seed = 8;
+    let _ = resume_training(&model, &backend, &ds, &ds, &other, state, None);
+}

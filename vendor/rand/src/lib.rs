@@ -96,6 +96,25 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl StdRng {
+        /// Raw xoshiro256++ state, for checkpointing. Feed the result back
+        /// through [`StdRng::from_state`] to resume the exact stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        ///
+        /// The all-zero state is a xoshiro fixed point and cannot be produced
+        /// by [`StdRng::state`]; it is remapped the same way `from_seed` does.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::from_seed([0u8; 32]);
+            }
+            StdRng { s }
+        }
+    }
+
     impl SeedableRng for StdRng {
         type Seed = [u8; 32];
 
