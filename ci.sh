@@ -10,7 +10,7 @@
 set -uo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt clippy build test trace-validate determinism fault-soak bench-smoke)
+ALL_STAGES=(fmt clippy build test kernel-equivalence trace-validate determinism fault-soak bench-smoke)
 
 stage_fmt() {
     cargo fmt --all -- --check
@@ -26,6 +26,15 @@ stage_build() {
 
 stage_test() {
     cargo test --offline -q
+}
+
+stage_kernel_equivalence() {
+    # Differential suite: specialized kernels and the fused pipeline vs the
+    # generic dense-matrix oracle (≤ 1e-12), plus pinned analytic states.
+    # Release mode: the proptest cases are heavy and the kernels under test
+    # are the ones production runs actually execute.
+    cargo test --offline --release -p qoc-sim \
+        --test kernel_equivalence --test golden_states
 }
 
 stage_trace_validate() {
@@ -65,8 +74,9 @@ stage_fault_soak() {
 }
 
 stage_bench_smoke() {
-    # >25% serial-Jacobian regression vs BENCH_param_shift.json fails;
-    # tolerance is QOC_BENCH_TOLERANCE.
+    # >25% regression vs a committed baseline fails (serial Jacobian vs
+    # BENCH_param_shift.json, fused QNN-4 state prep vs
+    # BENCH_gate_kernels.json); tolerance is QOC_BENCH_TOLERANCE.
     cargo run --offline --release -p qoc-bench --bin bench_smoke
 }
 

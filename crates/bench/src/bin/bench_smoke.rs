@@ -1,17 +1,22 @@
-//! Quick perf-regression gate over the committed `BENCH_param_shift.json`
-//! artifact: re-measures the serial (1-worker) batched Jacobian on the
-//! emulated ibmq_santiago — the exact workload behind the
-//! `shift/jacobian_batched_santiago/1workers` row — and fails if the fresh
-//! timing regresses more than the tolerance against the committed baseline.
-//! Both sides compare their *minimum* sample: on shared/single-CPU runners
-//! medians swing ±25% with scheduler noise, while the minimum is a stable
-//! lower bound on the true cost.
+//! Quick perf-regression gate over the committed bench artifacts:
 //!
-//! Usage: `bench_smoke [BASELINE_JSON]` (defaults to the repo-root
-//! `BENCH_param_shift.json`). Tolerance defaults to 0.25 (25 %) and can be
+//! - `BENCH_param_shift.json` — re-measures the serial (1-worker) batched
+//!   Jacobian on the emulated ibmq_santiago (the
+//!   `shift/jacobian_batched_santiago/1workers` row).
+//! - `BENCH_gate_kernels.json` — re-measures one fused-kernel state
+//!   preparation of the 4-qubit MNIST-2 ansatz (the `kernels/qnn4_fused`
+//!   row), guarding the specialized-kernel/fusion hot path.
+//!
+//! Each gate fails if the fresh timing regresses more than the tolerance
+//! against the committed baseline. Both sides compare their *minimum*
+//! sample: on shared/single-CPU runners medians swing ±25% with scheduler
+//! noise, while the minimum is a stable lower bound on the true cost.
+//!
+//! Usage: `bench_smoke [PARAM_SHIFT_JSON [GATE_KERNELS_JSON]]` (defaults to
+//! the repo-root artifacts). Tolerance defaults to 0.25 (25 %) and can be
 //! overridden with `QOC_BENCH_TOLERANCE`. Exit codes: **0** within
 //! tolerance, **1** regression or malformed baseline, **2** baseline
-//! missing. Debug builds skip the gate — criterion baselines are measured
+//! missing. Debug builds skip the gates — criterion baselines are measured
 //! with optimizations on, so unoptimized timings are not comparable.
 
 use std::path::PathBuf;
@@ -24,10 +29,14 @@ use qoc_core::shift::ParameterShiftEngine;
 use qoc_device::backend::{Execution, FakeDevice};
 use qoc_device::backends::fake_santiago;
 use qoc_nn::model::QnnModel;
+use qoc_sim::fusion::FusedProgram;
+use qoc_sim::statevector::Statevector;
 
-/// The criterion row this gate re-measures.
-const BASELINE_LABEL: &str = "shift/jacobian_batched_santiago/1workers";
-/// Allowed fractional slowdown before the gate fails.
+/// One regression gate: artifact path, row label, refresh command, and the
+/// re-measurement to compare against the committed `min_ns`.
+type Gate<'a> = (&'a PathBuf, &'a str, &'a str, fn() -> f64);
+
+/// Allowed fractional slowdown before a gate fails.
 const DEFAULT_TOLERANCE: f64 = 0.25;
 /// Timed repetitions (minimum taken) after the warmup.
 const REPS: usize = 12;
@@ -38,40 +47,40 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(1)
 }
 
-/// Pulls `min_ns` for [`BASELINE_LABEL`] out of the bench artifact.
-fn baseline_min_ns(text: &str) -> Result<f64, String> {
+/// Pulls `min_ns` for `label` out of a bench artifact.
+fn baseline_min_ns(text: &str, label: &str) -> Result<f64, String> {
     let root =
         serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
     let rows = root
         .as_array()
         .ok_or("baseline is not a JSON array of measurements")?;
     for row in rows {
-        let label = row.get("label").and_then(Value::as_str);
-        if label != Some(BASELINE_LABEL) {
+        if row.get("label").and_then(Value::as_str) != Some(label) {
             continue;
         }
         let values = row
             .get("values")
             .and_then(Value::as_array)
-            .ok_or_else(|| format!("row {BASELINE_LABEL} has no values array"))?;
+            .ok_or_else(|| format!("row {label} has no values array"))?;
         for pair in values {
             let pair = pair
                 .as_array()
-                .ok_or_else(|| format!("row {BASELINE_LABEL} has a non-pair value"))?;
+                .ok_or_else(|| format!("row {label} has a non-pair value"))?;
             if pair.first().and_then(Value::as_str) == Some("min_ns") {
                 return pair
                     .get(1)
                     .and_then(Value::as_f64)
-                    .ok_or_else(|| format!("row {BASELINE_LABEL} min_ns is not a number"));
+                    .ok_or_else(|| format!("row {label} min_ns is not a number"));
             }
         }
-        return Err(format!("row {BASELINE_LABEL} has no min_ns"));
+        return Err(format!("row {label} has no min_ns"));
     }
-    Err(format!("baseline has no row labelled {BASELINE_LABEL}"))
+    Err(format!("baseline has no row labelled {label}"))
 }
 
-/// Re-runs the baseline workload and returns the minimum wall time in ns.
-fn measure_min_ns() -> f64 {
+/// Re-runs the serial-Jacobian workload and returns the minimum wall time
+/// in ns.
+fn measure_jacobian_min_ns() -> f64 {
     let model = QnnModel::mnist2();
     let device = FakeDevice::new(fake_santiago());
     let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
@@ -94,9 +103,75 @@ fn measure_min_ns() -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Re-runs one fused-program state preparation of the MNIST-2 ansatz
+/// (per-iteration cost ~1 µs, so each rep averages an inner loop) and
+/// returns the minimum per-run wall time in ns.
+fn measure_fused_min_ns() -> f64 {
+    const INNER: usize = 10_000;
+    let model = QnnModel::mnist2();
+    let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
+    let program = FusedProgram::compile(model.circuit());
+    let mut sv = Statevector::zero_state(model.circuit().num_qubits());
+    for _ in 0..WARMUP * INNER {
+        program.run_into(&theta, &mut sv);
+        std::hint::black_box(sv.amplitudes()[0]);
+    }
+    (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..INNER {
+                program.run_into(&theta, &mut sv);
+                std::hint::black_box(sv.amplitudes()[0]);
+            }
+            start.elapsed().as_nanos() as f64 / INNER as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// One regression gate: committed `min_ns` for `label` in the artifact at
+/// `path` vs a fresh re-measurement.
+fn check_gate(
+    path: &PathBuf,
+    label: &str,
+    tolerance: f64,
+    refresh_hint: &str,
+    measure: fn() -> f64,
+) -> Result<(), ExitCode> {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "bench_smoke: baseline {} does not exist (run `{refresh_hint}` to create it)",
+                path.display()
+            );
+            return Err(ExitCode::from(2));
+        }
+        Err(e) => return Err(fail(&format!("cannot read {}: {e}", path.display()))),
+    };
+    let baseline = baseline_min_ns(&text, label).map_err(|msg| fail(&msg))?;
+    let current = measure();
+    let ratio = current / baseline;
+    println!(
+        "bench_smoke: {label}: baseline min {:.3} ms, current min {:.3} ms ({:+.1}%), tolerance +{:.0}%",
+        baseline / 1e6,
+        current / 1e6,
+        (ratio - 1.0) * 100.0,
+        tolerance * 100.0,
+    );
+    if current > baseline * (1.0 + tolerance) {
+        return Err(fail(&format!(
+            "{label} regressed {:.1}% (> {:.0}% tolerance); if intentional, refresh \
+             the baseline with `{refresh_hint}`",
+            (ratio - 1.0) * 100.0,
+            tolerance * 100.0,
+        )));
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     qoc_bench::init();
-    let path: PathBuf = std::env::args().nth(1).map_or_else(
+    let shift_path: PathBuf = std::env::args().nth(1).map_or_else(
         || {
             PathBuf::from(concat!(
                 env!("CARGO_MANIFEST_DIR"),
@@ -105,21 +180,15 @@ fn main() -> ExitCode {
         },
         PathBuf::from,
     );
-    let text = match std::fs::read_to_string(&path) {
-        Ok(t) => t,
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
-            eprintln!(
-                "bench_smoke: baseline {} does not exist (run `cargo bench -p qoc-bench --bench param_shift` to create it)",
-                path.display()
-            );
-            return ExitCode::from(2);
-        }
-        Err(e) => return fail(&format!("cannot read {}: {e}", path.display())),
-    };
-    let baseline = match baseline_min_ns(&text) {
-        Ok(b) => b,
-        Err(msg) => return fail(&msg),
-    };
+    let kernels_path: PathBuf = std::env::args().nth(2).map_or_else(
+        || {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_gate_kernels.json"
+            ))
+        },
+        PathBuf::from,
+    );
     if cfg!(debug_assertions) {
         println!(
             "bench_smoke: skipped — debug build; baselines are measured with \
@@ -134,22 +203,24 @@ fn main() -> ExitCode {
         },
         Err(_) => DEFAULT_TOLERANCE,
     };
-    let current = measure_min_ns();
-    let ratio = current / baseline;
-    println!(
-        "bench_smoke: {BASELINE_LABEL}: baseline min {:.3} ms, current min {:.3} ms ({:+.1}%), tolerance +{:.0}%",
-        baseline / 1e6,
-        current / 1e6,
-        (ratio - 1.0) * 100.0,
-        tolerance * 100.0,
-    );
-    if current > baseline * (1.0 + tolerance) {
-        return fail(&format!(
-            "serial Jacobian regressed {:.1}% (> {:.0}% tolerance); if intentional, refresh \
-             BENCH_param_shift.json with `cargo bench -p qoc-bench --bench param_shift`",
-            (ratio - 1.0) * 100.0,
-            tolerance * 100.0,
-        ));
+    let gates: [Gate; 2] = [
+        (
+            &shift_path,
+            "shift/jacobian_batched_santiago/1workers",
+            "cargo bench -p qoc-bench --bench param_shift",
+            measure_jacobian_min_ns,
+        ),
+        (
+            &kernels_path,
+            "kernels/qnn4_fused",
+            "cargo bench -p qoc-bench --bench gate_kernels",
+            measure_fused_min_ns,
+        ),
+    ];
+    for (path, label, hint, measure) in gates {
+        if let Err(code) = check_gate(path, label, tolerance, hint, measure) {
+            return code;
+        }
     }
     ExitCode::SUCCESS
 }

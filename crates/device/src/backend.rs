@@ -37,7 +37,8 @@ use rand::rngs::StdRng;
 use rand::RngCore;
 
 use qoc_sim::circuit::Circuit;
-use qoc_sim::simulator::StatevectorSimulator;
+use qoc_sim::fusion::FusedProgram;
+use qoc_sim::statevector::with_scratch_state;
 
 use qoc_noise::model::NoiseModel;
 use qoc_noise::sim::NoisyDensitySimulator;
@@ -84,8 +85,14 @@ pub struct PreparedCircuit {
 
 #[derive(Debug, Clone)]
 enum Plan {
-    /// Run as-is on the statevector simulator.
-    Direct(Circuit),
+    /// Run as-is on the statevector simulator, through a fused kernel
+    /// program compiled once at preparation — the ±π/2 shifted circuits the
+    /// parameter-shift engine caches each carry their own fused program, so
+    /// every Jacobian job replays pre-classified kernels.
+    Direct {
+        circuit: Circuit,
+        program: FusedProgram,
+    },
     /// Hardware plan: compacted physical circuit + noise + latency.
     Device {
         compact: Circuit,
@@ -108,7 +115,7 @@ impl PreparedCircuit {
     /// Routing SWAPs inserted for this circuit (0 for direct plans).
     pub fn swap_count(&self) -> usize {
         match &self.plan {
-            Plan::Direct(_) => 0,
+            Plan::Direct { .. } => 0,
             Plan::Device { swap_count, .. } => *swap_count,
         }
     }
@@ -116,7 +123,7 @@ impl PreparedCircuit {
     /// The circuit that will actually execute.
     pub fn executable(&self) -> &Circuit {
         match &self.plan {
-            Plan::Direct(c) => c,
+            Plan::Direct { circuit, .. } => circuit,
             Plan::Device { compact, .. } => compact,
         }
     }
@@ -582,9 +589,13 @@ impl StatCells {
 }
 
 /// Exact statevector backend — the "Classical-Train" substrate.
+///
+/// Executes fused kernel programs compiled at [`QuantumBackend::prepare`]
+/// time on pooled scratch states, so the per-job cost in a parameter-shift
+/// batch is pure gate arithmetic: no matrix construction, no circuit
+/// re-analysis, no statevector allocation.
 #[derive(Debug, Default)]
 pub struct NoiselessBackend {
-    sim: StatevectorSimulator,
     stats: StatCells,
 }
 
@@ -608,7 +619,10 @@ impl QuantumBackend for NoiselessBackend {
     fn prepare(&self, circuit: &Circuit) -> PreparedCircuit {
         PreparedCircuit {
             logical_qubits: circuit.num_qubits(),
-            plan: Plan::Direct(circuit.clone()),
+            plan: Plan::Direct {
+                program: FusedProgram::compile(circuit),
+                circuit: circuit.clone(),
+            },
         }
     }
 
@@ -619,27 +633,33 @@ impl QuantumBackend for NoiselessBackend {
         execution: Execution,
         rng: &mut dyn RngCore,
     ) -> Vec<f64> {
-        let Plan::Direct(circuit) = &prepared.plan else {
+        let Plan::Direct { program, .. } = &prepared.plan else {
             panic!("prepared circuit belongs to a different backend kind");
         };
-        match execution {
-            Execution::Exact => {
-                self.stats.record(0, 0.0);
-                self.sim.expectations_z(circuit, theta)
+        with_scratch_state(program.num_qubits(), |sv| {
+            program.run_into(theta, sv);
+            match execution {
+                Execution::Exact => {
+                    self.stats.record(0, 0.0);
+                    sv.expectation_all_z()
+                }
+                Execution::Shots(s) => {
+                    self.stats.record(s as u64, 0.0);
+                    sv.sampled_expectation_z(s, rng)
+                }
             }
-            Execution::Shots(s) => {
-                self.stats.record(s as u64, 0.0);
-                self.sim.sampled_expectations_z(circuit, theta, s, rng)
-            }
-        }
+        })
     }
 
     fn outcome_probabilities(&self, prepared: &PreparedCircuit, theta: &[f64]) -> Vec<f64> {
-        let Plan::Direct(circuit) = &prepared.plan else {
+        let Plan::Direct { program, .. } = &prepared.plan else {
             panic!("prepared circuit belongs to a different backend kind");
         };
         self.stats.record(0, 0.0);
-        self.sim.run(circuit, theta).probabilities()
+        with_scratch_state(program.num_qubits(), |sv| {
+            program.run_into(theta, sv);
+            sv.probabilities()
+        })
     }
 
     fn stats(&self) -> ExecutionStats {
@@ -934,6 +954,7 @@ mod tests {
     use super::*;
     use crate::backends::{fake_lima, fake_santiago};
     use qoc_sim::circuit::ParamValue;
+    use qoc_sim::simulator::StatevectorSimulator;
     use rand::rngs::StdRng;
 
     fn qnn_circuit() -> Circuit {

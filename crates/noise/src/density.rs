@@ -9,6 +9,7 @@ use std::collections::BTreeMap;
 use rand::Rng;
 
 use qoc_sim::complex::Complex64;
+use qoc_sim::kernels::Kernel;
 use qoc_sim::matrix::CMatrix;
 use qoc_sim::statevector::Statevector;
 
@@ -179,6 +180,24 @@ impl DensityMatrix {
                 }
             }
         }
+    }
+
+    /// Applies a unitary `ρ ↦ UρU†` via a specialized gate [`Kernel`].
+    ///
+    /// The row-major matrix is treated as a flat `4ⁿ` amplitude vector on
+    /// `2n` qubits, where gate qubit `q` is column bit `q` and row bit
+    /// `n + q`: `UρU†` is one pass of the kernel remapped onto the row bits
+    /// followed by one pass of its element-wise conjugate on the column bits.
+    /// Both passes reuse the statevector kernels, so the density path gets
+    /// the same diagonal/permutation/rotation specializations for free.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if a kernel qubit is out of range.
+    pub fn apply_kernel(&mut self, kernel: &Kernel) {
+        let n = self.num_qubits;
+        kernel.remapped(n).apply(self.mat.as_mut_slice());
+        kernel.conj().apply(self.mat.as_mut_slice());
     }
 
     /// Applies a unitary `ρ ↦ UρU†` on the listed qubits.
@@ -356,28 +375,15 @@ impl DensityMatrix {
 
 /// Samples a histogram of `shots` draws from an (unnormalized tolerated)
 /// probability vector.
+///
+/// Delegates to the shot-sorted cumulative-walk sampler shared with the
+/// statevector path ([`qoc_sim::statevector::sample_counts_from_probabilities`]).
 pub fn sample_from_probabilities<R: Rng + ?Sized>(
     probs: &[f64],
     shots: u32,
     rng: &mut R,
 ) -> BTreeMap<usize, u32> {
-    let mut cdf = Vec::with_capacity(probs.len());
-    let mut acc = 0.0;
-    for p in probs {
-        acc += p.max(0.0);
-        cdf.push(acc);
-    }
-    let total = acc.max(f64::MIN_POSITIVE);
-    let mut counts = BTreeMap::new();
-    for _ in 0..shots {
-        let r: f64 = rng.gen::<f64>() * total;
-        let idx = match cdf.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
-            Ok(i) => i,
-            Err(i) => i.min(probs.len() - 1),
-        };
-        *counts.entry(idx).or_insert(0) += 1;
-    }
-    counts
+    qoc_sim::statevector::sample_counts_from_probabilities(probs, shots, rng)
 }
 
 #[cfg(test)]
@@ -421,6 +427,27 @@ mod tests {
         }
         let want = DensityMatrix::from_statevector(&sv);
         assert!(rho.mat.approx_eq(&want.mat, 1e-10));
+    }
+
+    #[test]
+    fn kernel_application_matches_apply_unitary() {
+        let seq: Vec<(GateKind, Vec<usize>, Vec<f64>)> = vec![
+            (GateKind::H, vec![0], vec![]),
+            (GateKind::Rz, vec![1], vec![0.9]),
+            (GateKind::Cx, vec![0, 2], vec![]),
+            (GateKind::Cx, vec![2, 0], vec![]),
+            (GateKind::Rzz, vec![1, 2], vec![1.3]),
+            (GateKind::Ry, vec![2], vec![-0.4]),
+            (GateKind::Cry, vec![2, 1], vec![0.6]),
+            (GateKind::Swap, vec![0, 2], vec![]),
+        ];
+        let mut a = DensityMatrix::zero_state(3);
+        let mut b = DensityMatrix::zero_state(3);
+        for (g, qs, ps) in &seq {
+            a.apply_unitary(&g.matrix(ps), qs);
+            b.apply_kernel(&Kernel::for_gate(*g, qs, ps));
+        }
+        assert!(a.matrix().approx_eq(b.matrix(), 1e-12));
     }
 
     #[test]

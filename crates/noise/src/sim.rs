@@ -3,6 +3,7 @@
 use rand::Rng;
 
 use qoc_sim::circuit::Circuit;
+use qoc_sim::kernels::Kernel;
 use qoc_sim::statevector::expectation_z_from_counts;
 
 use crate::density::{sample_from_probabilities, DensityMatrix};
@@ -77,8 +78,9 @@ impl NoisyDensitySimulator {
         );
         let mut rho = DensityMatrix::zero_state(circuit.num_qubits());
         for op in circuit.ops() {
-            let params = op.resolve(theta);
-            rho.apply_unitary(&op.gate.matrix(&params), &op.qubits);
+            // Specialized kernels instead of dense UρU† conjugation; noise
+            // channels interleave per gate, so no cross-gate fusion here.
+            rho.apply_kernel(&Kernel::from_operation(op, theta));
             match op.qubits.len() {
                 1 => {
                     for noise in self.noise.one_qubit_noise(op.qubits[0]) {

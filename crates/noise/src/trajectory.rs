@@ -10,7 +10,8 @@ use rand::Rng;
 
 use qoc_sim::circuit::Circuit;
 use qoc_sim::gates::GateKind;
-use qoc_sim::statevector::Statevector;
+use qoc_sim::kernels::Kernel;
+use qoc_sim::statevector::{with_scratch_state, Statevector};
 
 /// Depolarizing-strength specification for trajectory runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -61,21 +62,34 @@ impl TrajectorySimulator {
         TrajectorySimulator { noise }
     }
 
-    /// Runs a single noisy trajectory and returns the final pure state.
-    pub fn run_trajectory<R: Rng + ?Sized>(
+    /// Classifies every gate of `circuit` once for the given binding, so the
+    /// per-shot loop replays pre-resolved kernels instead of rebuilding
+    /// matrices. Noise insertions interleave per gate, so gates are *not*
+    /// fused across each other here — only specialized.
+    fn bind_kernels(circuit: &Circuit, theta: &[f64]) -> Vec<Kernel> {
+        circuit
+            .ops()
+            .iter()
+            .map(|op| Kernel::from_operation(op, theta))
+            .collect()
+    }
+
+    /// Evolves one noisy trajectory in place over a pre-bound kernel list
+    /// (`kernels[i]` is `circuit.ops()[i]` resolved). RNG draw order matches
+    /// the original per-gate implementation exactly.
+    fn trajectory_into<R: Rng + ?Sized>(
         &self,
         circuit: &Circuit,
-        theta: &[f64],
+        kernels: &[Kernel],
         rng: &mut R,
-    ) -> Statevector {
-        let mut sv = Statevector::zero_state(circuit.num_qubits());
-        for op in circuit.ops() {
-            let params = op.resolve(theta);
-            sv.apply_unitary(&op.gate.matrix(&params), &op.qubits);
+        sv: &mut Statevector,
+    ) {
+        for (op, kernel) in circuit.ops().iter().zip(kernels) {
+            sv.apply_kernel(kernel);
             match op.qubits.len() {
                 1 if self.noise.p1 > 0.0 && rng.gen::<f64>() < self.noise.p1 => {
                     let p = PAULIS[rng.gen_range(0..3)];
-                    sv.apply_1q(&p.matrix(&[]), op.qubits[0]);
+                    sv.apply_kernel(&Kernel::for_gate(p, &op.qubits[..1], &[]));
                 }
                 2 if self.noise.p2 > 0.0 && rng.gen::<f64>() < self.noise.p2 => {
                     // Uniform non-identity two-qubit Pauli: draw from the
@@ -83,15 +97,27 @@ impl TrajectorySimulator {
                     let idx = rng.gen_range(1..16);
                     let (a, b) = (idx % 4, idx / 4);
                     if a > 0 {
-                        sv.apply_1q(&PAULIS[a - 1].matrix(&[]), op.qubits[0]);
+                        sv.apply_kernel(&Kernel::for_gate(PAULIS[a - 1], &op.qubits[..1], &[]));
                     }
                     if b > 0 {
-                        sv.apply_1q(&PAULIS[b - 1].matrix(&[]), op.qubits[1]);
+                        sv.apply_kernel(&Kernel::for_gate(PAULIS[b - 1], &op.qubits[1..2], &[]));
                     }
                 }
                 _ => {}
             }
         }
+    }
+
+    /// Runs a single noisy trajectory and returns the final pure state.
+    pub fn run_trajectory<R: Rng + ?Sized>(
+        &self,
+        circuit: &Circuit,
+        theta: &[f64],
+        rng: &mut R,
+    ) -> Statevector {
+        let kernels = Self::bind_kernels(circuit, theta);
+        let mut sv = Statevector::zero_state(circuit.num_qubits());
+        self.trajectory_into(circuit, &kernels, rng, &mut sv);
         sv
     }
 
@@ -107,14 +133,16 @@ impl TrajectorySimulator {
         rng: &mut R,
     ) -> Vec<f64> {
         let n = circuit.num_qubits();
+        let kernels = Self::bind_kernels(circuit, theta);
         let mut sums = vec![0.0f64; n];
         for _ in 0..shots {
-            let sv = self.run_trajectory(circuit, theta, rng);
-            let outcome = *sv
-                .sample_counts(1, rng)
-                .first_key_value()
-                .expect("one shot")
-                .0;
+            let outcome = with_scratch_state(n, |sv| {
+                self.trajectory_into(circuit, &kernels, rng, sv);
+                *sv.sample_counts(1, rng)
+                    .first_key_value()
+                    .expect("one shot")
+                    .0
+            });
             for (q, s) in sums.iter_mut().enumerate() {
                 let mut bit = (outcome >> q) & 1;
                 if self.noise.readout > 0.0 && rng.gen::<f64>() < self.noise.readout {
@@ -136,12 +164,15 @@ impl TrajectorySimulator {
         rng: &mut R,
     ) -> Vec<f64> {
         let n = circuit.num_qubits();
+        let kernels = Self::bind_kernels(circuit, theta);
         let mut sums = vec![0.0f64; n];
         for _ in 0..trajectories {
-            let sv = self.run_trajectory(circuit, theta, rng);
-            for (q, s) in sums.iter_mut().enumerate() {
-                *s += sv.expectation_z(q);
-            }
+            with_scratch_state(n, |sv| {
+                self.trajectory_into(circuit, &kernels, rng, sv);
+                for (q, s) in sums.iter_mut().enumerate() {
+                    *s += sv.expectation_z(q);
+                }
+            });
         }
         let scale = 1.0 - 2.0 * self.noise.readout;
         sums.iter()

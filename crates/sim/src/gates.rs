@@ -381,6 +381,47 @@ impl GateKind {
         }
     }
 
+    /// Whether the gate's matrix is diagonal in the computational basis.
+    ///
+    /// Diagonal gates commute with each other and pass through the wires of
+    /// other basis-preserving gates — the property the fusion pass exploits.
+    pub fn is_diagonal(self) -> bool {
+        matches!(
+            self,
+            GateKind::I
+                | GateKind::Z
+                | GateKind::S
+                | GateKind::Sdg
+                | GateKind::T
+                | GateKind::Tdg
+                | GateKind::Rz
+                | GateKind::Phase
+                | GateKind::Cz
+                | GateKind::Cp
+                | GateKind::Crz
+                | GateKind::Rzz
+        )
+    }
+
+    /// Whether the gate preserves the computational basis on its listed
+    /// qubit `slot` (0 = first listed, 1 = second), i.e. it has the
+    /// block form `P₀ ⊗ A + P₁ ⊗ B` with the projectors on that wire.
+    ///
+    /// A diagonal single-qubit gate on that wire commutes with such a gate,
+    /// which lets the fusion pass move diagonals past controls: controlled
+    /// gates are block-diagonal on their control (slot 0), and RZX is
+    /// block-diagonal on its Z-carrying first qubit.
+    pub fn is_diagonal_on(self, slot: usize) -> bool {
+        assert!(slot < self.num_qubits(), "slot {slot} out of range");
+        match self {
+            _ if self.is_diagonal() => true,
+            GateKind::Cx | GateKind::Cy | GateKind::Crx | GateKind::Cry | GateKind::Rzx => {
+                slot == 0
+            }
+            _ => false,
+        }
+    }
+
     /// Whether the gate is symmetric under exchange of its two qubits.
     ///
     /// Always `true` for single-qubit gates.
@@ -556,6 +597,47 @@ mod tests {
             assert_eq!(g.name().parse::<GateKind>().unwrap(), g);
         }
         assert!("bogus".parse::<GateKind>().is_err());
+    }
+
+    #[test]
+    fn diagonal_flags_match_matrices() {
+        for &g in ALL_GATES {
+            let m = g.matrix(&params_for(g));
+            let dim = m.rows();
+            let mut off_diag_zero = true;
+            for r in 0..dim {
+                for c in 0..dim {
+                    if r != c && m[(r, c)] != Complex64::ZERO {
+                        off_diag_zero = false;
+                    }
+                }
+            }
+            assert_eq!(g.is_diagonal(), off_diag_zero, "is_diagonal wrong for {g}");
+        }
+    }
+
+    #[test]
+    fn diagonal_on_slot_commutes_with_wire_diagonal() {
+        // D ⊗ I (or I ⊗ D) must commute with any gate block-diagonal on
+        // that wire; slot 0 is the least-significant matrix bit.
+        let d = GateKind::Rz.matrix(&[0.83]);
+        let id = CMatrix::identity(2);
+        for &g in ALL_GATES {
+            if g.num_qubits() != 2 {
+                continue;
+            }
+            let m = g.matrix(&params_for(g));
+            for slot in 0..2 {
+                // kron(high, low): first listed qubit is the LSB.
+                let dw = if slot == 0 { id.kron(&d) } else { d.kron(&id) };
+                let commutes = (&(&dw * &m) - &(&m * &dw)).approx_eq(&CMatrix::zeros(4, 4), 1e-12);
+                assert_eq!(
+                    g.is_diagonal_on(slot),
+                    commutes,
+                    "is_diagonal_on({slot}) wrong for {g}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //!   and the RXX/RYY/RZZ/RZX entangling rotations the QNN ansatz uses).
 //! - [`circuit`] — the circuit IR with constant and symbolic (trainable)
 //!   parameters.
+//! - [`kernels`] — specialized in-place gate kernels (diagonal, permutation,
+//!   real-rotation, dense) shared by the statevector and density paths.
+//! - [`fusion`] — peephole gate fusion compiling a circuit into a
+//!   [`FusedProgram`] reusable across parameter bindings.
 //! - [`statevector`] / [`simulator`] — exact state evolution, expectation
 //!   values, and shot sampling.
 //! - [`pauli`] — Pauli strings and observables.
@@ -36,7 +40,9 @@
 
 pub mod circuit;
 pub mod complex;
+pub mod fusion;
 pub mod gates;
+pub mod kernels;
 pub mod matrix;
 pub mod pauli;
 pub mod qasm;
@@ -46,7 +52,9 @@ pub mod statevector;
 
 pub use circuit::{Circuit, Operation, ParamValue};
 pub use complex::Complex64;
+pub use fusion::FusedProgram;
 pub use gates::GateKind;
+pub use kernels::Kernel;
 pub use matrix::CMatrix;
 pub use simulator::StatevectorSimulator;
 pub use statevector::Statevector;

@@ -3,6 +3,7 @@
 use rand::Rng;
 
 use crate::circuit::Circuit;
+use crate::fusion::FusedProgram;
 use crate::statevector::Statevector;
 
 /// Exact (noise-free) statevector simulator.
@@ -39,17 +40,38 @@ impl StatevectorSimulator {
     /// Runs `circuit` with parameters `theta` from `|0…0⟩` and returns the
     /// final state.
     ///
+    /// Executes through the fused specialized-kernel pipeline
+    /// ([`FusedProgram`]); callers that run one circuit structure many times
+    /// should compile the program once themselves instead.
+    ///
     /// # Panics
     ///
     /// Panics if `theta` is shorter than the circuit's symbol count.
     pub fn run(&self, circuit: &Circuit, theta: &[f64]) -> Statevector {
+        FusedProgram::compile(circuit).run(theta)
+    }
+
+    /// Applies `circuit` to an existing state in place (fused pipeline).
+    pub fn run_into(&self, circuit: &Circuit, theta: &[f64], state: &mut Statevector) {
+        FusedProgram::compile(circuit).run_into(theta, state);
+    }
+
+    /// Runs `circuit` through the generic dense-matrix path — per-gate
+    /// [`GateKind::matrix`](crate::gates::GateKind::matrix) construction and
+    /// [`Statevector::apply_unitary`] — with no fusion or specialization.
+    ///
+    /// This is the slow, obviously-correct oracle the differential test
+    /// suite checks the kernel pipeline against; it is not used on any hot
+    /// path.
+    pub fn run_reference(&self, circuit: &Circuit, theta: &[f64]) -> Statevector {
         let mut sv = Statevector::zero_state(circuit.num_qubits());
-        self.run_into(circuit, theta, &mut sv);
+        self.run_into_reference(circuit, theta, &mut sv);
         sv
     }
 
-    /// Applies `circuit` to an existing state in place.
-    pub fn run_into(&self, circuit: &Circuit, theta: &[f64], state: &mut Statevector) {
+    /// Applies `circuit` to an existing state via the generic dense-matrix
+    /// oracle path (see [`StatevectorSimulator::run_reference`]).
+    pub fn run_into_reference(&self, circuit: &Circuit, theta: &[f64], state: &mut Statevector) {
         assert_eq!(
             state.num_qubits(),
             circuit.num_qubits(),

@@ -3,12 +3,14 @@
 //! A pure `n`-qubit state is a normalized vector of `2ⁿ` complex amplitudes.
 //! Qubit `k` maps to bit `k` of the amplitude index (little-endian).
 
+use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt;
 
 use rand::Rng;
 
 use crate::complex::Complex64;
+use crate::kernels::Kernel;
 use crate::matrix::CMatrix;
 
 /// A pure quantum state on `num_qubits` qubits.
@@ -93,14 +95,32 @@ impl Statevector {
 
     /// Renormalizes the state to unit norm (guards against float drift in
     /// long circuits).
+    ///
+    /// A numerically dead state — all-zero, denormal, or non-finite norm —
+    /// is left untouched rather than divided into NaN/Inf amplitudes.
     pub fn normalize(&mut self) {
-        let norm: f64 = self.amps.iter().map(|a| a.norm_sqr()).sum::<f64>().sqrt();
-        if norm > 0.0 {
-            let inv = 1.0 / norm;
-            for a in &mut self.amps {
-                *a *= inv;
-            }
+        let norm_sqr: f64 = self.amps.iter().map(|a| a.norm_sqr()).sum();
+        if norm_sqr < f64::MIN_POSITIVE || !norm_sqr.is_finite() {
+            return;
         }
+        let inv = 1.0 / norm_sqr.sqrt();
+        for a in &mut self.amps {
+            *a *= inv;
+        }
+    }
+
+    /// Resets the state to `|0…0⟩` in place, reusing the allocation.
+    pub fn reset_zero(&mut self) {
+        for a in &mut self.amps {
+            *a = Complex64::ZERO;
+        }
+        self.amps[0] = Complex64::ONE;
+    }
+
+    /// Applies a specialized gate [`Kernel`] in place — the fast path the
+    /// fused program executor and the noise trajectory simulator run on.
+    pub fn apply_kernel(&mut self, kernel: &Kernel) {
+        kernel.apply(&mut self.amps);
     }
 
     /// Applies a 2×2 unitary to qubit `q`.
@@ -276,25 +296,14 @@ impl Statevector {
 
     /// Samples `shots` measurement outcomes in the computational basis and
     /// returns a histogram of basis-state indices.
+    ///
+    /// Uniform draws happen in RNG order (one per shot, unchanged from the
+    /// historical linear-CDF implementation, so seeded streams reproduce the
+    /// same histograms), then a single shot-sorted cumulative walk over
+    /// `|αᵢ|²` assigns all outcomes in one pass — no CDF array, no per-shot
+    /// binary search.
     pub fn sample_counts<R: Rng + ?Sized>(&self, shots: u32, rng: &mut R) -> BTreeMap<usize, u32> {
-        let probs = self.probabilities();
-        let mut cdf = Vec::with_capacity(probs.len());
-        let mut acc = 0.0;
-        for p in &probs {
-            acc += p;
-            cdf.push(acc);
-        }
-        let total = acc.max(f64::MIN_POSITIVE);
-        let mut counts = BTreeMap::new();
-        for _ in 0..shots {
-            let r: f64 = rng.gen::<f64>() * total;
-            let idx = match cdf.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
-                Ok(i) => i,
-                Err(i) => i.min(probs.len() - 1),
-            };
-            *counts.entry(idx).or_insert(0) += 1;
-        }
-        counts
+        sample_counts_by(self.amps.len(), |i| self.amps[i].norm_sqr(), shots, rng)
     }
 
     /// Estimates per-qubit Pauli-Z expectations from `shots` sampled
@@ -303,6 +312,103 @@ impl Statevector {
         let counts = self.sample_counts(shots, rng);
         expectation_z_from_counts(&counts, self.num_qubits, shots)
     }
+}
+
+/// Shot-sorted cumulative-walk sampler over an indexed probability weight.
+///
+/// Draws the per-shot uniforms first (in RNG order, matching the historical
+/// per-shot draw sequence bit-for-bit), sorts them, and walks the running
+/// prefix sum once: total work is `O(len + shots·log shots)` instead of the
+/// old `O(len + shots·log len)` with a materialized CDF array, and the prefix
+/// accumulates in the same sequential order as before so outcome assignment
+/// is unchanged.
+fn sample_counts_by<R: Rng + ?Sized>(
+    len: usize,
+    prob: impl Fn(usize) -> f64,
+    shots: u32,
+    rng: &mut R,
+) -> BTreeMap<usize, u32> {
+    let mut counts = BTreeMap::new();
+    if len == 0 || shots == 0 {
+        return counts;
+    }
+    let mut total = 0.0;
+    for i in 0..len {
+        total += prob(i);
+    }
+    let total = total.max(f64::MIN_POSITIVE);
+    let mut draws: Vec<f64> = (0..shots).map(|_| rng.gen::<f64>() * total).collect();
+    draws.sort_unstable_by(f64::total_cmp);
+    let mut idx = 0usize;
+    let mut prefix = prob(0);
+    for r in draws {
+        // First index whose prefix sum reaches r (clamped to the last bin) —
+        // the same bin the old binary search over the CDF selected.
+        while prefix < r && idx + 1 < len {
+            idx += 1;
+            prefix += prob(idx);
+        }
+        *counts.entry(idx).or_insert(0) += 1;
+    }
+    counts
+}
+
+/// Samples `shots` outcomes from an explicit probability slice (negative
+/// entries are clamped to zero, as produced by noisy density diagonals).
+///
+/// Shared by the density-matrix readout path so both simulators use the same
+/// shot-sorted sampler.
+pub fn sample_counts_from_probabilities<R: Rng + ?Sized>(
+    probs: &[f64],
+    shots: u32,
+    rng: &mut R,
+) -> BTreeMap<usize, u32> {
+    sample_counts_by(probs.len(), |i| probs[i].max(0.0), shots, rng)
+}
+
+thread_local! {
+    /// Per-thread pool of reusable statevectors, keyed by width on lookup.
+    static STATE_POOL: RefCell<Vec<Statevector>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Maximum states parked per thread (widths in a run are few; this bounds
+/// worst-case retained memory).
+const STATE_POOL_CAP: usize = 8;
+
+/// Runs `f` with a reusable `|0…0⟩` scratch state of the given width,
+/// returning the state to a per-thread pool afterwards.
+///
+/// This removes the `2ⁿ`-amplitude allocation from every job in the
+/// parameter-shift batch loop and from every noise trajectory shot.
+///
+/// # Examples
+///
+/// ```
+/// use qoc_sim::statevector::with_scratch_state;
+///
+/// let ez = with_scratch_state(2, |sv| sv.expectation_z(0));
+/// assert_eq!(ez, 1.0);
+/// ```
+pub fn with_scratch_state<T>(num_qubits: usize, f: impl FnOnce(&mut Statevector) -> T) -> T {
+    let mut sv = STATE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        match pool.iter().position(|s| s.num_qubits() == num_qubits) {
+            Some(i) => {
+                let mut s = pool.swap_remove(i);
+                s.reset_zero();
+                s
+            }
+            None => Statevector::zero_state(num_qubits),
+        }
+    });
+    let out = f(&mut sv);
+    STATE_POOL.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < STATE_POOL_CAP {
+            pool.push(sv);
+        }
+    });
+    out
 }
 
 /// Converts a histogram of basis-state outcomes into per-qubit Z
@@ -479,6 +585,75 @@ mod tests {
         sv.amps[0] = c64(2.0, 0.0);
         sv.normalize();
         assert!((sv.amps[0].norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_leaves_dead_state_untouched() {
+        // All-zero amplitudes must not become NaN.
+        let mut sv = Statevector::zero_state(2);
+        sv.amps[0] = Complex64::ZERO;
+        sv.normalize();
+        for a in sv.amplitudes() {
+            assert!(a.re == 0.0 && a.im == 0.0, "dead state was rescaled: {a}");
+        }
+        // Denormal norm is also left alone rather than amplified to Inf.
+        let mut sv = Statevector::zero_state(1);
+        sv.amps[0] = c64(1e-170, 0.0);
+        sv.normalize();
+        assert!(sv.amps[0].re.is_finite() && sv.amps[0].re == 1e-170);
+    }
+
+    #[test]
+    fn sample_counts_matches_linear_cdf_reference() {
+        // The shot-sorted walk must pick the same bins as the historical
+        // per-shot binary search over a materialized CDF.
+        let mut sv = Statevector::zero_state(3);
+        sv.apply_1q(&GateKind::H.matrix(&[]), 0);
+        sv.apply_1q(&GateKind::Ry.matrix(&[0.9]), 1);
+        sv.apply_2q(&GateKind::Cx.matrix(&[]), 0, 2);
+        for seed in 0..5u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let got = sv.sample_counts(4096, &mut rng);
+            let probs = sv.probabilities();
+            let mut cdf = Vec::with_capacity(probs.len());
+            let mut acc = 0.0;
+            for p in &probs {
+                acc += p;
+                cdf.push(acc);
+            }
+            let total = acc.max(f64::MIN_POSITIVE);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut want: BTreeMap<usize, u32> = BTreeMap::new();
+            for _ in 0..4096 {
+                let r: f64 = rng.gen::<f64>() * total;
+                let idx = match cdf.binary_search_by(|c| c.partial_cmp(&r).unwrap()) {
+                    Ok(i) => i,
+                    Err(i) => i.min(probs.len() - 1),
+                };
+                *want.entry(idx).or_insert(0) += 1;
+            }
+            assert_eq!(got, want, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn scratch_state_pool_reuses_and_resets() {
+        let p = with_scratch_state(3, |sv| {
+            sv.apply_1q(&GateKind::X.matrix(&[]), 1);
+            sv.amplitudes().as_ptr() as usize
+        });
+        // Same width again: the pooled (dirtied) state must come back reset.
+        let (p2, ok) = with_scratch_state(3, |sv| {
+            (
+                sv.amplitudes().as_ptr() as usize,
+                sv.amplitudes()[0] == Complex64::ONE && sv.expectation_z(1) == 1.0,
+            )
+        });
+        assert_eq!(p, p2, "pool did not reuse the allocation");
+        assert!(ok, "pooled state was not reset to |0…0⟩");
+        // A different width allocates fresh without disturbing the pool.
+        let ez = with_scratch_state(1, |sv| sv.expectation_z(0));
+        assert_eq!(ez, 1.0);
     }
 
     #[test]

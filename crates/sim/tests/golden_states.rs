@@ -1,0 +1,171 @@
+//! Golden analytic-state tests: hand-derived amplitudes for canonical
+//! entangled states and rotations, pinned so a kernel sign or phase error
+//! cannot hide behind probability-level checks.
+//!
+//! Every state is checked through the fused pipeline (`StatevectorSimulator`
+//! runs it) and amplitude-by-amplitude where the phase convention is fixed;
+//! `approx_eq_up_to_phase` covers the cases where only the ray matters.
+
+use std::f64::consts::{FRAC_1_SQRT_2, FRAC_PI_2};
+
+use qoc_sim::circuit::{Circuit, ParamValue};
+use qoc_sim::complex::{c64, Complex64};
+use qoc_sim::gates::GateKind;
+use qoc_sim::simulator::StatevectorSimulator;
+use qoc_sim::statevector::Statevector;
+
+const TOL: f64 = 1e-12;
+
+fn assert_amplitudes(sv: &Statevector, want: &[Complex64]) {
+    assert_eq!(sv.amplitudes().len(), want.len());
+    for (i, (g, w)) in sv.amplitudes().iter().zip(want).enumerate() {
+        assert!(g.approx_eq(*w, TOL), "amplitude {i}: got {g}, want {w}");
+    }
+}
+
+#[test]
+fn bell_state_amplitudes() {
+    let mut c = Circuit::new(2);
+    c.h(0);
+    c.cx(0, 1);
+    let sv = StatevectorSimulator::new().run(&c, &[]);
+    let r = c64(FRAC_1_SQRT_2, 0.0);
+    let o = Complex64::ZERO;
+    assert_amplitudes(&sv, &[r, o, o, r]);
+}
+
+#[test]
+fn ghz_state_amplitudes() {
+    let mut c = Circuit::new(3);
+    c.h(0);
+    c.cx(0, 1);
+    c.cx(1, 2);
+    let sv = StatevectorSimulator::new().run(&c, &[]);
+    let r = c64(FRAC_1_SQRT_2, 0.0);
+    let mut want = vec![Complex64::ZERO; 8];
+    want[0] = r;
+    want[7] = r;
+    assert_amplitudes(&sv, &want);
+}
+
+#[test]
+fn w_state_amplitudes() {
+    // |W⟩ = (|001⟩ + |010⟩ + |100⟩)/√3 built from RY/CRY/CX:
+    //   RY on q2 splits off 1/√3 of the weight, CRY(π/2) splits the
+    //   remainder across q1, X/CX route each branch onto a distinct
+    //   one-hot bitstring.
+    let inv_sqrt3 = 1.0 / 3f64.sqrt();
+    let mut c = Circuit::new(3);
+    c.ry(2, 2.0 * inv_sqrt3.asin());
+    c.x(2);
+    c.push(GateKind::Cry, &[2, 1], &[ParamValue::Const(FRAC_PI_2)]);
+    c.x(2);
+    c.x(0);
+    c.cx(1, 0);
+    c.cx(2, 0);
+    let sv = StatevectorSimulator::new().run(&c, &[]);
+    let r = c64(inv_sqrt3, 0.0);
+    let o = Complex64::ZERO;
+    // Exactly |001⟩, |010⟩, |100⟩ — indices 1, 2, 4 — with +real weights.
+    assert_amplitudes(&sv, &[o, r, r, o, r, o, o, o]);
+}
+
+#[test]
+fn ry_rotation_amplitudes() {
+    // RY(θ)|0⟩ = cos(θ/2)|0⟩ + sin(θ/2)|1⟩ — real entries, sign convention
+    // pinned (an RY kernel with s negated would pass probability checks).
+    for theta in [0.0, 0.3, -0.7, 2.1, 3.9, -3.2] {
+        let mut c = Circuit::new(1);
+        c.ry(0, theta);
+        let sv = StatevectorSimulator::new().run(&c, &[]);
+        let want = [c64((theta / 2.0).cos(), 0.0), c64((theta / 2.0).sin(), 0.0)];
+        assert_amplitudes(&sv, &want);
+    }
+}
+
+#[test]
+fn rz_global_phase_convention() {
+    // RZ(θ) = diag(e^{−iθ/2}, e^{+iθ/2}): acting on |0⟩ it contributes a
+    // *physical* −θ/2 phase on the amplitude, not the identity.
+    for theta in [0.4, -1.3, 2.9] {
+        let mut c = Circuit::new(1);
+        c.rz(0, theta);
+        let sv = StatevectorSimulator::new().run(&c, &[]);
+        assert_amplitudes(&sv, &[Complex64::cis(-theta / 2.0), Complex64::ZERO]);
+    }
+}
+
+#[test]
+fn rz_equals_phase_up_to_global_phase() {
+    // RZ(θ) and Phase(θ) differ by the global factor e^{−iθ/2} only.
+    for theta in [0.4, -1.3, 2.9] {
+        let mut a = Circuit::new(1);
+        a.h(0);
+        a.rz(0, theta);
+        let mut b = Circuit::new(1);
+        b.h(0);
+        b.push(GateKind::Phase, &[0], &[ParamValue::Const(theta)]);
+        let sim = StatevectorSimulator::new();
+        let sa = sim.run(&a, &[]);
+        let sb = sim.run(&b, &[]);
+        assert!(sa.approx_eq_up_to_phase(&sb, TOL));
+        // And the relative phase is exactly e^{−iθ/2} on every amplitude.
+        for (x, y) in sa.amplitudes().iter().zip(sb.amplitudes()) {
+            assert!(x.approx_eq(Complex64::cis(-theta / 2.0) * *y, TOL));
+        }
+    }
+}
+
+#[test]
+fn hadamard_signs() {
+    // H|1⟩ = (|0⟩ − |1⟩)/√2: the −1 entry is where a lazy kernel slips.
+    let mut c = Circuit::new(1);
+    c.x(0);
+    c.h(0);
+    let sv = StatevectorSimulator::new().run(&c, &[]);
+    assert_amplitudes(&sv, &[c64(FRAC_1_SQRT_2, 0.0), c64(-FRAC_1_SQRT_2, 0.0)]);
+}
+
+/// Pinned state vector of one full QNN layer (RY data layer → RZZ ring →
+/// trainable RY layer, the mnist2 ansatz shape) at a fixed binding.
+///
+/// Amplitudes were generated once from the generic dense-matrix oracle
+/// (`run_reference`) and hard-coded; the fused pipeline must reproduce them
+/// exactly (≤ 1e-12), catching any regression in kernel classification,
+/// fusion ordering, or diagonal commutation on this real workload.
+#[test]
+fn pinned_qnn_layer_state() {
+    let mut c = Circuit::new(4);
+    for q in 0..4 {
+        c.ry(q, 0.4 + q as f64 * 0.2);
+    }
+    for q in 0..4 {
+        c.rzz(q, (q + 1) % 4, ParamValue::sym(q));
+    }
+    for q in 0..4 {
+        c.ry(q, ParamValue::sym(4 + q));
+    }
+    let theta = [0.3, -0.2, 0.8, 0.1, 0.5, -0.6, 0.9, 0.0];
+    let want = [
+        c64(0.4421836807729275, -0.337276890858735),
+        c64(0.2323257496026623, -0.1214509165690787),
+        c64(0.0170486647089945, 0.0035484567053150),
+        c64(-0.0031695703467658, -0.0179033139483632),
+        c64(0.5504178572435738, -0.121110339445979),
+        c64(0.2668192493404603, -0.0112935800957176),
+        c64(-0.0092571308148668, 0.0494819508666551),
+        c64(-0.0050424303276341, 0.0015713629915896),
+        c64(0.2687937226528308, 0.1785881202108415),
+        c64(0.1218581532654549, 0.0949415379206556),
+        c64(-0.0093137279790356, 0.0019385307332165),
+        c64(0.0017315441721732, -0.0097806249864459),
+        c64(0.2859104870513091, -0.0128625799262993),
+        c64(0.1377109752793009, 0.0036601558064862),
+        c64(0.0050571936129714, 0.0270321129607818),
+        c64(0.0027546922428503, 0.0008584395147538),
+    ];
+    let sim = StatevectorSimulator::new();
+    assert_amplitudes(&sim.run(&c, &theta), &want);
+    // The oracle itself must also still match its own pinned output.
+    assert_amplitudes(&sim.run_reference(&c, &theta), &want);
+}

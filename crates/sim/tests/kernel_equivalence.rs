@@ -1,0 +1,213 @@
+//! Differential tests locking the specialized-kernel and fused execution
+//! paths to the generic dense-matrix oracle
+//! ([`StatevectorSimulator::run_reference`]): random circuits over every
+//! `GateKind`, random symbolic bindings, non-adjacent and reversed qubit
+//! pairs — amplitude-by-amplitude agreement to ≤ 1e-12.
+
+use proptest::prelude::*;
+
+use qoc_sim::circuit::{Circuit, ParamValue};
+use qoc_sim::fusion::FusedProgram;
+use qoc_sim::gates::{GateKind, ALL_GATES};
+use qoc_sim::kernels::Kernel;
+use qoc_sim::simulator::StatevectorSimulator;
+use qoc_sim::statevector::Statevector;
+
+const TOL: f64 = 1e-12;
+
+fn arb_gate() -> impl Strategy<Value = GateKind> {
+    (0..ALL_GATES.len()).prop_map(|i| ALL_GATES[i])
+}
+
+/// A random circuit on `n` qubits whose angles are a random mix of constants
+/// and affine symbol references into a 4-entry `θ`.
+fn arb_symbolic_circuit(n: usize, max_ops: usize) -> impl Strategy<Value = Circuit> {
+    let param = (
+        0usize..2,
+        0usize..4,
+        -2.0f64..2.0,
+        -1.0f64..1.0,
+        -3.0f64..3.0,
+    )
+        .prop_map(|(kind, index, scale, offset, konst)| {
+            if kind == 0 {
+                ParamValue::Const(konst)
+            } else {
+                ParamValue::Sym {
+                    index,
+                    scale,
+                    offset,
+                }
+            }
+        });
+    let op = (
+        arb_gate(),
+        0..n,
+        1..n.max(2),
+        proptest::collection::vec(param, 3),
+    );
+    proptest::collection::vec(op, 1..max_ops).prop_map(move |ops| {
+        let mut c = Circuit::new(n);
+        for (gate, a, off, params) in ops {
+            let qubits: Vec<usize> = if gate.num_qubits() == 1 {
+                vec![a]
+            } else {
+                vec![a, (a + off) % n]
+            };
+            if qubits.len() == 2 && qubits[0] == qubits[1] {
+                continue;
+            }
+            c.push(gate, &qubits, &params[..gate.num_params()]);
+        }
+        c
+    })
+}
+
+/// Runs the circuit op-by-op through unfused specialized kernels.
+fn run_kernels(c: &Circuit, theta: &[f64]) -> Statevector {
+    let mut sv = Statevector::zero_state(c.num_qubits());
+    for op in c.ops() {
+        sv.apply_kernel(&Kernel::from_operation(op, theta));
+    }
+    sv
+}
+
+fn assert_amplitudes_match(got: &Statevector, want: &Statevector, label: &str) {
+    for (i, (g, w)) in got.amplitudes().iter().zip(want.amplitudes()).enumerate() {
+        assert!(
+            g.approx_eq(*w, TOL),
+            "{label}: amplitude {i} diverged: {g} vs {w}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Fused execution ≡ dense oracle on random symbolic circuits.
+    #[test]
+    fn fused_matches_reference(
+        c in arb_symbolic_circuit(4, 24),
+        theta in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let got = FusedProgram::compile(&c).run(&theta);
+        let want = StatevectorSimulator::new().run_reference(&c, &theta);
+        for (i, (g, w)) in got.amplitudes().iter().zip(want.amplitudes()).enumerate() {
+            prop_assert!(g.approx_eq(*w, TOL), "amplitude {} diverged: {} vs {}", i, g, w);
+        }
+    }
+
+    /// Unfused specialized kernels ≡ dense oracle, op by op.
+    #[test]
+    fn kernels_match_reference(
+        c in arb_symbolic_circuit(5, 20),
+        theta in proptest::collection::vec(-3.0f64..3.0, 4),
+    ) {
+        let got = run_kernels(&c, &theta);
+        let want = StatevectorSimulator::new().run_reference(&c, &theta);
+        for (i, (g, w)) in got.amplitudes().iter().zip(want.amplitudes()).enumerate() {
+            prop_assert!(g.approx_eq(*w, TOL), "amplitude {} diverged: {} vs {}", i, g, w);
+        }
+    }
+
+    /// Re-binding one compiled program across many θ matches per-θ oracle
+    /// runs (the parameter-shift engine's usage pattern).
+    #[test]
+    fn compiled_program_rebinds_correctly(
+        thetas in proptest::collection::vec(proptest::collection::vec(-3.0f64..3.0, 4), 1..5),
+    ) {
+        let mut c = Circuit::new(3);
+        c.ry(0, ParamValue::sym(0));
+        c.rz(0, ParamValue::sym(1));
+        c.rzz(0, 1, ParamValue::sym(2));
+        c.cx(1, 2);
+        c.rx(2, ParamValue::sym(3));
+        c.ry(0, ParamValue::Sym { index: 0, scale: -1.0, offset: 0.5 });
+        let prog = FusedProgram::compile(&c);
+        let sim = StatevectorSimulator::new();
+        for theta in &thetas {
+            let got = prog.run(theta);
+            let want = sim.run_reference(&c, theta);
+            for (g, w) in got.amplitudes().iter().zip(want.amplitudes()) {
+                prop_assert!(g.approx_eq(*w, TOL));
+            }
+        }
+    }
+}
+
+/// Every two-qubit gate on non-adjacent and reversed wire orderings, with a
+/// non-trivial entangled pre-state, against the oracle.
+#[test]
+fn two_qubit_placements_exhaustive() {
+    let placements: &[(usize, usize)] = &[(0, 1), (1, 0), (0, 3), (3, 0), (1, 3), (2, 0)];
+    for &g in ALL_GATES {
+        if g.num_qubits() != 2 {
+            continue;
+        }
+        for &(a, b) in placements {
+            let mut c = Circuit::new(4);
+            for q in 0..4 {
+                c.ry(q, 0.3 + 0.4 * q as f64);
+            }
+            c.h(2);
+            c.cx(0, 2);
+            let params: Vec<ParamValue> = (0..g.num_params())
+                .map(|k| ParamValue::Const(0.9 - 0.5 * k as f64))
+                .collect();
+            c.push(g, &[a, b], &params);
+            let fused = FusedProgram::compile(&c).run(&[]);
+            let kernels = run_kernels(&c, &[]);
+            let want = StatevectorSimulator::new().run_reference(&c, &[]);
+            assert_amplitudes_match(&fused, &want, &format!("fused {g} on ({a},{b})"));
+            assert_amplitudes_match(&kernels, &want, &format!("kernels {g} on ({a},{b})"));
+        }
+    }
+}
+
+/// Every single-qubit gate at every wire of a 3-qubit register.
+#[test]
+fn single_qubit_placements_exhaustive() {
+    for &g in ALL_GATES {
+        if g.num_qubits() != 1 {
+            continue;
+        }
+        for q in 0..3 {
+            let mut c = Circuit::new(3);
+            c.h(0);
+            c.cx(0, 1);
+            c.ry(2, 0.8);
+            let params: Vec<ParamValue> = (0..g.num_params())
+                .map(|k| ParamValue::Const(-1.1 + 0.7 * k as f64))
+                .collect();
+            c.push(g, &[q], &params);
+            let fused = FusedProgram::compile(&c).run(&[]);
+            let want = StatevectorSimulator::new().run_reference(&c, &[]);
+            assert_amplitudes_match(&fused, &want, &format!("fused {g} on {q}"));
+        }
+    }
+}
+
+/// The ±π/2-shifted bindings the parameter-shift rule executes agree with
+/// the oracle when run through one shared fused program.
+#[test]
+fn shifted_bindings_share_one_program() {
+    use std::f64::consts::FRAC_PI_2;
+    let mut c = Circuit::new(3);
+    c.ry(0, ParamValue::sym(0));
+    c.rzz(0, 1, ParamValue::sym(1));
+    c.rx(1, ParamValue::sym(2));
+    c.cx(1, 2);
+    c.ry(2, ParamValue::sym(3));
+    let prog = FusedProgram::compile(&c);
+    let sim = StatevectorSimulator::new();
+    let base = [0.4, -0.9, 1.3, 0.2];
+    for i in 0..base.len() {
+        for sign in [1.0, -1.0] {
+            let mut theta = base;
+            theta[i] += sign * FRAC_PI_2;
+            let got = prog.run(&theta);
+            let want = sim.run_reference(&c, &theta);
+            assert_amplitudes_match(&got, &want, &format!("shift {i} sign {sign}"));
+        }
+    }
+}

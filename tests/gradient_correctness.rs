@@ -117,6 +117,106 @@ fn device_gradients_correlate_with_exact() {
 }
 
 #[test]
+fn sample_counts_pass_chi_squared_goodness_of_fit() {
+    // The shot sampler must actually draw from the statevector's Born
+    // distribution: chi-squared goodness-of-fit at 1024 shots over all 8
+    // bins of a near-uniform 3-qubit state, across several seeds.
+    let mut c = Circuit::new(3);
+    for q in 0..3 {
+        c.h(q);
+        c.ry(q, 0.15 * (q as f64 + 1.0));
+    }
+    let sv = StatevectorSimulator::new().run(&c, &[]);
+    let probs = sv.probabilities();
+    let shots = 1024u32;
+    // df = 8 − 1 = 7; χ²₀.₉₉₉(7) ≈ 24.32. Seeds are fixed, so this is a
+    // deterministic regression test, not a flaky statistical one.
+    let critical = 24.32;
+    for seed in [0u64, 1, 2, 3, 4] {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = sv.sample_counts(shots, &mut rng);
+        let mut chi2 = 0.0;
+        for (bin, p) in probs.iter().enumerate() {
+            let expected = p * shots as f64;
+            let observed = counts.get(&bin).copied().unwrap_or(0) as f64;
+            chi2 += (observed - expected).powi(2) / expected;
+        }
+        assert!(
+            chi2 < critical,
+            "seed {seed}: χ² = {chi2:.2} exceeds {critical}"
+        );
+    }
+}
+
+#[test]
+fn resampling_is_bit_identical_across_worker_counts() {
+    // Per-job seed streams mean a shot-sampled Jacobian depends only on the
+    // master seed, never on how jobs are spread over workers — and the exact
+    // Jacobian through the fused kernel path matches the dense-matrix oracle
+    // applied to the shift rule by hand, at every worker count.
+    let model = QnnModel::mnist2();
+    let backend = NoiselessBackend::new();
+    let params: Vec<f64> = (0..model.num_params())
+        .map(|k| 0.4 - 0.11 * k as f64)
+        .collect();
+    let input = vec![0.9; 16];
+    let theta = model.symbol_vector(&params, &input);
+
+    let shot_jacobians: Vec<_> = [1usize, 2, 8]
+        .iter()
+        .map(|&w| {
+            ParameterShiftEngine::new(
+                &backend,
+                model.circuit(),
+                model.num_params(),
+                Execution::Shots(1024),
+            )
+            .with_workers(w)
+            .jacobian(&theta, 7)
+        })
+        .collect();
+    assert_eq!(shot_jacobians[0], shot_jacobians[1], "1 vs 2 workers");
+    assert_eq!(shot_jacobians[0], shot_jacobians[2], "1 vs 8 workers");
+
+    // Oracle Jacobian: ±π/2 shifts run through `run_reference` (the old
+    // generic dense-matrix path) — the fused engine must agree to ≤ 1e-12.
+    let sim = StatevectorSimulator::new();
+    let oracle: Vec<Vec<f64>> = (0..model.num_params())
+        .map(|i| {
+            let mut plus = theta.clone();
+            plus[i] += std::f64::consts::FRAC_PI_2;
+            let mut minus = theta.clone();
+            minus[i] -= std::f64::consts::FRAC_PI_2;
+            let ep = sim
+                .run_reference(model.circuit(), &plus)
+                .expectation_all_z();
+            let em = sim
+                .run_reference(model.circuit(), &minus)
+                .expectation_all_z();
+            ep.iter().zip(&em).map(|(p, m)| 0.5 * (p - m)).collect()
+        })
+        .collect();
+    for &w in &[1usize, 2, 8] {
+        let exact = ParameterShiftEngine::new(
+            &backend,
+            model.circuit(),
+            model.num_params(),
+            Execution::Exact,
+        )
+        .with_workers(w)
+        .jacobian(&theta, 7);
+        for (i, (row, want)) in exact.iter().zip(&oracle).enumerate() {
+            for (j, (a, b)) in row.iter().zip(want).enumerate() {
+                assert!(
+                    (a - b).abs() <= 1e-12,
+                    "{w} workers: J[{i}][{j}] fused {a} vs oracle {b}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
 fn loss_decreases_along_negative_gradient() {
     let model = QnnModel::vowel4();
     let backend = NoiselessBackend::new();
