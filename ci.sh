@@ -10,7 +10,7 @@
 set -uo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt clippy build test kernel-equivalence trace-validate determinism fault-soak bench-smoke)
+ALL_STAGES=(fmt clippy build test kernel-equivalence trace-validate analyze determinism fault-soak bench-smoke)
 
 stage_fmt() {
     cargo fmt --all -- --check
@@ -43,6 +43,23 @@ stage_trace_validate() {
     # validate_trace exits 2 when the trace/manifest never appeared and 1 on
     # schema violations — its stderr names the offending line either way.
     cargo run --offline --release -p qoc-bench --bin validate_trace results/ci_trace.jsonl
+}
+
+stage_analyze() {
+    # Offline analysis of a traced PGP run: qoc-analyze rebuilds the span
+    # forest and exits 1 unless the trace has spans, the prune.efficacy
+    # recall curve is present, the per-batch device-time deltas reconcile
+    # with the manifest to the nanosecond, and the measured run savings is
+    # within tolerance of the paper's r·w_p/(w_a+w_p).
+    QOC_TRACE_FILE=results/ci_analyze.jsonl \
+        cargo run --offline --release --example traced_training > /dev/null
+    cargo run --offline --release -p qoc-bench --bin qoc-analyze -- \
+        results/ci_analyze.jsonl --savings-tolerance 0.05
+    # The collapsed-stack artifact must be non-empty (flamegraph input).
+    if ! [ -s results/ci_analyze.folded ]; then
+        echo "analyze: results/ci_analyze.folded is missing or empty" >&2
+        return 1
+    fi
 }
 
 stage_determinism() {

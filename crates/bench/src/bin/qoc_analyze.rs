@@ -1,0 +1,141 @@
+//! `qoc-analyze` — offline analysis of a traced run.
+//!
+//! Reads the `QOC_TRACE_FILE` JSONL trace plus its `.steps.jsonl` /
+//! `.evals.jsonl` / `.manifest.json` satellites and writes, next to the
+//! trace:
+//!
+//! - `<stem>.folded` — collapsed stacks for `flamegraph.pl` /
+//!   `inferno-flamegraph`;
+//! - `<stem>.analysis.md` — phase-time table, per-parameter gradient
+//!   health, and the PGP efficacy curve (also printed to stdout);
+//! - `<stem>.analysis.json` — the same report, machine-readable.
+//!
+//! Usage: `qoc-analyze [TRACE_FILE] [--savings-tolerance X] [--quiet]`
+//! (the trace defaults to `$QOC_TRACE_FILE`).
+//!
+//! Exit codes mirror `validate_trace` so CI can gate on them: **2** when an
+//! input file is missing, **1** when an artifact is malformed or a sanity
+//! gate fails (no spans, device-time mismatch, missing or out-of-tolerance
+//! pruning efficacy), **0** otherwise.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use qoc_bench::analyze::analyze_run;
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("qoc-analyze: {msg}");
+    ExitCode::from(1)
+}
+
+fn fail_missing(msg: &str) -> ExitCode {
+    eprintln!("qoc-analyze: missing input: {msg}");
+    ExitCode::from(2)
+}
+
+/// Reads a satellite that is allowed to be absent.
+fn read_optional(path: &Path) -> Result<Option<String>, String> {
+    match std::fs::read_to_string(path) {
+        Ok(t) => Ok(Some(t)),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(format!("cannot read {}: {e}", path.display())),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut trace_arg: Option<PathBuf> = None;
+    let mut tolerance = 0.05f64;
+    let mut quiet = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--savings-tolerance" => {
+                i += 1;
+                tolerance = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => return fail("--savings-tolerance needs a numeric value"),
+                };
+            }
+            "--quiet" => quiet = true,
+            flag if flag.starts_with("--") => {
+                return fail(&format!("unknown flag {flag:?}"));
+            }
+            path => trace_arg = Some(PathBuf::from(path)),
+        }
+        i += 1;
+    }
+    let trace_path =
+        match trace_arg.or_else(|| std::env::var("QOC_TRACE_FILE").ok().map(PathBuf::from)) {
+            Some(p) => p,
+            None => return fail_missing("no trace file given (argument or QOC_TRACE_FILE)"),
+        };
+
+    let trace_text = match std::fs::read_to_string(&trace_path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            return fail_missing(&format!(
+                "trace {} does not exist (did the traced run start?)",
+                trace_path.display()
+            ))
+        }
+        Err(e) => return fail(&format!("cannot read {}: {e}", trace_path.display())),
+    };
+    let satellites = (
+        read_optional(&trace_path.with_extension("steps.jsonl")),
+        read_optional(&trace_path.with_extension("evals.jsonl")),
+        read_optional(&trace_path.with_extension("manifest.json")),
+    );
+    let (steps_text, evals_text, manifest_text) = match satellites {
+        (Ok(s), Ok(e), Ok(m)) => (s, e, m),
+        (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return fail(&e),
+    };
+
+    let analysis = match analyze_run(
+        &trace_text,
+        steps_text.as_deref(),
+        evals_text.as_deref(),
+        manifest_text.as_deref(),
+    ) {
+        Ok(a) => a,
+        Err(e) => return fail(&format!("malformed: {e}")),
+    };
+
+    let folded_path = trace_path.with_extension("folded");
+    let md_path = trace_path.with_extension("analysis.md");
+    let json_path = trace_path.with_extension("analysis.json");
+    let folded = analysis.folded.join("\n") + "\n";
+    let markdown = analysis.to_markdown();
+    let json =
+        serde_json::to_string_pretty(&analysis.to_json()).expect("report serialization") + "\n";
+    for (path, body) in [
+        (&folded_path, &folded),
+        (&md_path, &markdown),
+        (&json_path, &json),
+    ] {
+        if let Err(e) = std::fs::write(path, body) {
+            return fail(&format!("cannot write {}: {e}", path.display()));
+        }
+    }
+
+    if !quiet {
+        print!("{markdown}");
+        println!();
+        println!(
+            "wrote {} / {} / {}",
+            folded_path.display(),
+            md_path.display(),
+            json_path.display()
+        );
+    }
+
+    let failures = analysis.sanity_failures(tolerance);
+    if failures.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("qoc-analyze: sanity: {f}");
+        }
+        ExitCode::from(1)
+    }
+}

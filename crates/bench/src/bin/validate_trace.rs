@@ -1,7 +1,10 @@
-//! Validates a telemetry trace produced under `QOC_TRACE_FILE`: every line
-//! must parse as a JSON object carrying the pinned schema keys, and the run
-//! manifest written next to the trace must report nonzero circuit-run
-//! counters. CI runs this after a short traced training run.
+//! Validates the artifacts of a traced run (`QOC_TRACE_FILE`): every trace
+//! line must satisfy the pinned JSONL schema (including the structured
+//! `grad.health` / `prune.efficacy` event payloads), the `.steps.jsonl` /
+//! `.evals.jsonl` satellites must match their record schemas, and the run
+//! manifest must report nonzero circuit-run counters. All schema contracts
+//! live in [`qoc_telemetry::schema`], shared with `qoc-analyze`. CI runs
+//! this after a short traced training run.
 //!
 //! Usage: `validate_trace [TRACE_FILE]` (defaults to `$QOC_TRACE_FILE`).
 //!
@@ -13,6 +16,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use qoc_telemetry::schema;
 use serde::Value;
 
 /// A file exists but its content violates the contract → exit 1.
@@ -27,61 +31,56 @@ fn fail_missing(msg: &str) -> ExitCode {
     ExitCode::from(2)
 }
 
-/// A manifest violation, classified for the right exit code.
-enum ManifestError {
+/// A violation, classified for the right exit code.
+enum FileError {
     Missing(String),
     Malformed(String),
 }
 
-/// Checks one trace line against the JSONL schema contract.
-fn check_line(line: &str, lineno: usize) -> Result<(), String> {
-    let value = serde_json::from_str(line)
-        .map_err(|e| format!("line {lineno}: not valid JSON ({e}): {line}"))?;
-    if value.as_object().is_none() {
-        return Err(format!("line {lineno}: not a JSON object: {line}"));
-    }
-    for key in ["ts", "kind", "level", "span", "thread", "fields"] {
-        if value.get(key).is_none() {
-            return Err(format!("line {lineno}: missing key {key:?}: {line}"));
+/// Validates one JSONL file line-by-line with `check`, returning the line
+/// count. Errors name the offending 1-based line.
+fn check_jsonl(
+    path: &Path,
+    what: &str,
+    check: impl Fn(&Value) -> Result<(), String>,
+) -> Result<usize, FileError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        let msg = format!("cannot read {what} {}: {e}", path.display());
+        if e.kind() == std::io::ErrorKind::NotFound {
+            FileError::Missing(msg)
+        } else {
+            FileError::Malformed(msg)
         }
-    }
-    let kind = value
-        .get("kind")
-        .and_then(Value::as_str)
-        .ok_or_else(|| format!("line {lineno}: kind is not a string"))?;
-    match kind {
-        "span" => {
-            if value.get("dur_ns").and_then(Value::as_u64).is_none() {
-                return Err(format!("line {lineno}: span without integer dur_ns"));
-            }
+    })?;
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
         }
-        "event" => {
-            if value.get("dur_ns").is_some() {
-                return Err(format!("line {lineno}: event carries dur_ns"));
-            }
-        }
-        other => return Err(format!("line {lineno}: unknown kind {other:?}")),
+        let value = serde_json::from_str(line).map_err(|e| {
+            FileError::Malformed(format!(
+                "{what} line {}: not valid JSON ({e}): {line}",
+                i + 1
+            ))
+        })?;
+        check(&value)
+            .map_err(|e| FileError::Malformed(format!("{what} line {}: {e}: {line}", i + 1)))?;
+        lines += 1;
     }
-    if value.get("ts").and_then(Value::as_u64).is_none() {
-        return Err(format!("line {lineno}: ts is not an unsigned integer"));
-    }
-    if value.get("fields").and_then(Value::as_object).is_none() {
-        return Err(format!("line {lineno}: fields is not an object"));
-    }
-    Ok(())
+    Ok(lines)
 }
 
 /// Checks the run manifest for nonzero circuit-run accounting.
-fn check_manifest(path: &Path) -> Result<(), ManifestError> {
+fn check_manifest(path: &Path) -> Result<(), FileError> {
     let text = std::fs::read_to_string(path).map_err(|e| {
         let msg = format!("cannot read manifest {}: {e}", path.display());
         if e.kind() == std::io::ErrorKind::NotFound {
-            ManifestError::Missing(msg)
+            FileError::Missing(msg)
         } else {
-            ManifestError::Malformed(msg)
+            FileError::Malformed(msg)
         }
     })?;
-    let malformed = ManifestError::Malformed;
+    let malformed = FileError::Malformed;
     let manifest = serde_json::from_str(&text)
         .map_err(|e| malformed(format!("manifest is not valid JSON: {e}")))?;
     let stats_runs = manifest
@@ -137,30 +136,59 @@ fn main() -> ExitCode {
     };
     let mut lines = 0usize;
     let mut spans = 0usize;
+    let mut health_events = 0usize;
+    let mut efficacy_events = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
-        if let Err(msg) = check_line(line, i + 1) {
-            return fail(&msg);
+        let value = match serde_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => return fail(&format!("line {}: not valid JSON ({e}): {line}", i + 1)),
+        };
+        // The shared schema also checks the structured grad.health /
+        // prune.efficacy payloads the analyzer depends on.
+        if let Err(msg) = schema::check_trace_record(&value) {
+            return fail(&format!("line {}: {msg}: {line}", i + 1));
         }
         lines += 1;
-        if line.contains("\"kind\":\"span\"") {
+        if value.get("kind").and_then(Value::as_str) == Some("span") {
             spans += 1;
+        }
+        match value.get("span").and_then(Value::as_str) {
+            Some("grad.health") => health_events += 1,
+            Some("prune.efficacy") => efficacy_events += 1,
+            _ => {}
         }
     }
     if lines == 0 {
         return fail("trace file is empty");
     }
     println!(
-        "trace ok: {} lines ({} spans) in {}",
+        "trace ok: {} lines ({} spans, {} grad.health, {} prune.efficacy) in {}",
         lines,
         spans,
+        health_events,
+        efficacy_events,
         trace_path.display()
     );
+    for (ext, what, check) in [
+        (
+            "steps.jsonl",
+            "steps satellite",
+            schema::check_step_record as fn(&Value) -> Result<(), String>,
+        ),
+        ("evals.jsonl", "evals satellite", schema::check_eval_record),
+    ] {
+        match check_jsonl(&trace_path.with_extension(ext), what, check) {
+            Ok(n) => println!("{what} ok: {n} records"),
+            Err(FileError::Missing(msg)) => return fail_missing(&msg),
+            Err(FileError::Malformed(msg)) => return fail(&msg),
+        }
+    }
     match check_manifest(&trace_path.with_extension("manifest.json")) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(ManifestError::Missing(msg)) => fail_missing(&msg),
-        Err(ManifestError::Malformed(msg)) => fail(&msg),
+        Err(FileError::Missing(msg)) => fail_missing(&msg),
+        Err(FileError::Malformed(msg)) => fail(&msg),
     }
 }

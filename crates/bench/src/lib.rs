@@ -4,6 +4,7 @@
 //! Criterion micro-benchmarks in `benches/`. Shared plumbing lives here:
 //! result-table formatting and JSON persistence under `results/`.
 
+pub mod analyze;
 pub mod suite;
 
 use std::fs;

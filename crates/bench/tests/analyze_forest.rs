@@ -1,0 +1,121 @@
+//! Round-trips a synthetic nested trace through the real telemetry sink and
+//! the analyzer's span-forest reconstruction: interleaved threads, a span
+//! that never closed (its guard was leaked, so no record was written), and
+//! the folded-stack output consumed by flamegraph tooling.
+
+use std::sync::Arc;
+
+use qoc_bench::analyze::{parse_trace, SpanForest};
+use qoc_telemetry::sink::JsonlSink;
+use qoc_telemetry::{install_for_test, span};
+
+#[test]
+fn span_forest_round_trips_a_nested_multithread_trace() {
+    let dir = std::env::temp_dir().join(format!("qoc-analyze-forest-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    let path = dir.join("forest.jsonl");
+    let sink = Arc::new(JsonlSink::create(&path).expect("create sink"));
+    let guard = install_for_test(vec![sink], Some(path.clone()));
+
+    // Main thread: outer { mid { inner } sibling } plus a span whose guard
+    // is leaked — it never emits a record, so its child must reattach to
+    // `outer` in the reconstructed forest.
+    {
+        let _outer = span!("outer", label = "root");
+        {
+            let _mid = span!("mid");
+            let _inner = span!("inner");
+        }
+        {
+            let _sibling = span!("sibling");
+        }
+        let lost = span!("lost");
+        {
+            let _orphan = span!("orphan");
+        }
+        // Simulates a crash mid-span: the guard never drops, no record.
+        std::mem::forget(lost);
+    }
+    // A second thread interleaves its own tree into the same sink.
+    std::thread::spawn(|| {
+        let _worker = span!("worker");
+        let _task = span!("task");
+    })
+    .join()
+    .expect("worker thread");
+    qoc_telemetry::flush();
+    drop(guard);
+
+    let text = std::fs::read_to_string(&path).expect("read trace");
+    let _ = std::fs::remove_dir_all(&dir);
+    let records = parse_trace(&text).expect("trace parses against the schema");
+    let forest = SpanForest::build(&records);
+
+    // `lost` never closed → 7 records, not 8.
+    assert_eq!(forest.span_count(), 7, "expected 7 closed spans");
+
+    let node = |name: &str| {
+        forest
+            .nodes
+            .iter()
+            .position(|n| n.name == name)
+            .unwrap_or_else(|| panic!("span {name:?} missing from forest"))
+    };
+    let parent_name = |name: &str| {
+        forest.nodes[node(name)]
+            .parent
+            .map(|p| forest.nodes[p].name.as_str())
+    };
+
+    // Nesting on the main thread, including the orphan's reattachment.
+    assert_eq!(parent_name("inner"), Some("mid"));
+    assert_eq!(parent_name("mid"), Some("outer"));
+    assert_eq!(parent_name("sibling"), Some("outer"));
+    assert_eq!(
+        parent_name("orphan"),
+        Some("outer"),
+        "child of the unclosed span must reattach to the nearest closed ancestor"
+    );
+    assert_eq!(parent_name("outer"), None);
+
+    // The second thread forms its own root; threads never mix.
+    assert_eq!(parent_name("task"), Some("worker"));
+    assert_eq!(parent_name("worker"), None);
+    let (t_main, t_worker) = (
+        forest.nodes[node("outer")].thread,
+        forest.nodes[node("worker")].thread,
+    );
+    assert_ne!(t_main, t_worker, "threads must be distinct");
+    assert_eq!(forest.roots.len(), 2);
+
+    // Folded stacks carry full thread-prefixed paths with self-time values.
+    let folded = forest.folded();
+    let stacks: Vec<&str> = folded
+        .iter()
+        .map(|l| l.rsplit_once(' ').expect("folded line has a value").0)
+        .collect();
+    for expected in [
+        format!("thread-{t_main};outer"),
+        format!("thread-{t_main};outer;mid"),
+        format!("thread-{t_main};outer;mid;inner"),
+        format!("thread-{t_main};outer;sibling"),
+        format!("thread-{t_main};outer;orphan"),
+        format!("thread-{t_worker};worker"),
+        format!("thread-{t_worker};worker;task"),
+    ] {
+        assert!(
+            stacks.contains(&expected.as_str()),
+            "missing folded stack {expected:?} in {stacks:?}"
+        );
+    }
+    // Self time never exceeds the span's own duration.
+    for line in &folded {
+        let (stack, ns) = line.rsplit_once(' ').unwrap();
+        let ns: u64 = ns.parse().unwrap_or_else(|_| panic!("bad value: {line}"));
+        let leaf = stack.rsplit(';').next().unwrap();
+        assert!(
+            ns <= forest.nodes[node(leaf)].dur_ns,
+            "self time exceeds duration for {stack}"
+        );
+    }
+}

@@ -33,6 +33,7 @@ use qoc_nn::model::QnnModel;
 use crate::checkpoint::{CheckpointConfig, TrainState, CHECKPOINT_SCHEMA_VERSION};
 use crate::eval::try_evaluate_params_prepared;
 use crate::grad::QnnGradientComputer;
+use crate::health::{GradientHealth, HealthConfig};
 use crate::optim::{OptimizerKind, OptimizerState};
 use crate::prune::{
     DeterministicPruner, NoPruning, ProbabilisticPruner, PruneConfig, Pruner, PrunerState,
@@ -455,6 +456,17 @@ fn train_impl(
     );
     let mut prev_inferences = steps.last().map_or(0, |s: &StepRecord| s.inferences);
 
+    // Gradient-health diagnostics ride the telemetry gate: with tracing off
+    // this stays `None` and the loop pays one relaxed load per step.
+    let mut health = if qoc_telemetry::enabled() {
+        Some(GradientHealth::new(
+            n,
+            HealthConfig::new(config.batch_size, pruner.savings()),
+        ))
+    } else {
+        None
+    };
+
     for step in start_step..config.steps {
         // Captured before the step consumes RNG draws or mutates anything,
         // so a failure anywhere in the step can checkpoint a state that
@@ -502,6 +514,9 @@ fn train_impl(
                 }
             };
         pruner.record(&result.grad);
+        if let Some(h) = health.as_mut() {
+            h.observe_step(step, &selection, &result.grad, &result.grad_var);
+        }
         optimizer.step(&mut params, &result.grad, lr, subset.as_deref());
 
         let inferences = base.circuits + backend.stats().circuits_run;
@@ -623,6 +638,9 @@ fn train_impl(
                 }
             }
         }
+    }
+    if let Some(h) = health.as_mut() {
+        h.finish();
     }
     drop(run_span);
 

@@ -30,6 +30,15 @@ pub struct BatchGradient {
     pub loss: f64,
     /// Mean gradient `∂L/∂θ`; entries outside the evaluated subset are 0.
     pub grad: Vec<f64>,
+    /// Shot-noise variance of each `grad` entry under the finite-shot
+    /// binomial model, propagated from the Jacobian through the (treated
+    /// as exact) head backprop weights:
+    /// `Var(∂L/∂θᵢ) = (1/B²)·Σₑ Σ_q w²_{eq}·Var(J_{eqi})` with
+    /// `w_{eq} = ∂L/∂⟨Z_q⟩` for example `e`. All zeros under
+    /// [`Execution::Exact`] and outside the evaluated subset. First-order:
+    /// ignores the (same-order-suppressed) noise in the head weights
+    /// themselves.
+    pub grad_var: Vec<f64>,
     /// Per-example logits (for accuracy bookkeeping).
     pub logits: Vec<Vec<f64>>,
 }
@@ -145,10 +154,15 @@ impl<'a> QnnGradientComputer<'a> {
 
         // Classical stages: backprop through the head and dot with the rows.
         let mut grad = vec![0.0; n_params];
+        let mut grad_var = vec![0.0; n_params];
         let mut total_loss = 0.0;
         let mut all_logits = Vec::with_capacity(batch.len());
         let scale = 1.0 / batch.len() as f64;
         let num_qubits = self.model.num_qubits();
+        let shots = match self.engine.execution() {
+            Execution::Shots(s) => Some(s),
+            Execution::Exact => None,
+        };
         for (&(_, target), (forward_idx, plan)) in batch.iter().zip(&layout) {
             let expectations = &results[*forward_idx];
             let logits = self.model.logits_from_expectations(expectations);
@@ -156,10 +170,25 @@ impl<'a> QnnGradientComputer<'a> {
             let grad_expectations = self.model.head().backward(&grad_logits, num_qubits);
             total_loss += loss;
 
-            let jac = plan.assemble(&results[forward_idx + 1..forward_idx + 1 + plan.num_jobs()]);
+            let shifted = &results[forward_idx + 1..forward_idx + 1 + plan.num_jobs()];
+            let jac = plan.assemble(shifted);
             for (row, &param_idx) in jac.iter().zip(&indices) {
                 let dot: f64 = row.iter().zip(&grad_expectations).map(|(j, g)| j * g).sum();
                 grad[param_idx] += scale * dot;
+            }
+            if shots.is_some() {
+                // Shot-noise propagation: independent Jacobian entries, so
+                // the weighted sum's variance is the w²-weighted sum of
+                // entry variances, and the batch mean divides by B² (scale²).
+                let variances = plan.row_variances(shifted, shots);
+                for (var_row, &param_idx) in variances.iter().zip(&indices) {
+                    let v: f64 = var_row
+                        .iter()
+                        .zip(&grad_expectations)
+                        .map(|(var, g)| g * g * var)
+                        .sum();
+                    grad_var[param_idx] += scale * scale * v;
+                }
             }
             all_logits.push(logits);
         }
@@ -174,6 +203,7 @@ impl<'a> QnnGradientComputer<'a> {
         Ok(BatchGradient {
             loss: mean_loss,
             grad,
+            grad_var,
             logits: all_logits,
         })
     }
@@ -285,6 +315,57 @@ mod tests {
         let batch: Vec<(&[f64], usize)> = vec![(input.as_slice(), 0), (input.as_slice(), 1)];
         let _ = computer.batch_gradient(&params, &batch, Some(&[0, 2, 4]), 4);
         assert_eq!(backend.stats().circuits_run, 2 * (1 + 2 * 3));
+    }
+
+    #[test]
+    fn grad_var_is_zero_exact_and_predictive_under_shots() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let params = vec![0.25; 8];
+        let input = vec![0.3; 16];
+        let batch: Vec<(&[f64], usize)> = vec![(input.as_slice(), 0)];
+
+        // Exact execution: no shot noise, σ̂² ≡ 0.
+        let exact = QnnGradientComputer::new(&model, &backend, Execution::Exact)
+            .batch_gradient(&params, &batch, None, 1);
+        assert!(exact.grad_var.iter().all(|&v| v == 0.0));
+
+        // Finite shots: positive on the evaluated subset, zero elsewhere.
+        let computer = QnnGradientComputer::new(&model, &backend, Execution::Shots(256));
+        let sub = computer.batch_gradient(&params, &batch, Some(&[1, 5]), 1);
+        for i in 0..8 {
+            if i == 1 || i == 5 {
+                assert!(sub.grad_var[i] > 0.0, "σ̂²[{i}] should be positive");
+            } else {
+                assert_eq!(sub.grad_var[i], 0.0, "frozen param {i} must have σ̂²=0");
+            }
+        }
+
+        // Calibration: the empirical variance of each gradient entry over
+        // independent shot streams must be on the order of the predicted
+        // σ̂² (factor-of-3 band — 48 samples of a variance estimate).
+        let n_runs = 48;
+        let mut samples: Vec<Vec<f64>> = vec![Vec::new(); 8];
+        let mut predicted = [0.0; 8];
+        for seed in 0..n_runs as u64 {
+            let g = computer.batch_gradient(&params, &batch, None, 1000 + seed);
+            for (i, s) in samples.iter_mut().enumerate() {
+                s.push(g.grad[i]);
+            }
+            for (p, v) in predicted.iter_mut().zip(&g.grad_var) {
+                *p += v / n_runs as f64;
+            }
+        }
+        for i in 0..8 {
+            let mean = samples[i].iter().sum::<f64>() / n_runs as f64;
+            let empirical =
+                samples[i].iter().map(|g| (g - mean).powi(2)).sum::<f64>() / (n_runs - 1) as f64;
+            assert!(
+                empirical < 3.0 * predicted[i] && empirical > predicted[i] / 3.0,
+                "param {i}: empirical Var {empirical:.3e} vs predicted σ̂² {:.3e}",
+                predicted[i]
+            );
+        }
     }
 
     #[test]

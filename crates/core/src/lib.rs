@@ -46,6 +46,7 @@ pub mod checkpoint;
 pub mod engine;
 pub mod eval;
 pub mod grad;
+pub mod health;
 pub mod optim;
 pub mod prune;
 pub mod sched;

@@ -116,6 +116,48 @@ impl JacobianPlan {
             })
             .collect()
     }
+
+    /// Shot-noise variance of each assembled Jacobian entry under the
+    /// `shots`-shot binomial model (paper Section 3.3): a measured
+    /// expectation `f = ⟨Z⟩` estimated from `s` shots has
+    /// `Var(f) = (1 − f²)/s`, so a row entry
+    /// `Σ scale·½·(f₊ − f₋)` carries
+    /// `Σ scale²·¼·((1 − f₊²) + (1 − f₋²))/s` (the two shifted runs are
+    /// independent jobs). Shape matches [`Self::assemble`]'s output;
+    /// all-zero for exact (infinite-shot) execution, where `shots` is
+    /// `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is shorter than [`Self::num_jobs`].
+    pub fn row_variances(&self, results: &[Vec<f64>], shots: Option<u32>) -> Vec<Vec<f64>> {
+        assert!(
+            results.len() >= self.num_jobs,
+            "plan needs {} results, got {}",
+            self.num_jobs,
+            results.len()
+        );
+        let Some(shots) = shots else {
+            return vec![vec![0.0; self.num_outputs]; self.rows.len()];
+        };
+        let s = f64::from(shots.max(1));
+        self.rows
+            .iter()
+            .map(|terms| {
+                let mut row = vec![0.0; self.num_outputs];
+                for &(p, m, scale) in terms {
+                    for ((r, fp), fm) in row.iter_mut().zip(&results[p]).zip(&results[m]) {
+                        // Clamp against |f| > 1 (possible only through
+                        // numerical slop) so variances never go negative.
+                        let vp = (1.0 - fp * fp).max(0.0);
+                        let vm = (1.0 - fm * fm).max(0.0);
+                        *r += scale * scale * 0.25 * (vp + vm) / s;
+                    }
+                }
+                row
+            })
+            .collect()
+    }
 }
 
 /// Parameter-shift gradient engine bound to one backend + circuit template.
@@ -217,6 +259,11 @@ impl<'a> ParameterShiftEngine<'a> {
     /// The backend this engine drives.
     pub fn backend(&self) -> &dyn QuantumBackend {
         self.backend
+    }
+
+    /// The execution mode (exact vs finite shots) shifted jobs run under.
+    pub fn execution(&self) -> Execution {
+        self.execution
     }
 
     /// Number of trainable symbols.
@@ -590,6 +637,46 @@ mod tests {
         let _ = engine.jacobian(&[0.0; 5], 6);
         // 2 runs per parameter (all symbols are simple here).
         assert_eq!(backend.stats().circuits_run, 10);
+    }
+
+    #[test]
+    fn row_variances_follow_the_binomial_model() {
+        // ⟨Z⟩ = cos θ on a single RY qubit, so the shifted expectations are
+        // cos(θ±π/2) and each Jacobian entry's predicted shot variance is
+        // ¼·((1−f₊²)+(1−f₋²))/s — checked against the closed form here and
+        // against the all-zeros contract for exact execution.
+        let mut c = Circuit::new(1);
+        c.ry(0, ParamValue::sym(0));
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
+        let theta = [0.7];
+        let (jobs, plan) = engine.jacobian_jobs(&theta, None, 9);
+        let results = engine.run_batch(&jobs);
+
+        let exact = plan.row_variances(&results, None);
+        assert_eq!(exact, vec![vec![0.0]]);
+
+        let shots = 1024u32;
+        let noisy = plan.row_variances(&results, Some(shots));
+        let fp = (0.7 + FRAC_PI_2).cos();
+        let fm = (0.7 - FRAC_PI_2).cos();
+        let want = 0.25 * ((1.0 - fp * fp) + (1.0 - fm * fm)) / f64::from(shots);
+        assert!(
+            (noisy[0][0] - want).abs() < 1e-12,
+            "{} vs {want}",
+            noisy[0][0]
+        );
+        assert!(noisy[0][0] > 0.0);
+    }
+
+    #[test]
+    fn engine_exposes_its_execution_mode() {
+        let backend = NoiselessBackend::new();
+        let c = ansatz_circuit();
+        let e1 = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
+        assert_eq!(e1.execution(), Execution::Exact);
+        let e2 = ParameterShiftEngine::new(&backend, &c, 5, Execution::Shots(1024));
+        assert_eq!(e2.execution(), Execution::Shots(1024));
     }
 
     #[test]

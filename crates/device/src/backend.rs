@@ -75,6 +75,18 @@ pub struct ExecutionStats {
     pub estimated_device_seconds: f64,
 }
 
+impl ExecutionStats {
+    /// The estimated device time as the integer nanosecond count the
+    /// backend accumulated internally. Backends track whole nanoseconds
+    /// and only divide by 1e9 when reporting, so rounding the product
+    /// recovers the stored integer exactly (for totals under ~104 days)
+    /// — offline analysis relies on this to reconcile per-batch
+    /// `device_ns` deltas against the run total without float slop.
+    pub fn device_nanos(&self) -> u64 {
+        (self.estimated_device_seconds * 1e9).round() as u64
+    }
+}
+
 /// A circuit compiled for a particular backend, reusable across parameter
 /// bindings — the parameter-shift engine prepares once and runs 2·n times.
 #[derive(Debug, Clone)]
@@ -367,7 +379,7 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
         type JobOutcome = Result<Vec<f64>, (u32, JobError)>;
         let workers = workers.max(1).min(jobs.len());
         let policy = self.retry_policy();
-        let span = qoc_telemetry::span!(
+        let mut span = qoc_telemetry::span!(
             "device.batch",
             backend = self.name(),
             jobs = jobs.len(),
@@ -378,6 +390,10 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
             m.batches.inc();
             (m, Instant::now())
         });
+        // Snapshot the cumulative stats so the span can carry this batch's
+        // exact device-time and circuit deltas (they telescope to the run
+        // totals, which qoc-analyze checks to the nanosecond).
+        let before_stats = span.as_ref().map(|_| self.stats());
         let finish = |slots: Vec<Result<Vec<f64>, (u32, JobError)>>| -> BatchResult {
             let mut out = Vec::with_capacity(slots.len());
             for (i, slot) in slots.into_iter().enumerate() {
@@ -417,6 +433,17 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
             if let Some((m, _)) = &telemetry {
                 m.worker_jobs.record(jobs.len() as u64);
                 m.worker_busy_ns.record(busy_ns);
+            }
+            if let (Some(s), Some(before)) = (span.as_mut(), before_stats) {
+                let after = self.stats();
+                s.field(
+                    "circuits",
+                    after.circuits_run.saturating_sub(before.circuits_run),
+                );
+                s.field(
+                    "device_ns",
+                    after.device_nanos().saturating_sub(before.device_nanos()),
+                );
             }
             return finish(slots);
         }
@@ -463,6 +490,17 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
                 }
             }
         });
+        if let (Some(s), Some(before)) = (span.as_mut(), before_stats) {
+            let after = self.stats();
+            s.field(
+                "circuits",
+                after.circuits_run.saturating_sub(before.circuits_run),
+            );
+            s.field(
+                "device_ns",
+                after.device_nanos().saturating_sub(before.device_nanos()),
+            );
+        }
         finish(
             slots
                 .into_iter()

@@ -38,6 +38,9 @@
 #![warn(missing_debug_implementations)]
 
 pub mod metrics;
+pub mod quantile;
+pub mod schema;
+pub mod series;
 pub mod sink;
 
 use std::path::PathBuf;

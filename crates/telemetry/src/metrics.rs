@@ -19,6 +19,8 @@ use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::Serialize;
 
+use crate::quantile::{QuantileSnapshot, StreamingQuantile};
+
 /// A monotonically increasing `u64` counter.
 #[derive(Debug, Default)]
 pub struct Counter {
@@ -216,11 +218,16 @@ pub struct HistogramSnapshot {
 
 impl HistogramSnapshot {
     /// Bucket-resolution estimate of the `q`-quantile (`q ∈ [0, 1]`): the
-    /// upper bound of the bucket holding the quantile rank (the exact `max`
-    /// for the overflow bucket). Returns 0 for an empty histogram.
+    /// upper bound of the bucket holding the quantile rank, clamped into
+    /// the exactly-tracked `[min, max]` — so `q = 0` returns the recorded
+    /// minimum (not the first bucket's upper bound) and the overflow bucket
+    /// returns the exact `max`. Returns 0 for an empty histogram.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
+        }
+        if q <= 0.0 {
+            return self.min;
         }
         let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
         let mut seen = 0u64;
@@ -228,7 +235,7 @@ impl HistogramSnapshot {
             seen += c;
             if seen >= rank {
                 return if i < self.bounds.len() {
-                    self.bounds[i].min(self.max)
+                    self.bounds[i].clamp(self.min, self.max)
                 } else {
                     self.max
                 };
@@ -256,6 +263,8 @@ pub struct MetricsSnapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram states by name.
     pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Streaming-quantile summaries by name.
+    pub quantiles: BTreeMap<String, QuantileSnapshot>,
 }
 
 impl MetricsSnapshot {
@@ -268,6 +277,11 @@ impl MetricsSnapshot {
     pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
         self.histograms.get(name)
     }
+
+    /// Convenience quantile-estimator lookup.
+    pub fn quantile(&self, name: &str) -> Option<&QuantileSnapshot> {
+        self.quantiles.get(name)
+    }
 }
 
 /// A named collection of metrics. Handles are `Arc`s: look a metric up once
@@ -277,6 +291,7 @@ pub struct Registry {
     counters: Mutex<BTreeMap<String, Arc<Counter>>>,
     gauges: Mutex<BTreeMap<String, Arc<Gauge>>>,
     histograms: Mutex<BTreeMap<String, Arc<Histogram>>>,
+    quantiles: Mutex<BTreeMap<String, Arc<StreamingQuantile>>>,
 }
 
 impl Registry {
@@ -321,6 +336,17 @@ impl Registry {
         )
     }
 
+    /// Returns (registering on first use) the streaming-quantile estimator
+    /// `name`. The capacity applies on first registration; later callers
+    /// get the existing estimator unchanged.
+    pub fn quantile_estimator(&self, name: &str, capacity: usize) -> Arc<StreamingQuantile> {
+        let mut map = self.quantiles.lock().expect("metrics registry poisoned");
+        Arc::clone(
+            map.entry(name.to_string())
+                .or_insert_with(|| Arc::new(StreamingQuantile::new(capacity))),
+        )
+    }
+
     /// Snapshots every registered metric.
     pub fn snapshot(&self) -> MetricsSnapshot {
         MetricsSnapshot {
@@ -345,6 +371,13 @@ impl Registry {
                 .iter()
                 .map(|(k, v)| (k.clone(), v.snapshot()))
                 .collect(),
+            quantiles: self
+                .quantiles
+                .lock()
+                .expect("metrics registry poisoned")
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
         }
     }
 
@@ -359,6 +392,9 @@ impl Registry {
         }
         for h in self.histograms.lock().expect("poisoned").values() {
             h.reset();
+        }
+        for q in self.quantiles.lock().expect("poisoned").values() {
+            q.reset();
         }
     }
 }
@@ -404,12 +440,55 @@ mod tests {
         assert_eq!(s.buckets, vec![3, 2, 1, 1]);
         assert_eq!(s.min, 1);
         assert_eq!(s.max, 5000);
-        assert_eq!(s.quantile(0.0), 10);
+        // q = 0 is the exact recorded minimum, not the first bucket bound.
+        assert_eq!(s.quantile(0.0), 1);
         // Rank ceil(0.5·7)=4 lands in the second bucket (≤100).
         assert_eq!(s.quantile(0.5), 100);
         // The top sample lives in the overflow bucket: quantile = exact max.
         assert_eq!(s.quantile(1.0), 5000);
         assert!((s.mean() - (1.0 + 5.0 + 10.0 + 11.0 + 50.0 + 200.0 + 5000.0) / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_zero_returns_exact_min_and_estimates_clamp_to_range() {
+        // Regression for the q=0 bug: the rank walk used to return the
+        // first bucket's *upper bound* (100 here) for q=0.
+        let h = Histogram::new(&[100, 1000]);
+        for v in [40, 45, 50, 900] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.0), 40, "q=0 must be the recorded min");
+        // Low quantiles whose bucket bound sits below min clamp up to min:
+        // with all samples ≥ 40 no estimate may dip below it.
+        assert!(s.quantile(0.25) >= s.min);
+        assert_eq!(s.quantile(1.0), 900, "q=1 is the exact max");
+        // A single-sample histogram collapses every quantile to the sample.
+        let h1 = Histogram::new(&[100]);
+        h1.record(7);
+        let s1 = h1.snapshot();
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(s1.quantile(q), 7);
+        }
+    }
+
+    #[test]
+    fn registry_quantile_estimator_snapshots_and_resets() {
+        let reg = Registry::new();
+        let q = reg.quantile_estimator("test.snr", 128);
+        for i in 1..=100 {
+            q.record(i as f64);
+        }
+        // Same name returns the same estimator regardless of capacity.
+        assert_eq!(reg.quantile_estimator("test.snr", 4).count(), 100);
+        let snap = reg.snapshot();
+        let qs = snap.quantile("test.snr").expect("registered");
+        assert_eq!(qs.count, 100);
+        assert_eq!(qs.min, 1.0);
+        assert_eq!(qs.p50, 50.0);
+        assert_eq!(qs.max, 100.0);
+        reg.reset();
+        assert_eq!(reg.snapshot().quantile("test.snr").unwrap().count, 0);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Bounded time-series ring buffer.
+//!
+//! Gradient-health diagnostics want "the recent trajectory of X" — per-step
+//! gradient norms, SNRs, recall values — without unbounded growth over long
+//! runs. [`TimeSeries`] retains the most recent `capacity` `(index, value)`
+//! points in a fixed ring of paired atomic cells, so recording from
+//! instrumented code is lock-free and a long training run holds a bounded
+//! window regardless of step count.
+//!
+//! Unlike [`StreamingQuantile`](crate::quantile::StreamingQuantile) the
+//! points keep their x-coordinate (step number, window index, timestamp —
+//! any `u64` the caller chooses), so consumers can reconstruct an ordered
+//! curve, not just a distribution.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One retained point: an `x` coordinate (step, window, or timestamp) and a
+/// value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// The x-coordinate the producer chose (e.g. training step).
+    pub x: u64,
+    /// The recorded value.
+    pub y: f64,
+}
+
+/// A fixed-capacity ring of `(x, y)` points; recording overwrites the
+/// oldest point once full.
+///
+/// `push` is wait-free: one `fetch_add` on the write cursor plus two relaxed
+/// stores. A reader racing a writer can observe a point whose `x` and `y`
+/// come from different generations of the same slot; [`TimeSeries::points`]
+/// is meant for quiescent consumption (end of run, analyzer input), where
+/// the window is exact and ordered.
+#[derive(Debug)]
+pub struct TimeSeries {
+    xs: Vec<AtomicU64>,
+    ys: Vec<AtomicU64>,
+    head: AtomicU64,
+}
+
+impl TimeSeries {
+    /// Creates a series retaining the last `capacity` points.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "time series needs capacity ≥ 1");
+        TimeSeries {
+            xs: (0..capacity).map(|_| AtomicU64::new(0)).collect(),
+            ys: (0..capacity)
+                .map(|_| AtomicU64::new(0f64.to_bits()))
+                .collect(),
+            head: AtomicU64::new(0),
+        }
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Total points recorded (including ones that have left the window).
+    pub fn count(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Records one point (wait-free).
+    pub fn push(&self, x: u64, y: f64) {
+        let i = self.head.fetch_add(1, Ordering::Relaxed);
+        let slot = (i % self.xs.len() as u64) as usize;
+        self.xs[slot].store(x, Ordering::Relaxed);
+        self.ys[slot].store(y.to_bits(), Ordering::Relaxed);
+    }
+
+    /// The retained window in recording order (oldest retained point
+    /// first).
+    pub fn points(&self) -> Vec<Point> {
+        let count = self.count();
+        let cap = self.xs.len() as u64;
+        let len = count.min(cap);
+        let start = count - len; // absolute index of the oldest retained point
+        (start..count)
+            .map(|i| {
+                let slot = (i % cap) as usize;
+                Point {
+                    x: self.xs[slot].load(Ordering::Relaxed),
+                    y: f64::from_bits(self.ys[slot].load(Ordering::Relaxed)),
+                }
+            })
+            .collect()
+    }
+
+    /// The most recently recorded point, if any.
+    pub fn last(&self) -> Option<Point> {
+        let count = self.count();
+        if count == 0 {
+            return None;
+        }
+        let slot = ((count - 1) % self.xs.len() as u64) as usize;
+        Some(Point {
+            x: self.xs[slot].load(Ordering::Relaxed),
+            y: f64::from_bits(self.ys[slot].load(Ordering::Relaxed)),
+        })
+    }
+
+    /// Clears the series.
+    pub fn reset(&self) {
+        self.head.store(0, Ordering::Relaxed);
+        for (x, y) in self.xs.iter().zip(&self.ys) {
+            x.store(0, Ordering::Relaxed);
+            y.store(0f64.to_bits(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_capacity_preserves_everything_in_order() {
+        let ts = TimeSeries::new(8);
+        assert_eq!(ts.last(), None);
+        for i in 0..5u64 {
+            ts.push(i * 10, i as f64);
+        }
+        let pts = ts.points();
+        assert_eq!(pts.len(), 5);
+        assert_eq!(pts[0], Point { x: 0, y: 0.0 });
+        assert_eq!(pts[4], Point { x: 40, y: 4.0 });
+        assert_eq!(ts.last(), Some(Point { x: 40, y: 4.0 }));
+        assert_eq!(ts.count(), 5);
+        assert_eq!(ts.capacity(), 8);
+    }
+
+    #[test]
+    fn over_capacity_keeps_the_most_recent_window() {
+        let ts = TimeSeries::new(4);
+        for i in 0..10u64 {
+            ts.push(i, (i * i) as f64);
+        }
+        let pts = ts.points();
+        assert_eq!(pts.len(), 4);
+        // Steps 6..=9 survive, in order.
+        assert_eq!(
+            pts.iter().map(|p| p.x).collect::<Vec<_>>(),
+            vec![6, 7, 8, 9]
+        );
+        assert_eq!(pts[3].y, 81.0);
+        assert_eq!(ts.count(), 10);
+    }
+
+    #[test]
+    fn reset_empties_the_window() {
+        let ts = TimeSeries::new(2);
+        ts.push(1, 1.0);
+        ts.reset();
+        assert!(ts.points().is_empty());
+        assert_eq!(ts.count(), 0);
+        assert_eq!(ts.last(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_is_rejected() {
+        let _ = TimeSeries::new(0);
+    }
+}

@@ -84,21 +84,14 @@ fn pgp_trace_confirms_run_savings_ratio() {
     let result = train(&model, &backend, &toy_data(16), &toy_data(8), &config);
     qoc_telemetry::flush();
 
-    // Every trace line parses and carries the pinned schema keys.
+    // Every trace line parses and satisfies the pinned schema — including
+    // the structured grad.health / prune.efficacy payloads, which
+    // check_trace_record validates field-by-field.
     let records = parse_lines(&trace_path);
     assert!(!records.is_empty(), "trace is empty");
     for record in &records {
-        for key in ["ts", "kind", "level", "span", "thread", "fields"] {
-            assert!(record.get(key).is_some(), "missing {key:?} in {record:?}");
-        }
-        match record.get("kind").and_then(Value::as_str) {
-            Some("span") => assert!(
-                record.get("dur_ns").and_then(Value::as_u64).is_some(),
-                "span without dur_ns: {record:?}"
-            ),
-            Some("event") => assert!(record.get("dur_ns").is_none()),
-            other => panic!("unknown kind {other:?}"),
-        }
+        qoc_telemetry::schema::check_trace_record(record)
+            .unwrap_or_else(|e| panic!("schema violation ({e}) in {record:?}"));
     }
 
     // The instrumented layers all show up.
@@ -115,6 +108,8 @@ fn pgp_trace_confirms_run_savings_ratio() {
         "device.batch",
         "eval.dataset",
         "train.eval",
+        "grad.health",
+        "prune.efficacy",
     ] {
         assert!(
             span_names.contains(&expected),
@@ -149,6 +144,60 @@ fn pgp_trace_confirms_run_savings_ratio() {
         full_shift_runs,
         "shift-run savings is not exactly 1/3: {shift_runs} of {full_shift_runs}"
     );
+
+    // Gradient-health diagnostics: one grad.health event per evaluated
+    // parameter per step — 8+4+4 per stage, three stages.
+    let health_events: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("span").and_then(Value::as_str) == Some("grad.health"))
+        .collect();
+    assert_eq!(health_events.len(), 48, "(8+4+4)×3 grad.health events");
+    for event in &health_events {
+        // Exact execution: σ̂ is zero, so SNR is the documented cap (or 0
+        // for a zero gradient) — never Infinity, which JSON can't encode.
+        let sigma = event
+            .get("fields")
+            .and_then(|f| f.get("sigma"))
+            .and_then(Value::as_f64)
+            .expect("sigma field");
+        assert_eq!(sigma, 0.0, "exact execution has no shot noise");
+        let snr = event
+            .get("fields")
+            .and_then(|f| f.get("snr"))
+            .and_then(Value::as_f64)
+            .expect("snr field");
+        assert!(snr.is_finite(), "SNR must stay finite: {snr}");
+    }
+
+    // Pruning efficacy: one event per completed window, each reporting the
+    // stage's run savings as exactly the paper ratio 1/3.
+    let efficacy_events: Vec<&Value> = records
+        .iter()
+        .filter(|r| r.get("span").and_then(Value::as_str) == Some("prune.efficacy"))
+        .collect();
+    assert_eq!(efficacy_events.len(), 3, "one prune.efficacy per stage");
+    for (k, event) in efficacy_events.iter().enumerate() {
+        assert_eq!(field_u64(event, "window"), k as u64);
+        assert_eq!(field_u64(event, "stage_steps"), 3);
+        assert_eq!(field_u64(event, "kept"), 2 * 4, "two pruned steps × 4 kept");
+        // Each pruned step froze 4 of 8 params: 2·batch·4 = 32 runs, twice.
+        assert_eq!(field_u64(event, "saved_runs"), 64);
+        let measured = event
+            .get("fields")
+            .and_then(|f| f.get("measured_savings"))
+            .and_then(Value::as_f64)
+            .expect("measured_savings field");
+        assert!(
+            (measured - 1.0 / 3.0).abs() < 1e-12,
+            "window {k} measured savings {measured} is not exactly 1/3"
+        );
+        let recall = event
+            .get("fields")
+            .and_then(|f| f.get("recall"))
+            .and_then(Value::as_f64)
+            .expect("recall field");
+        assert!((0.0..=1.0).contains(&recall));
+    }
 
     // Step/eval records persisted as JSONL next to the trace.
     let step_records = parse_lines(&trace_path.with_extension("steps.jsonl"));
