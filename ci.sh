@@ -10,7 +10,7 @@
 set -uo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt clippy build test kernel-equivalence trace-validate analyze determinism fault-soak bench-smoke)
+ALL_STAGES=(fmt clippy build test kernel-equivalence diff-equivalence trace-validate analyze determinism fault-soak bench-smoke)
 
 stage_fmt() {
     cargo fmt --all -- --check
@@ -35,6 +35,15 @@ stage_kernel_equivalence() {
     # are the ones production runs actually execute.
     cargo test --offline --release -p qoc-sim \
         --test kernel_equivalence --test golden_states
+}
+
+stage_diff_equivalence() {
+    # The shift planner's three differentiation modes must agree to 1e-12
+    # on random symbolic circuits, decomposed gates must match finite
+    # differences, and the noisy shifted-job path must stay bit-identical
+    # to its pre-refactor goldens at 1/2/8 workers.
+    cargo test --offline --release -p qoc-core \
+        --test diff_equivalence --test env_diff_mode
 }
 
 stage_trace_validate() {
@@ -93,7 +102,8 @@ stage_fault_soak() {
 stage_bench_smoke() {
     # >25% regression vs a committed baseline fails (serial Jacobian vs
     # BENCH_param_shift.json, fused QNN-4 state prep vs
-    # BENCH_gate_kernels.json); tolerance is QOC_BENCH_TOLERANCE.
+    # BENCH_gate_kernels.json, adjoint-mode Jacobian vs BENCH_adjoint.json);
+    # tolerance is QOC_BENCH_TOLERANCE.
     cargo run --offline --release -p qoc-bench --bin bench_smoke
 }
 

@@ -343,6 +343,11 @@ pub struct Analysis {
     pub steps: usize,
     /// Evaluation records found in `.evals.jsonl`.
     pub eval_records: usize,
+    /// Prefix-reuse ratio of the prefix-shared differentiation mode:
+    /// Σ `gates_simulated` / Σ `naive_gates` over all `diff.prefix` spans.
+    /// `None` when the trace has no prefix-shared Jacobians. Must be < 1 —
+    /// otherwise prefix sharing simulated *more* gates than naive 2P replay.
+    pub prefix_reuse_ratio: Option<f64>,
     /// Run savings measured from `.steps.jsonl` evaluated-parameter counts.
     pub measured_savings: Option<f64>,
     /// `r·w_p/(w_a+w_p)` from the manifest's pruning config.
@@ -374,12 +379,9 @@ fn phase_table(
     backoff_wait_ns: u64,
     retries: u64,
 ) -> (Vec<PhaseRow>, u64, bool) {
-    let mut rows: BTreeMap<&str, PhaseRow> = BTreeMap::new();
-    fn row<'a>(
-        rows: &'a mut BTreeMap<&'static str, PhaseRow>,
-        phase: &'static str,
-    ) -> &'a mut PhaseRow {
-        rows.entry(phase).or_insert_with(|| PhaseRow {
+    let mut rows: BTreeMap<String, PhaseRow> = BTreeMap::new();
+    fn row<'a>(rows: &'a mut BTreeMap<String, PhaseRow>, phase: &str) -> &'a mut PhaseRow {
+        rows.entry(phase.to_string()).or_insert_with(|| PhaseRow {
             phase: phase.to_string(),
             records: 0,
             wall_ns: 0,
@@ -403,6 +405,17 @@ fn phase_table(
                 let r = row(&mut rows, "eval");
                 r.records += 1;
                 r.wall_ns += node.dur_ns;
+            }
+            // Per-differentiation-mode breakdown: every Jacobian evaluation
+            // opens a `shift.jacobian` span carrying the resolved mode, so
+            // the table can show how much wall time each mode accounted for.
+            // Older traces predate the field and simply get no mode rows.
+            "shift.jacobian" => {
+                if let Some(mode) = node.fields.get("mode").and_then(Value::as_str) {
+                    let r = row(&mut rows, &format!("jacobian/{mode}"));
+                    r.records += 1;
+                    r.wall_ns += node.dur_ns;
+                }
             }
             "device.batch" => {
                 let device_ns = node.fields.get("device_ns").and_then(Value::as_u64);
@@ -446,7 +459,18 @@ fn phase_table(
         r.wall_ns = backoff_wait_ns;
     }
     let order = ["jacobian", "eval", "prune", "retry-backoff", "other"];
-    let table = order.iter().filter_map(|p| rows.get(p).cloned()).collect();
+    let mut table: Vec<PhaseRow> = Vec::new();
+    if let Some(p) = rows.get("jacobian") {
+        table.push(p.clone());
+    }
+    // Mode rows directly under the aggregate jacobian row (BTreeMap keeps
+    // them in stable lexicographic order).
+    table.extend(
+        rows.iter()
+            .filter(|(k, _)| k.starts_with("jacobian/"))
+            .map(|(_, p)| p.clone()),
+    );
+    table.extend(order.iter().skip(1).filter_map(|p| rows.get(*p).cloned()));
     (table, device_total, deltas_complete)
 }
 
@@ -590,6 +614,18 @@ pub fn analyze_run(
         phase_table(&forest, &records, backoff_wait_ns, retries);
     let (params, windows) = health_report(&records);
 
+    // Prefix-reuse ratio: gates actually simulated by prefix sharing over
+    // the gates a naive 2P shifted replay of the same forks would cost.
+    let (mut gates_simulated, mut naive_gates) = (0u64, 0u64);
+    for rec in records
+        .iter()
+        .filter(|r| r.is_span && r.name == "diff.prefix")
+    {
+        gates_simulated += rec.field_u64("gates_simulated").unwrap_or(0);
+        naive_gates += rec.field_u64("naive_gates").unwrap_or(0);
+    }
+    let prefix_reuse_ratio = (naive_gates > 0).then(|| gates_simulated as f64 / naive_gates as f64);
+
     // Run savings measured from the step records: the full parameter width
     // is the widest step (PGP always opens a stage with a full step).
     let evaluated: Vec<u64> = steps
@@ -617,6 +653,7 @@ pub fn analyze_run(
         windows,
         steps: steps.len(),
         eval_records: evals.len(),
+        prefix_reuse_ratio,
         measured_savings,
         expected_savings,
         backoff_wait_ns,
@@ -642,6 +679,14 @@ impl Analysis {
                         self.device_ns_spans, manifest_ns
                     ));
                 }
+            }
+        }
+        if let Some(ratio) = self.prefix_reuse_ratio {
+            if ratio >= 1.0 {
+                failures.push(format!(
+                    "prefix-reuse ratio {ratio:.4} is not < 1: prefix sharing simulated at \
+                     least as many gates as a naive 2P replay"
+                ));
             }
         }
         if let Some(expected) = self.expected_savings {
@@ -679,6 +724,11 @@ impl Analysis {
         ));
         if let Some(acc) = self.best_accuracy {
             out.push_str(&format!("- best accuracy: **{acc:.4}**\n"));
+        }
+        if let Some(r) = self.prefix_reuse_ratio {
+            out.push_str(&format!(
+                "- prefix reuse ratio: **{r:.4}** (gates simulated / naive 2P gates)\n"
+            ));
         }
         match (self.measured_savings, self.expected_savings) {
             (Some(m), Some(e)) => out.push_str(&format!(
@@ -783,6 +833,7 @@ impl Analysis {
             ("steps", Value::UInt(self.steps as u64)),
             ("eval_records", Value::UInt(self.eval_records as u64)),
             ("best_accuracy", opt_f64(self.best_accuracy)),
+            ("prefix_reuse_ratio", opt_f64(self.prefix_reuse_ratio)),
             ("measured_savings", opt_f64(self.measured_savings)),
             ("expected_savings", opt_f64(self.expected_savings)),
             ("device_ns_spans", Value::UInt(self.device_ns_spans)),
@@ -894,6 +945,55 @@ mod tests {
         let trace = [span_line(10, "ok", 0, 5), "{\"nope\":1}".to_string()].join("\n");
         let err = parse_trace(&trace).unwrap_err();
         assert!(err.starts_with("trace line 2:"), "got: {err}");
+    }
+
+    #[test]
+    fn mode_rows_and_prefix_reuse_ratio_come_from_diff_spans() {
+        // One adjoint and one prefix-shared Jacobian, each inside its own
+        // minibatch; the prefix span reports 312 of 768 naive gates.
+        let trace = [
+            r#"{"ts":90,"kind":"span","level":"debug","span":"shift.jacobian","thread":0,"dur_ns":80,"fields":{"rows":8,"jobs":0,"mode":"adjoint"}}"#.to_string(),
+            span_line(100, "grad.minibatch", 0, 100),
+            r#"{"ts":250,"kind":"span","level":"debug","span":"diff.prefix","thread":0,"dur_ns":40,"fields":{"rows":8,"forks":16,"naive_gates":768,"gates_simulated":312}}"#.to_string(),
+            r#"{"ts":290,"kind":"span","level":"debug","span":"shift.jacobian","thread":0,"dur_ns":85,"fields":{"rows":8,"jobs":0,"mode":"prefix-shared"}}"#.to_string(),
+            span_line(300, "grad.minibatch", 0, 100),
+        ]
+        .join("\n");
+        let analysis = analyze_run(&trace, None, None, None).unwrap();
+        let ratio = analysis.prefix_reuse_ratio.unwrap();
+        assert!((ratio - 312.0 / 768.0).abs() < 1e-12);
+        let labels: Vec<&str> = analysis.phases.iter().map(|p| p.phase.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec!["jacobian", "jacobian/adjoint", "jacobian/prefix-shared"]
+        );
+        let adjoint = &analysis.phases[1];
+        assert_eq!((adjoint.records, adjoint.wall_ns), (1, 80));
+        assert!(analysis.sanity_failures(0.05).is_empty());
+        let md = analysis.to_markdown();
+        assert!(md.contains("prefix reuse ratio"), "missing ratio: {md}");
+        assert!(md.contains("jacobian/adjoint"), "missing mode row: {md}");
+    }
+
+    #[test]
+    fn prefix_reuse_ratio_of_one_or_more_fails_sanity() {
+        let trace = r#"{"ts":250,"kind":"span","level":"debug","span":"diff.prefix","thread":0,"dur_ns":40,"fields":{"rows":8,"forks":16,"naive_gates":768,"gates_simulated":768}}"#.to_string();
+        let analysis = analyze_run(&trace, None, None, None).unwrap();
+        assert_eq!(analysis.prefix_reuse_ratio, Some(1.0));
+        let failures = analysis.sanity_failures(0.05);
+        assert!(
+            failures.iter().any(|f| f.contains("prefix-reuse ratio")),
+            "failures: {failures:?}"
+        );
+    }
+
+    #[test]
+    fn traces_without_diff_spans_have_no_ratio_or_mode_rows() {
+        let trace = span_line(100, "grad.minibatch", 0, 100);
+        let analysis = analyze_run(&trace, None, None, None).unwrap();
+        assert_eq!(analysis.prefix_reuse_ratio, None);
+        assert!(analysis.phases.iter().all(|p| !p.phase.contains('/')));
+        assert!(analysis.sanity_failures(0.05).is_empty());
     }
 
     #[test]

@@ -6,14 +6,17 @@
 //! - `BENCH_gate_kernels.json` — re-measures one fused-kernel state
 //!   preparation of the 4-qubit MNIST-2 ansatz (the `kernels/qnn4_fused`
 //!   row), guarding the specialized-kernel/fusion hot path.
+//! - `BENCH_adjoint.json` — re-measures the adjoint-mode exact Jacobian of
+//!   the MNIST-2 ansatz (the `diff/adjoint_mnist2` row), guarding the
+//!   structured differentiation path of the shift planner.
 //!
 //! Each gate fails if the fresh timing regresses more than the tolerance
 //! against the committed baseline. Both sides compare their *minimum*
 //! sample: on shared/single-CPU runners medians swing ±25% with scheduler
 //! noise, while the minimum is a stable lower bound on the true cost.
 //!
-//! Usage: `bench_smoke [PARAM_SHIFT_JSON [GATE_KERNELS_JSON]]` (defaults to
-//! the repo-root artifacts). Tolerance defaults to 0.25 (25 %) and can be
+//! Usage: `bench_smoke [PARAM_SHIFT_JSON [GATE_KERNELS_JSON [ADJOINT_JSON]]]`
+//! (defaults to the repo-root artifacts). Tolerance defaults to 0.25 (25 %) and can be
 //! overridden with `QOC_BENCH_TOLERANCE`. Exit codes: **0** within
 //! tolerance, **1** regression or malformed baseline, **2** baseline
 //! missing. Debug builds skip the gates — criterion baselines are measured
@@ -26,7 +29,7 @@ use std::time::Instant;
 use serde::Value;
 
 use qoc_core::shift::ParameterShiftEngine;
-use qoc_device::backend::{Execution, FakeDevice};
+use qoc_device::backend::{DiffMode, Execution, FakeDevice, NoiselessBackend};
 use qoc_device::backends::fake_santiago;
 use qoc_nn::model::QnnModel;
 use qoc_sim::fusion::FusedProgram;
@@ -128,6 +131,35 @@ fn measure_fused_min_ns() -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Re-runs the adjoint-mode exact Jacobian of the MNIST-2 ansatz
+/// (per-iteration cost ~10 µs, so each rep averages an inner loop) and
+/// returns the minimum per-run wall time in ns.
+fn measure_adjoint_min_ns() -> f64 {
+    const INNER: usize = 500;
+    let model = QnnModel::mnist2();
+    let backend = NoiselessBackend::new();
+    let theta = model.symbol_vector(&[0.2; 8], &[0.7; 16]);
+    let engine = ParameterShiftEngine::new(
+        &backend,
+        model.circuit(),
+        model.num_params(),
+        Execution::Exact,
+    )
+    .with_diff_mode(DiffMode::Adjoint);
+    for _ in 0..WARMUP * INNER {
+        std::hint::black_box(engine.jacobian(&theta, 2));
+    }
+    (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..INNER {
+                std::hint::black_box(engine.jacobian(&theta, 2));
+            }
+            start.elapsed().as_nanos() as f64 / INNER as f64
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
 /// One regression gate: committed `min_ns` for `label` in the artifact at
 /// `path` vs a fresh re-measurement.
 fn check_gate(
@@ -189,6 +221,15 @@ fn main() -> ExitCode {
         },
         PathBuf::from,
     );
+    let adjoint_path: PathBuf = std::env::args().nth(3).map_or_else(
+        || {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_adjoint.json"
+            ))
+        },
+        PathBuf::from,
+    );
     if cfg!(debug_assertions) {
         println!(
             "bench_smoke: skipped — debug build; baselines are measured with \
@@ -203,7 +244,7 @@ fn main() -> ExitCode {
         },
         Err(_) => DEFAULT_TOLERANCE,
     };
-    let gates: [Gate; 2] = [
+    let gates: [Gate; 3] = [
         (
             &shift_path,
             "shift/jacobian_batched_santiago/1workers",
@@ -215,6 +256,12 @@ fn main() -> ExitCode {
             "kernels/qnn4_fused",
             "cargo bench -p qoc-bench --bench gate_kernels",
             measure_fused_min_ns,
+        ),
+        (
+            &adjoint_path,
+            "diff/adjoint_mnist2",
+            "cargo bench -p qoc-bench --bench diff_modes",
+            measure_adjoint_min_ns,
         ),
     ];
     for (path, label, hint, measure) in gates {

@@ -28,13 +28,44 @@
 //! circuit variants that are transpiled **once** at engine construction and
 //! cached as [`PreparedCircuit`]s, not re-prepared per evaluation.
 //!
+//! # Differentiation modes
+//!
+//! The engine is a *mode-selecting planner* (see DESIGN.md §5c). Every
+//! Jacobian evaluation resolves a [`DiffMode`]:
+//!
+//! - [`DiffMode::Shifted2P`] — the classic 2·occ shifted-job batch above.
+//!   The only mode noisy/hardware backends support; its job set, seeds, and
+//!   results are bit-identical to the historical behavior.
+//! - [`DiffMode::PrefixShared`] — one structured [`JacobianBatch`] job: the
+//!   backend simulates the shared circuit prefix once and forks per ±shift.
+//! - [`DiffMode::Adjoint`] — one forward pass + one backward adjoint sweep;
+//!   exact execution only.
+//!
+//! Selection: the `QOC_DIFF_MODE` env var (`auto`/`shifted2p`/
+//! `prefix-shared`/`adjoint`) overrides [`ParameterShiftEngine::with_diff_mode`],
+//! which overrides auto. Auto picks `Adjoint` exactly when the backend
+//! reports [`DifferentiationCapability::Statevector`] *and* execution is
+//! exact; every finite-shot or hardware path stays on `Shifted2P`. A
+//! backend may decline a structured batch ([`QuantumBackend::run_jacobian_batch`]
+//! returning `None`), in which case the planner silently falls back to
+//! shifted jobs.
+//!
+//! Trainable gates without a native two-term shift rule (`crx`/`cry`/`crz`/
+//! `cp`/`p`/`u3`) are rewritten at engine construction via
+//! [`decompose_for_shift_rules`] into shift-friendly rotations, so they are
+//! differentiable under every mode.
+//!
 //! [`FakeDevice`]: qoc_device::backend::FakeDevice
 
 use std::f64::consts::FRAC_PI_2;
 
-use qoc_device::backend::{job_seed, CircuitJob, Execution, PreparedCircuit, QuantumBackend};
+use qoc_device::backend::{
+    job_seed, BatchOccurrence, CircuitJob, DiffMode, DifferentiationCapability, Execution,
+    JacobianBatch, JacobianBatchRow, PreparedCircuit, QuantumBackend,
+};
 use qoc_device::retry::{BatchError, BatchResult};
 use qoc_sim::circuit::{Circuit, ParamValue};
+use qoc_sim::diff::decompose_for_shift_rules;
 
 /// Jacobian of circuit expectations w.r.t. trainable symbols: row `i` is
 /// `∂f/∂θᵢ` across the logical qubits.
@@ -85,6 +116,14 @@ pub struct JacobianPlan {
 }
 
 impl JacobianPlan {
+    /// The differentiation mode this plan's jobs realize. Job plans are
+    /// always [`DiffMode::Shifted2P`] — the structured prefix-shared and
+    /// adjoint paths go through [`QuantumBackend::run_jacobian_batch`] and
+    /// never materialize per-shift jobs.
+    pub fn mode(&self) -> DiffMode {
+        DiffMode::Shifted2P
+    }
+
     /// Number of jobs the paired job list contains.
     pub fn num_jobs(&self) -> usize {
         self.num_jobs
@@ -172,18 +211,25 @@ pub struct ParameterShiftEngine<'a> {
     num_trainable: usize,
     execution: Execution,
     plans: Vec<SymbolPlan>,
+    /// Per trainable symbol: `(op_index, slot, scale)` occurrences in the
+    /// executed (possibly decomposed) circuit — the structured-batch view
+    /// of what [`SymbolPlan`] encodes for the job path.
+    occurrences: Vec<Vec<(usize, usize, f64)>>,
+    diff_mode: Option<DiffMode>,
     workers: Option<usize>,
 }
 
 impl<'a> ParameterShiftEngine<'a> {
-    /// Prepares the engine: transpiles the base circuit and every shifted
-    /// variant needed by shared-parameter symbols, once.
+    /// Prepares the engine: rewrites trainable gates without a native shift
+    /// rule via [`decompose_for_shift_rules`], then transpiles the executed
+    /// circuit and every shifted variant needed by shared-parameter
+    /// symbols, once.
     ///
     /// # Panics
     ///
     /// Panics if a trainable symbol has no gate occurrence or occurs in a
-    /// gate that does not admit the two-term shift rule (see
-    /// [`qoc_sim::gates::GateKind::supports_shift_rule`]).
+    /// gate that neither admits the two-term shift rule nor has a known
+    /// decomposition (cannot happen for the current gate set).
     pub fn new(
         backend: &'a dyn QuantumBackend,
         circuit: &Circuit,
@@ -195,7 +241,12 @@ impl<'a> ParameterShiftEngine<'a> {
             "circuit has {} symbols, {num_trainable} requested as trainable",
             circuit.num_symbols()
         );
+        // Crooks-style rewriting; `None` means the circuit was already
+        // shift-friendly and executes exactly as before.
+        let decomposed = decompose_for_shift_rules(circuit, num_trainable);
+        let circuit = decomposed.as_ref().unwrap_or(circuit);
         let mut plans = Vec::with_capacity(num_trainable);
+        let mut occurrences = Vec::with_capacity(num_trainable);
         for s in 0..num_trainable {
             let occ = circuit.symbol_occurrences(s);
             assert!(
@@ -209,34 +260,32 @@ impl<'a> ParameterShiftEngine<'a> {
                     "symbol {s} occurs in gate {gate}, which has no two-term shift rule"
                 );
             }
-            let simple = occ.len() == 1 && {
-                let (op_idx, slot) = occ[0];
-                match circuit.ops()[op_idx].params[slot] {
-                    ParamValue::Sym { scale, .. } => (scale.abs() - 1.0).abs() < 1e-12,
-                    ParamValue::Const(_) => false,
-                }
-            };
+            let with_scales: Vec<(usize, usize, f64)> = occ
+                .iter()
+                .filter_map(|&(op_idx, slot)| match circuit.ops()[op_idx].params[slot] {
+                    ParamValue::Sym { scale, .. } => Some((op_idx, slot, scale)),
+                    ParamValue::Const(_) => None,
+                })
+                .collect();
+            let simple = with_scales.len() == 1 && (with_scales[0].2.abs() - 1.0).abs() < 1e-12;
             if simple {
                 plans.push(SymbolPlan::Simple);
             } else {
-                let shifts = occ
+                let shifts = with_scales
                     .iter()
-                    .filter_map(|&(op_idx, slot)| {
-                        let scale = match circuit.ops()[op_idx].params[slot] {
-                            ParamValue::Sym { scale, .. } => scale,
-                            ParamValue::Const(_) => return None,
-                        };
+                    .map(|&(op_idx, slot, scale)| {
                         let plus = circuit.with_occurrence_shift(op_idx, slot, FRAC_PI_2);
                         let minus = circuit.with_occurrence_shift(op_idx, slot, -FRAC_PI_2);
-                        Some(OccurrenceShift {
+                        OccurrenceShift {
                             scale,
                             plus: backend.prepare(&plus),
                             minus: backend.prepare(&minus),
-                        })
+                        }
                     })
                     .collect();
                 plans.push(SymbolPlan::Occurrences(shifts));
             }
+            occurrences.push(with_scales);
         }
         ParameterShiftEngine {
             backend,
@@ -244,6 +293,8 @@ impl<'a> ParameterShiftEngine<'a> {
             num_trainable,
             execution,
             plans,
+            occurrences,
+            diff_mode: None,
             workers: None,
         }
     }
@@ -254,6 +305,62 @@ impl<'a> ParameterShiftEngine<'a> {
     pub fn with_workers(mut self, workers: usize) -> Self {
         self.workers = Some(workers.max(1));
         self
+    }
+
+    /// Pins the differentiation mode instead of auto-selecting. The
+    /// `QOC_DIFF_MODE` environment variable still takes precedence.
+    #[must_use]
+    pub fn with_diff_mode(mut self, mode: DiffMode) -> Self {
+        self.diff_mode = Some(mode);
+        self
+    }
+
+    /// The mode auto-selection would pick: adjoint on an exact statevector
+    /// backend, the universally supported shifted-job path otherwise.
+    /// Finite-shot execution never auto-selects a structured mode, so every
+    /// sampled result stays bit-identical to the historical path.
+    fn auto_mode(&self) -> DiffMode {
+        if self.backend.differentiation_capability() == DifferentiationCapability::Statevector
+            && self.execution == Execution::Exact
+        {
+            DiffMode::Adjoint
+        } else {
+            DiffMode::Shifted2P
+        }
+    }
+
+    /// Resolves the effective mode — `QOC_DIFF_MODE` beats
+    /// [`Self::with_diff_mode`] beats auto-selection — then downgrades
+    /// combinations the backend cannot serve (structured modes without
+    /// statevector capability; adjoint under finite shots) to
+    /// [`DiffMode::Shifted2P`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unrecognized `QOC_DIFF_MODE` value.
+    fn resolve_mode(&self) -> DiffMode {
+        let requested = match std::env::var("QOC_DIFF_MODE") {
+            Ok(v) => match v.trim().to_ascii_lowercase().as_str() {
+                "" | "auto" => self.diff_mode.unwrap_or_else(|| self.auto_mode()),
+                "shifted2p" | "shifted-2p" | "shifted" | "2p" => DiffMode::Shifted2P,
+                "prefix" | "prefix-shared" | "prefix_shared" => DiffMode::PrefixShared,
+                "adjoint" => DiffMode::Adjoint,
+                other => panic!(
+                    "unknown QOC_DIFF_MODE {other:?} (expected auto, shifted2p, \
+                     prefix-shared, or adjoint)"
+                ),
+            },
+            Err(_) => self.diff_mode.unwrap_or_else(|| self.auto_mode()),
+        };
+        let statevector =
+            self.backend.differentiation_capability() == DifferentiationCapability::Statevector;
+        match requested {
+            DiffMode::Adjoint if !statevector || self.execution != Execution::Exact => {
+                DiffMode::Shifted2P
+            }
+            DiffMode::PrefixShared if !statevector => DiffMode::Shifted2P,
+            m => m,
+        }
     }
 
     /// The backend this engine drives.
@@ -390,17 +497,86 @@ impl<'a> ParameterShiftEngine<'a> {
         self.jacobian_subset(theta, &[i], master_seed).remove(0)
     }
 
+    /// Builds the structured whole-Jacobian job for a statevector backend:
+    /// the planner decides the row/occurrence layout and derives each
+    /// occurrence's ± seeds from the same `(symbol, occurrence, sign)`
+    /// streams the shifted-job path uses, so the backend never learns the
+    /// stream encoding.
+    fn jacobian_batch(
+        &self,
+        theta: &[f64],
+        indices: &[usize],
+        master_seed: u64,
+        mode: DiffMode,
+    ) -> JacobianBatch<'_> {
+        JacobianBatch {
+            prepared: &self.prepared,
+            theta: theta.to_vec(),
+            rows: indices
+                .iter()
+                .map(|&i| {
+                    assert!(i < self.num_trainable, "symbol {i} not trainable");
+                    JacobianBatchRow {
+                        symbol: i,
+                        occurrences: self.occurrences[i]
+                            .iter()
+                            .enumerate()
+                            .map(|(k, &(op_index, slot, scale))| BatchOccurrence {
+                                op_index,
+                                slot,
+                                scale,
+                                plus_seed: job_seed(master_seed, shift_stream(i, k, false)),
+                                minus_seed: job_seed(master_seed, shift_stream(i, k, true)),
+                            })
+                            .collect(),
+                    }
+                })
+                .collect(),
+            execution: self.execution,
+            mode,
+        }
+    }
+
+    /// Mode-dispatching Jacobian evaluation shared by the full and subset
+    /// entry points.
+    fn try_jacobian_rows(
+        &self,
+        theta: &[f64],
+        indices: &[usize],
+        master_seed: u64,
+    ) -> Result<Jacobian, BatchError> {
+        let mode = self.resolve_mode();
+        if mode != DiffMode::Shifted2P {
+            let batch = self.jacobian_batch(theta, indices, master_seed, mode);
+            let _span = qoc_telemetry::span!(
+                "shift.jacobian",
+                rows = indices.len(),
+                jobs = 0usize,
+                mode = mode.label(),
+            );
+            if let Some(jac) = self.backend.run_jacobian_batch(&batch) {
+                debug_assert_eq!(jac.len(), indices.len(), "backend returned wrong row count");
+                return Ok(jac);
+            }
+            // Backend declined the structured job — fall through to the
+            // universally supported shifted-job path.
+        }
+        let (jobs, plan) = self.jacobian_jobs(theta, Some(indices), master_seed);
+        let _span = qoc_telemetry::span!(
+            "shift.jacobian",
+            rows = indices.len(),
+            jobs = jobs.len(),
+            mode = DiffMode::Shifted2P.label(),
+        );
+        Ok(plan.assemble(&self.try_run_batch(&jobs)?))
+    }
+
     /// The full Jacobian: `num_trainable` rows of `∂f/∂θᵢ`, computed as one
     /// batch submission. Fails when a shifted job exhausts the backend's
     /// retry policy.
     pub fn try_jacobian(&self, theta: &[f64], master_seed: u64) -> Result<Jacobian, BatchError> {
-        let (jobs, plan) = self.jacobian_jobs(theta, None, master_seed);
-        let _span = qoc_telemetry::span!(
-            "shift.jacobian",
-            rows = self.num_trainable,
-            jobs = jobs.len(),
-        );
-        Ok(plan.assemble(&self.try_run_batch(&jobs)?))
+        let indices: Vec<usize> = (0..self.num_trainable).collect();
+        self.try_jacobian_rows(theta, &indices, master_seed)
     }
 
     /// [`Self::try_jacobian`] for infallible callers.
@@ -418,9 +594,7 @@ impl<'a> ParameterShiftEngine<'a> {
         subset: &[usize],
         master_seed: u64,
     ) -> Result<Jacobian, BatchError> {
-        let (jobs, plan) = self.jacobian_jobs(theta, Some(subset), master_seed);
-        let _span = qoc_telemetry::span!("shift.jacobian", rows = subset.len(), jobs = jobs.len(),);
-        Ok(plan.assemble(&self.try_run_batch(&jobs)?))
+        self.try_jacobian_rows(theta, subset, master_seed)
     }
 
     /// [`Self::try_jacobian_subset`] for infallible callers.
@@ -507,7 +681,8 @@ mod tests {
         c.ry(1, ParamValue::sym(0));
         c.rzz(0, 1, ParamValue::sym(1));
         let backend = NoiselessBackend::new();
-        let engine = ParameterShiftEngine::new(&backend, &c, 2, Execution::Exact);
+        let engine = ParameterShiftEngine::new(&backend, &c, 2, Execution::Exact)
+            .with_diff_mode(DiffMode::Shifted2P);
         backend.reset_stats();
         let _ = engine.jacobian(&[0.9, -0.4], 0);
         let _ = engine.jacobian(&[0.9, -0.4], 0);
@@ -632,10 +807,36 @@ mod tests {
     fn circuit_run_accounting() {
         let backend = NoiselessBackend::new();
         let c = ansatz_circuit();
-        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact)
+            .with_diff_mode(DiffMode::Shifted2P);
         backend.reset_stats();
         let _ = engine.jacobian(&[0.0; 5], 6);
         // 2 runs per parameter (all symbols are simple here).
+        assert_eq!(backend.stats().circuits_run, 10);
+    }
+
+    #[test]
+    fn exact_noiseless_jacobians_auto_select_adjoint() {
+        // Adjoint mode simulates the circuit once per Jacobian instead of
+        // 2P times — the accounting proves the planner actually took the
+        // structured path by default.
+        let backend = NoiselessBackend::new();
+        let c = ansatz_circuit();
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Exact);
+        backend.reset_stats();
+        let _ = engine.jacobian(&[0.3; 5], 6);
+        assert_eq!(backend.stats().circuits_run, 1);
+    }
+
+    #[test]
+    fn shots_never_auto_select_structured_modes() {
+        // Sampled execution must stay on the shifted-job path so its RNG
+        // streams (and therefore every trained checkpoint) stay bit-stable.
+        let backend = NoiselessBackend::new();
+        let c = ansatz_circuit();
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Shots(64));
+        backend.reset_stats();
+        let _ = engine.jacobian(&[0.3; 5], 6);
         assert_eq!(backend.stats().circuits_run, 10);
     }
 
@@ -680,15 +881,37 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no two-term shift rule")]
-    fn rejects_unshiftable_trainables() {
+    fn trainable_controlled_rotations_decompose_and_differentiate() {
+        // Crz has no two-term shift rule, so the planner rewrites it into
+        // RZ/CX form at construction; the resulting Jacobian must match
+        // finite differences on the ORIGINAL circuit.
         let mut c = Circuit::new(2);
+        c.h(0);
+        c.ry(1, ParamValue::sym(1));
         c.push(
             qoc_sim::gates::GateKind::Crz,
             &[0, 1],
             &[ParamValue::sym(0)],
         );
         let backend = NoiselessBackend::new();
-        let _ = ParameterShiftEngine::new(&backend, &c, 1, Execution::Exact);
+        let theta = [0.9, -0.35];
+        for mode in [
+            DiffMode::Shifted2P,
+            DiffMode::PrefixShared,
+            DiffMode::Adjoint,
+        ] {
+            let engine =
+                ParameterShiftEngine::new(&backend, &c, 2, Execution::Exact).with_diff_mode(mode);
+            let jac = engine.jacobian(&theta, 11);
+            for (i, row) in jac.iter().enumerate() {
+                let fd = finite_difference(&c, &theta, i);
+                for (q, (a, b)) in row.iter().zip(&fd).enumerate() {
+                    assert!(
+                        (a - b).abs() < 1e-6,
+                        "{mode:?} ∂f[{q}]/∂θ[{i}]: {a} vs fd {b}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -1,0 +1,72 @@
+//! `QOC_DIFF_MODE` environment override, isolated in its own test binary:
+//! the variable is process-global and would race other planner tests if it
+//! lived alongside them.
+
+use std::sync::Mutex;
+
+use qoc_core::shift::ParameterShiftEngine;
+use qoc_device::backend::{DiffMode, Execution, NoiselessBackend, QuantumBackend};
+use qoc_sim::circuit::{Circuit, ParamValue};
+
+/// Serializes the tests in this binary — they all mutate `QOC_DIFF_MODE`.
+static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+fn ansatz() -> Circuit {
+    let mut c = Circuit::new(2);
+    c.ry(0, ParamValue::sym(0));
+    c.ry(1, ParamValue::sym(1));
+    c.rzz(0, 1, ParamValue::sym(2));
+    c
+}
+
+#[test]
+fn env_var_overrides_builder_and_auto_selection() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let backend = NoiselessBackend::new();
+    let c = ansatz();
+    let theta = [0.4, -0.9, 1.3];
+
+    // Baseline: auto-selection picks adjoint (1 circuit per Jacobian).
+    std::env::remove_var("QOC_DIFF_MODE");
+    let engine = ParameterShiftEngine::new(&backend, &c, 3, Execution::Exact);
+    backend.reset_stats();
+    let auto_jac = engine.jacobian(&theta, 5);
+    assert_eq!(backend.stats().circuits_run, 1);
+
+    // Env forces the shifted-job path even over an explicit builder choice.
+    std::env::set_var("QOC_DIFF_MODE", "shifted-2p");
+    let engine = ParameterShiftEngine::new(&backend, &c, 3, Execution::Exact)
+        .with_diff_mode(DiffMode::Adjoint);
+    backend.reset_stats();
+    let forced_jac = engine.jacobian(&theta, 5);
+    assert_eq!(backend.stats().circuits_run, 6); // 2 runs × 3 symbols
+
+    // "auto" and "" defer to the builder/auto policy again.
+    std::env::set_var("QOC_DIFF_MODE", "auto");
+    let engine = ParameterShiftEngine::new(&backend, &c, 3, Execution::Exact);
+    backend.reset_stats();
+    let _ = engine.jacobian(&theta, 5);
+    assert_eq!(backend.stats().circuits_run, 1);
+    std::env::remove_var("QOC_DIFF_MODE");
+
+    // Whatever the path, the numbers agree tightly under exact execution.
+    for (a, b) in auto_jac.iter().flatten().zip(forced_jac.iter().flatten()) {
+        assert!((a - b).abs() <= 1e-12, "{a} vs {b}");
+    }
+}
+
+#[test]
+fn prefix_mode_spelling_variants_parse() {
+    let _guard = ENV_LOCK.lock().unwrap();
+    let backend = NoiselessBackend::new();
+    let c = ansatz();
+    for spelling in ["prefix", "prefix-shared", "prefix_shared"] {
+        std::env::set_var("QOC_DIFF_MODE", spelling);
+        let engine = ParameterShiftEngine::new(&backend, &c, 3, Execution::Exact);
+        backend.reset_stats();
+        let _ = engine.jacobian(&[0.4, -0.9, 1.3], 5);
+        // Prefix-shared forks twice per occurrence: 3 symbols × 2 signs.
+        assert_eq!(backend.stats().circuits_run, 6, "spelling {spelling:?}");
+    }
+    std::env::remove_var("QOC_DIFF_MODE");
+}

@@ -48,7 +48,10 @@ pub mod schedule;
 pub mod topology;
 pub mod transpile;
 
-pub use backend::{Execution, ExecutionStats, FakeDevice, NoiselessBackend, QuantumBackend};
+pub use backend::{
+    DiffMode, DifferentiationCapability, Execution, ExecutionStats, FakeDevice, JacobianBatch,
+    NoiselessBackend, QuantumBackend,
+};
 pub use backends::DeviceDescription;
 pub use calibration::{DeviceCalibration, EdgeCalibration, QubitCalibration};
 pub use faults::{FaultInjectingBackend, FaultPlan};

@@ -12,6 +12,9 @@
 //!   real-rotation, dense) shared by the statevector and density paths.
 //! - [`fusion`] — peephole gate fusion compiling a circuit into a
 //!   [`FusedProgram`] reusable across parameter bindings.
+//! - [`diff`] — shift-aware differentiation primitives: Crooks-style gate
+//!   decomposition onto shift-rule-friendly generators, prefix-sharing
+//!   parameter-shift simulation, and adjoint-mode Jacobians.
 //! - [`statevector`] / [`simulator`] — exact state evolution, expectation
 //!   values, and shot sampling.
 //! - [`pauli`] — Pauli strings and observables.
@@ -40,6 +43,7 @@
 
 pub mod circuit;
 pub mod complex;
+pub mod diff;
 pub mod fusion;
 pub mod gates;
 pub mod kernels;
