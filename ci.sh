@@ -10,7 +10,7 @@
 set -uo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt clippy build test kernel-equivalence diff-equivalence trace-validate analyze determinism fault-soak bench-smoke)
+ALL_STAGES=(fmt clippy build test kernel-equivalence diff-equivalence trace-validate analyze determinism fault-soak monitor bench-smoke)
 
 stage_fmt() {
     cargo fmt --all -- --check
@@ -97,6 +97,44 @@ stage_fault_soak() {
     # drift): must converge with every retry accounted for, zero panics.
     QOC_TRACE_FILE=results/ci_soak.jsonl \
         cargo run --offline --release -p qoc-bench --bin fault_soak
+}
+
+stage_monitor() {
+    # Live observability plane. Leg 1: a traced PGP run with the status
+    # exporter and flight recorder on — every snapshot must parse against
+    # the pinned schema, the history's cumulative counters must be monotone,
+    # the final snapshot must reconcile with the manifest to the nanosecond,
+    # and the Prometheus sibling must expose ≥ 20 well-formed metric
+    # families including qoc_grad_snr.
+    rm -f results/ci_monitor.status.json results/ci_monitor.status.history.jsonl \
+          results/ci_monitor.status.prom
+    QOC_STATUS_FILE=results/ci_monitor.status.json QOC_STATUS_EVERY=1 \
+    QOC_FLIGHT_RECORDER=2048 QOC_TRACE_FILE=results/ci_monitor.jsonl \
+        cargo run --offline --release --example traced_training > /dev/null
+    cargo run --offline --release -p qoc-bench --bin monitor_check -- \
+        results/ci_monitor.status.json results/ci_monitor.manifest.json
+    # qoc-top must render one frame from the finished snapshot.
+    cargo run --offline --release -p qoc-bench --bin qoc-top -- \
+        results/ci_monitor.status.json --once > /dev/null
+    # Leg 2: the same run under an aggressive fault plan with retries
+    # disabled must fail, write an emergency checkpoint, and flush the
+    # flight-recorder ring as a schema-valid black-box dump qoc-analyze
+    # ingests without error.
+    rm -f results/ci_blackbox.ckpt results/ci_blackbox.blackbox.jsonl
+    if QOC_FAULT_PLAN="seed=7,transient=0.2,timeout=0.05,max_failures=9" \
+       QOC_MAX_RETRIES=0 QOC_FLIGHT_RECORDER=2048 \
+       QOC_CHECKPOINT_FILE=results/ci_blackbox.ckpt \
+       QOC_TRACE_FILE=results/ci_monitor_fault.jsonl \
+        cargo run --offline --release --example traced_training > /dev/null 2>&1; then
+        echo "monitor: fault-plan run unexpectedly succeeded" >&2
+        return 1
+    fi
+    if ! [ -s results/ci_blackbox.blackbox.jsonl ]; then
+        echo "monitor: black-box dump results/ci_blackbox.blackbox.jsonl missing" >&2
+        return 1
+    fi
+    cargo run --offline --release -p qoc-bench --bin qoc-analyze -- \
+        results/ci_blackbox.blackbox.jsonl --blackbox --quiet
 }
 
 stage_bench_smoke() {

@@ -78,40 +78,73 @@ impl TraceRecord {
     }
 }
 
-/// Parses and schema-validates a whole trace file. The error names the
-/// offending 1-based line.
-pub fn parse_trace(text: &str) -> Result<Vec<TraceRecord>, String> {
+/// Whether a bad line may be forgiven as a *truncated tail*: it is the
+/// file's final line **and** the file has no trailing newline — exactly the
+/// signature a buffered JSONL writer leaves when its process is killed
+/// mid-`writeln`. Any earlier line, or a final line that *is*
+/// newline-terminated, stays a hard error (those are corruption, not a
+/// crash artifact).
+pub fn is_truncated_tail(text: &str, line_index: usize) -> bool {
+    !text.ends_with('\n') && line_index + 1 == text.lines().count()
+}
+
+/// Parses and schema-validates a whole trace file, returning the records
+/// plus the number of truncated tail lines tolerated (0 or 1; see
+/// [`is_truncated_tail`]). The error names the offending 1-based line.
+pub fn parse_trace(text: &str) -> Result<(Vec<TraceRecord>, u64), String> {
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
-        let value = serde_json::from_str(line)
-            .map_err(|e| format!("trace line {}: not valid JSON ({e}): {line}", i + 1))?;
-        schema::check_trace_record(&value)
-            .map_err(|e| format!("trace line {}: {e}: {line}", i + 1))?;
-        records.push(TraceRecord::from_value(&value));
+        let checked = serde_json::from_str(line)
+            .map_err(|e| format!("not valid JSON ({e})"))
+            .and_then(|value| schema::check_trace_record(&value).map(|()| value));
+        match checked {
+            Ok(value) => records.push(TraceRecord::from_value(&value)),
+            Err(_) if is_truncated_tail(text, i) => {
+                eprintln!(
+                    "warning: trace line {} is a truncated tail (no trailing newline) — \
+                     tolerated as a crash artifact",
+                    i + 1
+                );
+                return Ok((records, 1));
+            }
+            Err(e) => return Err(format!("trace line {}: {e}: {line}", i + 1)),
+        }
     }
-    Ok(records)
+    Ok((records, 0))
 }
 
-/// Parses a JSONL satellite with a per-line validator.
+/// Parses a JSONL satellite with a per-line validator, returning the
+/// records plus the number of truncated tail lines tolerated (0 or 1).
 pub fn parse_satellite(
     text: &str,
     what: &str,
     check: impl Fn(&Value) -> Result<(), String>,
-) -> Result<Vec<Value>, String> {
+) -> Result<(Vec<Value>, u64), String> {
     let mut records = Vec::new();
     for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
-        let value = serde_json::from_str(line)
-            .map_err(|e| format!("{what} line {}: not valid JSON ({e}): {line}", i + 1))?;
-        check(&value).map_err(|e| format!("{what} line {}: {e}: {line}", i + 1))?;
-        records.push(value);
+        let checked = serde_json::from_str(line)
+            .map_err(|e| format!("not valid JSON ({e})"))
+            .and_then(|value| check(&value).map(|()| value));
+        match checked {
+            Ok(value) => records.push(value),
+            Err(_) if is_truncated_tail(text, i) => {
+                eprintln!(
+                    "warning: {what} line {} is a truncated tail (no trailing newline) — \
+                     tolerated as a crash artifact",
+                    i + 1
+                );
+                return Ok((records, 1));
+            }
+            Err(e) => return Err(format!("{what} line {}: {e}: {line}", i + 1)),
+        }
     }
-    Ok(records)
+    Ok((records, 0))
 }
 
 /// A reconstructed span with its tree links.
@@ -358,6 +391,9 @@ pub struct Analysis {
     pub retries: u64,
     /// Best validation accuracy from the manifest.
     pub best_accuracy: Option<f64>,
+    /// Truncated tail lines tolerated across the trace and its satellites
+    /// (each file may contribute at most one; see [`is_truncated_tail`]).
+    pub truncated_tail_lines: u64,
 }
 
 /// Extracts `r·w_p/(w_a+w_p)` from a manifest `config.pruning` value
@@ -556,15 +592,16 @@ pub fn analyze_run(
     evals_text: Option<&str>,
     manifest_text: Option<&str>,
 ) -> Result<Analysis, String> {
-    let records = parse_trace(trace_text)?;
-    let steps = match steps_text {
+    let (records, trace_truncated) = parse_trace(trace_text)?;
+    let (steps, steps_truncated) = match steps_text {
         Some(t) => parse_satellite(t, "steps satellite", schema::check_step_record)?,
-        None => Vec::new(),
+        None => (Vec::new(), 0),
     };
-    let evals = match evals_text {
+    let (evals, evals_truncated) = match evals_text {
         Some(t) => parse_satellite(t, "evals satellite", schema::check_eval_record)?,
-        None => Vec::new(),
+        None => (Vec::new(), 0),
     };
+    let truncated_tail_lines = trace_truncated + steps_truncated + evals_truncated;
     let manifest = match manifest_text {
         Some(t) => {
             Some(serde_json::from_str(t).map_err(|e| format!("manifest is not valid JSON: {e}"))?)
@@ -659,6 +696,7 @@ pub fn analyze_run(
         backoff_wait_ns,
         retries,
         best_accuracy,
+        truncated_tail_lines,
     })
 }
 
@@ -754,6 +792,13 @@ impl Analysis {
                 None => String::new(),
             }
         ));
+        if self.truncated_tail_lines > 0 {
+            out.push_str(&format!(
+                "- truncated tail lines tolerated: **{}** (killed writer left a partial \
+                 final record)\n",
+                self.truncated_tail_lines
+            ));
+        }
 
         out.push_str("\n## Phase times (wall vs device)\n\n");
         out.push_str("| phase | records | wall (ms) | device (ms) | circuits |\n");
@@ -845,6 +890,10 @@ impl Analysis {
             ("backoff_wait_ns", Value::UInt(self.backoff_wait_ns)),
             ("retries", Value::UInt(self.retries)),
             (
+                "truncated_tail_lines",
+                Value::UInt(self.truncated_tail_lines),
+            ),
+            (
                 "phases",
                 Value::Array(
                     self.phases
@@ -926,7 +975,8 @@ mod tests {
             span_line(30, "t1root", 1, 30),
         ]
         .join("\n");
-        let records = parse_trace(&trace).unwrap();
+        let (records, truncated) = parse_trace(&trace).unwrap();
+        assert_eq!(truncated, 0);
         let forest = SpanForest::build(&records);
         assert_eq!(forest.span_count(), 4);
         assert_eq!(forest.roots.len(), 2);
@@ -942,9 +992,37 @@ mod tests {
 
     #[test]
     fn parse_rejects_malformed_lines_with_line_numbers() {
-        let trace = [span_line(10, "ok", 0, 5), "{\"nope\":1}".to_string()].join("\n");
+        // Newline-terminated, so the bad final line is corruption, not a
+        // truncated tail.
+        let trace = [span_line(10, "ok", 0, 5), "{\"nope\":1}".to_string()].join("\n") + "\n";
         let err = parse_trace(&trace).unwrap_err();
         assert!(err.starts_with("trace line 2:"), "got: {err}");
+    }
+
+    #[test]
+    fn truncated_tail_without_newline_is_tolerated() {
+        // A killed writer leaves a partial final record with no trailing
+        // newline: the good prefix parses, the tail is counted, not fatal.
+        let trace = [
+            span_line(10, "ok", 0, 5),
+            r#"{"ts":20,"kind":"span","le"#.to_string(),
+        ]
+        .join("\n");
+        let (records, truncated) = parse_trace(&trace).unwrap();
+        assert_eq!((records.len(), truncated), (1, 1));
+        // A truncated tail anywhere *but* the end stays fatal.
+        let corrupt = [
+            r#"{"ts":20,"kind":"span","le"#.to_string(),
+            span_line(10, "ok", 0, 5),
+        ]
+        .join("\n");
+        assert!(parse_trace(&corrupt).is_err());
+        // The tolerated count surfaces in the report.
+        let analysis = analyze_run(&trace, None, None, None).unwrap();
+        assert_eq!(analysis.truncated_tail_lines, 1);
+        assert!(analysis
+            .to_markdown()
+            .contains("truncated tail lines tolerated: **1**"));
     }
 
     #[test]

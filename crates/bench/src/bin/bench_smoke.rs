@@ -21,6 +21,10 @@
 //! tolerance, **1** regression or malformed baseline, **2** baseline
 //! missing. Debug builds skip the gates — criterion baselines are measured
 //! with optimizations on, so unoptimized timings are not comparable.
+//!
+//! Every run — pass or fail — ends with a consolidated summary table, one
+//! line per gated artifact: committed median and min, the fresh minimum,
+//! the delta, and the gate status.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -50,8 +54,9 @@ fn fail(msg: &str) -> ExitCode {
     ExitCode::from(1)
 }
 
-/// Pulls `min_ns` for `label` out of a bench artifact.
-fn baseline_min_ns(text: &str, label: &str) -> Result<f64, String> {
+/// Pulls the value named `key` (`min_ns`, `median_ns`, …) for `label` out
+/// of a bench artifact.
+fn baseline_value(text: &str, label: &str, key: &str) -> Result<f64, String> {
     let root =
         serde_json::from_str(text).map_err(|e| format!("baseline is not valid JSON: {e}"))?;
     let rows = root
@@ -69,16 +74,36 @@ fn baseline_min_ns(text: &str, label: &str) -> Result<f64, String> {
             let pair = pair
                 .as_array()
                 .ok_or_else(|| format!("row {label} has a non-pair value"))?;
-            if pair.first().and_then(Value::as_str) == Some("min_ns") {
+            if pair.first().and_then(Value::as_str) == Some(key) {
                 return pair
                     .get(1)
                     .and_then(Value::as_f64)
-                    .ok_or_else(|| format!("row {label} min_ns is not a number"));
+                    .ok_or_else(|| format!("row {label} {key} is not a number"));
             }
         }
-        return Err(format!("row {label} has no min_ns"));
+        return Err(format!("row {label} has no {key}"));
     }
     Err(format!("baseline has no row labelled {label}"))
+}
+
+/// One line of the consolidated summary table — the outcome of one
+/// artifact's gate, kept even when the gate fails so the table can still be
+/// printed before exiting.
+struct GateRow {
+    /// Artifact file name (`BENCH_param_shift.json`).
+    artifact: String,
+    /// Gated row label inside the artifact.
+    label: String,
+    /// Committed `median_ns`, when the artifact parses.
+    baseline_median: Option<f64>,
+    /// Committed `min_ns`, when the artifact parses.
+    baseline_min: Option<f64>,
+    /// Fresh re-measured minimum, when the baseline existed.
+    current_min: Option<f64>,
+    /// `ok`, `REGRESSED`, `missing`, or `malformed`.
+    status: &'static str,
+    /// Exit-code severity contributed by this gate (0 / 1 / 2).
+    code: u8,
 }
 
 /// Re-runs the serial-Jacobian workload and returns the minimum wall time
@@ -161,14 +186,28 @@ fn measure_adjoint_min_ns() -> f64 {
 }
 
 /// One regression gate: committed `min_ns` for `label` in the artifact at
-/// `path` vs a fresh re-measurement.
+/// `path` vs a fresh re-measurement. Always returns a row for the summary
+/// table; the row's `code` carries the gate's exit-code severity.
 fn check_gate(
     path: &PathBuf,
     label: &str,
     tolerance: f64,
     refresh_hint: &str,
     measure: fn() -> f64,
-) -> Result<(), ExitCode> {
+) -> GateRow {
+    let artifact = path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    let mut row = GateRow {
+        artifact,
+        label: label.to_string(),
+        baseline_median: None,
+        baseline_min: None,
+        current_min: None,
+        status: "ok",
+        code: 0,
+    };
     let text = match std::fs::read_to_string(path) {
         Ok(t) => t,
         Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
@@ -176,12 +215,30 @@ fn check_gate(
                 "bench_smoke: baseline {} does not exist (run `{refresh_hint}` to create it)",
                 path.display()
             );
-            return Err(ExitCode::from(2));
+            row.status = "missing";
+            row.code = 2;
+            return row;
         }
-        Err(e) => return Err(fail(&format!("cannot read {}: {e}", path.display()))),
+        Err(e) => {
+            eprintln!("bench_smoke: cannot read {}: {e}", path.display());
+            row.status = "malformed";
+            row.code = 1;
+            return row;
+        }
     };
-    let baseline = baseline_min_ns(&text, label).map_err(|msg| fail(&msg))?;
+    row.baseline_median = baseline_value(&text, label, "median_ns").ok();
+    let baseline = match baseline_value(&text, label, "min_ns") {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("bench_smoke: {msg}");
+            row.status = "malformed";
+            row.code = 1;
+            return row;
+        }
+    };
+    row.baseline_min = Some(baseline);
     let current = measure();
+    row.current_min = Some(current);
     let ratio = current / baseline;
     println!(
         "bench_smoke: {label}: baseline min {:.3} ms, current min {:.3} ms ({:+.1}%), tolerance +{:.0}%",
@@ -191,14 +248,53 @@ fn check_gate(
         tolerance * 100.0,
     );
     if current > baseline * (1.0 + tolerance) {
-        return Err(fail(&format!(
-            "{label} regressed {:.1}% (> {:.0}% tolerance); if intentional, refresh \
-             the baseline with `{refresh_hint}`",
+        eprintln!(
+            "bench_smoke: {label} regressed {:.1}% (> {:.0}% tolerance); if intentional, \
+             refresh the baseline with `{refresh_hint}`",
             (ratio - 1.0) * 100.0,
             tolerance * 100.0,
-        )));
+        );
+        row.status = "REGRESSED";
+        row.code = 1;
     }
-    Ok(())
+    row
+}
+
+/// Renders the consolidated one-line-per-artifact summary (committed median
+/// and min vs the fresh minimum) — printed even when a gate failed, so a CI
+/// log always ends with the full picture.
+fn summary_table(rows: &[GateRow]) -> String {
+    let ms = |v: Option<f64>| v.map_or_else(|| "-".to_string(), |ns| format!("{:.3}", ns / 1e6));
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let delta = match (r.baseline_min, r.current_min) {
+                (Some(b), Some(c)) if b > 0.0 => format!("{:+.1}%", (c / b - 1.0) * 100.0),
+                _ => "-".to_string(),
+            };
+            vec![
+                r.artifact.clone(),
+                r.label.clone(),
+                ms(r.baseline_median),
+                ms(r.baseline_min),
+                ms(r.current_min),
+                delta,
+                r.status.to_string(),
+            ]
+        })
+        .collect();
+    qoc_bench::format_table(
+        &[
+            "artifact",
+            "label",
+            "base median (ms)",
+            "base min (ms)",
+            "current min (ms)",
+            "delta",
+            "status",
+        ],
+        &table,
+    )
 }
 
 fn main() -> ExitCode {
@@ -264,10 +360,14 @@ fn main() -> ExitCode {
             measure_adjoint_min_ns,
         ),
     ];
-    for (path, label, hint, measure) in gates {
-        if let Err(code) = check_gate(path, label, tolerance, hint, measure) {
-            return code;
-        }
+    let rows: Vec<GateRow> = gates
+        .into_iter()
+        .map(|(path, label, hint, measure)| check_gate(path, label, tolerance, hint, measure))
+        .collect();
+    println!();
+    print!("{}", summary_table(&rows));
+    match rows.iter().map(|r| r.code).max().unwrap_or(0) {
+        0 => ExitCode::SUCCESS,
+        code => ExitCode::from(code),
     }
-    ExitCode::SUCCESS
 }

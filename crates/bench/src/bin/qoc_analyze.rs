@@ -10,8 +10,16 @@
 //!   health, and the PGP efficacy curve (also printed to stdout);
 //! - `<stem>.analysis.json` — the same report, machine-readable.
 //!
-//! Usage: `qoc-analyze [TRACE_FILE] [--savings-tolerance X] [--quiet]`
-//! (the trace defaults to `$QOC_TRACE_FILE`).
+//! Usage: `qoc-analyze [TRACE_FILE] [--savings-tolerance X] [--quiet]
+//! [--blackbox]` (the trace defaults to `$QOC_TRACE_FILE`).
+//!
+//! `--blackbox` ingests a flight-recorder crash dump
+//! (`<checkpoint>.blackbox.jsonl`, written on `TrainError::Execution`)
+//! instead of a full traced run: the dump is a bounded ring of the *last*
+//! records before the crash, so satellites don't exist and the sanity gates
+//! (device-time reconciliation, pruning efficacy) are skipped — only the
+//! schema check and the span-forest/phase report run. A trailing truncated
+//! line (killed writer) is tolerated in either mode.
 //!
 //! Exit codes mirror `validate_trace` so CI can gate on them: **2** when an
 //! input file is missing, **1** when an artifact is malformed or a sanity
@@ -47,6 +55,7 @@ fn main() -> ExitCode {
     let mut trace_arg: Option<PathBuf> = None;
     let mut tolerance = 0.05f64;
     let mut quiet = false;
+    let mut blackbox = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -58,6 +67,7 @@ fn main() -> ExitCode {
                 };
             }
             "--quiet" => quiet = true,
+            "--blackbox" => blackbox = true,
             flag if flag.starts_with("--") => {
                 return fail(&format!("unknown flag {flag:?}"));
             }
@@ -81,11 +91,17 @@ fn main() -> ExitCode {
         }
         Err(e) => return fail(&format!("cannot read {}: {e}", trace_path.display())),
     };
-    let satellites = (
-        read_optional(&trace_path.with_extension("steps.jsonl")),
-        read_optional(&trace_path.with_extension("evals.jsonl")),
-        read_optional(&trace_path.with_extension("manifest.json")),
-    );
+    // A black-box dump is the ring contents alone — no satellites were ever
+    // written next to it, so don't probe for (or gate on) them.
+    let satellites = if blackbox {
+        (Ok(None), Ok(None), Ok(None))
+    } else {
+        (
+            read_optional(&trace_path.with_extension("steps.jsonl")),
+            read_optional(&trace_path.with_extension("evals.jsonl")),
+            read_optional(&trace_path.with_extension("manifest.json")),
+        )
+    };
     let (steps_text, evals_text, manifest_text) = match satellites {
         (Ok(s), Ok(e), Ok(m)) => (s, e, m),
         (Err(e), _, _) | (_, Err(e), _) | (_, _, Err(e)) => return fail(&e),
@@ -129,6 +145,16 @@ fn main() -> ExitCode {
         );
     }
 
+    if blackbox {
+        // The ring holds whatever the last moments produced — maybe only
+        // events, never satellites — so the run-level sanity gates don't
+        // apply. An empty dump still fails: the recorder saw nothing.
+        return if analysis.spans + analysis.events == 0 {
+            fail("black-box dump contains no records")
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
     let failures = analysis.sanity_failures(tolerance);
     if failures.is_empty() {
         ExitCode::SUCCESS

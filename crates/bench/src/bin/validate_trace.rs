@@ -12,10 +12,16 @@
 //! never produced a trace" from "the trace is wrong": **2** when an input
 //! file is missing, **1** when a file exists but violates the schema (the
 //! diagnostic includes the offending line).
+//!
+//! One exception: a file whose *final* line is malformed **and** lacks a
+//! trailing newline is treated as the crash artifact of a killed writer —
+//! the truncated tail is tolerated with a warning instead of failing the
+//! file (`qoc-analyze` applies the same rule and counts it in its report).
 
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
+use qoc_bench::analyze::is_truncated_tail;
 use qoc_telemetry::schema;
 use serde::Value;
 
@@ -57,15 +63,27 @@ fn check_jsonl(
         if line.is_empty() {
             continue;
         }
-        let value = serde_json::from_str(line).map_err(|e| {
-            FileError::Malformed(format!(
-                "{what} line {}: not valid JSON ({e}): {line}",
-                i + 1
-            ))
-        })?;
-        check(&value)
-            .map_err(|e| FileError::Malformed(format!("{what} line {}: {e}: {line}", i + 1)))?;
-        lines += 1;
+        let checked = serde_json::from_str(line)
+            .map_err(|e| format!("not valid JSON ({e})"))
+            .and_then(|value| check(&value).map(|()| value));
+        match checked {
+            Ok(_) => lines += 1,
+            // A killed writer leaves at most one partial final record with
+            // no trailing newline — warn, don't fail (qoc-analyze applies
+            // the same rule).
+            Err(_) if is_truncated_tail(&text, i) => {
+                eprintln!(
+                    "validate_trace: warning: {what} line {} is a truncated tail — tolerated",
+                    i + 1
+                );
+            }
+            Err(e) => {
+                return Err(FileError::Malformed(format!(
+                    "{what} line {}: {e}: {line}",
+                    i + 1
+                )))
+            }
+        }
     }
     Ok(lines)
 }
@@ -138,17 +156,34 @@ fn main() -> ExitCode {
     let mut spans = 0usize;
     let mut health_events = 0usize;
     let mut efficacy_events = 0usize;
+    let mut truncated = 0usize;
     for (i, line) in text.lines().enumerate() {
         if line.is_empty() {
             continue;
         }
         let value = match serde_json::from_str(line) {
             Ok(v) => v,
+            Err(_) if is_truncated_tail(&text, i) => {
+                eprintln!(
+                    "validate_trace: warning: trace line {} is a truncated tail — tolerated",
+                    i + 1
+                );
+                truncated += 1;
+                continue;
+            }
             Err(e) => return fail(&format!("line {}: not valid JSON ({e}): {line}", i + 1)),
         };
         // The shared schema also checks the structured grad.health /
         // prune.efficacy payloads the analyzer depends on.
         if let Err(msg) = schema::check_trace_record(&value) {
+            if is_truncated_tail(&text, i) {
+                eprintln!(
+                    "validate_trace: warning: trace line {} is a truncated tail — tolerated",
+                    i + 1
+                );
+                truncated += 1;
+                continue;
+            }
             return fail(&format!("line {}: {msg}: {line}", i + 1));
         }
         lines += 1;
@@ -165,11 +200,16 @@ fn main() -> ExitCode {
         return fail("trace file is empty");
     }
     println!(
-        "trace ok: {} lines ({} spans, {} grad.health, {} prune.efficacy) in {}",
+        "trace ok: {} lines ({} spans, {} grad.health, {} prune.efficacy{}) in {}",
         lines,
         spans,
         health_events,
         efficacy_events,
+        if truncated > 0 {
+            format!(", {truncated} truncated tail tolerated")
+        } else {
+            String::new()
+        },
         trace_path.display()
     );
     for (ext, what, check) in [

@@ -48,7 +48,8 @@ fn span_forest_round_trips_a_nested_multithread_trace() {
 
     let text = std::fs::read_to_string(&path).expect("read trace");
     let _ = std::fs::remove_dir_all(&dir);
-    let records = parse_trace(&text).expect("trace parses against the schema");
+    let (records, truncated) = parse_trace(&text).expect("trace parses against the schema");
+    assert_eq!(truncated, 0, "clean trace must not report a truncated tail");
     let forest = SpanForest::build(&records);
 
     // `lost` never closed → 7 records, not 8.

@@ -128,6 +128,10 @@ pub struct TrainState {
     pub schema_version: u32,
     /// The run's `TrainConfig::seed` (resume refuses a mismatch).
     pub master_seed: u64,
+    /// Seed-derived run identity (see [`crate::engine::run_id_for_seed`]);
+    /// joins the checkpoint with the run's trace, manifest, status
+    /// snapshots, and black-box dump.
+    pub run_id: String,
     /// First step the resumed run executes.
     pub next_step: usize,
     /// Current parameter vector.
@@ -206,9 +210,20 @@ impl TrainState {
             .as_slice()
             .try_into()
             .map_err(|_| malformed(format!("rng must hold 4 words, got {}", rng_words.len())))?;
+        let master_seed = as_u64(field(root, "master_seed")?, "master_seed")?;
+        // `run_id` is derivable from the seed, so checkpoints written before
+        // it existed still load under schema version 1.
+        let run_id = match root.get("run_id") {
+            Some(v) => v
+                .as_str()
+                .map(str::to_string)
+                .ok_or_else(|| malformed("`run_id` is not a string"))?,
+            None => crate::engine::run_id_for_seed(master_seed),
+        };
         Ok(TrainState {
             schema_version: CHECKPOINT_SCHEMA_VERSION,
-            master_seed: as_u64(field(root, "master_seed")?, "master_seed")?,
+            master_seed,
+            run_id,
             next_step: as_usize(field(root, "next_step")?, "next_step")?,
             params: f64_vec(field(root, "params")?, "params")?,
             optimizer: parse_optimizer(field(root, "optimizer")?)?,
@@ -357,6 +372,7 @@ mod tests {
         TrainState {
             schema_version: CHECKPOINT_SCHEMA_VERSION,
             master_seed: 0xDEAD_BEEF_0042,
+            run_id: crate::engine::run_id_for_seed(0xDEAD_BEEF_0042),
             next_step: 7,
             // Awkward floats: non-terminating binary fractions, subnormal,
             // negative zero — all must survive the JSON round trip exactly.
@@ -416,6 +432,24 @@ mod tests {
         let loaded = TrainState::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(state, loaded);
+    }
+
+    #[test]
+    fn checkpoint_without_run_id_still_loads() {
+        // Schema version 1 predates run_id; old checkpoints must load with
+        // the identity re-derived from the master seed.
+        let state = sample_state();
+        let text = serde_json::to_string_pretty(&state).unwrap();
+        let root = serde_json::from_str(&text).unwrap();
+        let stripped = match root {
+            Value::Object(entries) => {
+                Value::Object(entries.into_iter().filter(|(k, _)| k != "run_id").collect())
+            }
+            other => other,
+        };
+        let parsed = TrainState::from_value(&stripped).unwrap();
+        assert_eq!(parsed.run_id, state.run_id, "run_id re-derived from seed");
+        assert_eq!(parsed, state);
     }
 
     #[test]

@@ -49,6 +49,28 @@ use crate::sched::LrSchedule;
 /// perturbs it — and vice versa.
 const TRAIN_STREAM_BASE: u64 = 1 << 48;
 const EVAL_STREAM_BASE: u64 = 2 << 48;
+/// Stream id under which the run's identity is derived from the seed.
+const RUN_ID_STREAM: u64 = 3 << 48;
+
+/// Deterministic, seed-derived run identity: 16 lowercase hex digits of
+/// `job_seed(seed, RUN_ID_STREAM)`. Stamped into the trace header, run
+/// manifest, checkpoints, status snapshots, and black-box dumps, so every
+/// artifact of one run can be joined offline — and a resumed run (same
+/// seed) keeps the identity of the run it continues.
+pub fn run_id_for_seed(seed: u64) -> String {
+    format!("{:016x}", job_seed(seed, RUN_ID_STREAM))
+}
+
+/// Maps a pruner's window state to the status-snapshot phase label.
+fn prune_phase(state: &PrunerState) -> &'static str {
+    match state {
+        PrunerState::None => "none",
+        PrunerState::Windowed {
+            accumulating: true, ..
+        } => "accumulating",
+        PrunerState::Windowed { .. } => "pruning",
+    }
+}
 
 /// Gradient-pruning mode.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -447,6 +469,18 @@ fn train_impl(
         };
     }
 
+    let run_id = run_id_for_seed(config.seed);
+    // The trace header: first structured event of every traced run, carrying
+    // the identity that joins trace/manifest/checkpoint/status artifacts.
+    qoc_telemetry::event!(
+        qoc_telemetry::Level::Info,
+        "run.header",
+        run_id = run_id.as_str(),
+        seed = config.seed,
+        steps = config.steps,
+        backend = backend.name(),
+        resumed = resume.is_some(),
+    );
     let run_span = qoc_telemetry::span!(
         "train.run",
         steps = config.steps,
@@ -510,6 +544,10 @@ fn train_impl(
                         &steps,
                         &evals,
                         &checkpoint_params,
+                        &run_id,
+                        backend,
+                        base,
+                        prune_phase(&pruner.state()),
                     ));
                 }
             };
@@ -576,6 +614,10 @@ fn train_impl(
                         &steps,
                         &evals,
                         &checkpoint_params,
+                        &run_id,
+                        backend,
+                        base,
+                        prune_phase(&pruner.state()),
                     ));
                 }
             };
@@ -605,6 +647,7 @@ fn train_impl(
                 let state = TrainState {
                     schema_version: CHECKPOINT_SCHEMA_VERSION,
                     master_seed: config.seed,
+                    run_id: run_id.clone(),
                     next_step: step + 1,
                     params: params.clone(),
                     optimizer: optimizer.state(),
@@ -638,6 +681,26 @@ fn train_impl(
                 }
             }
         }
+
+        // Live status snapshot (QOC_STATUS_FILE): the device counters are
+        // stamped here from the same integer bases that build the final
+        // manifest, so snapshots telescope to it exactly.
+        if let Some(exporter) = qoc_telemetry::export::global() {
+            let s = combined_stats_base(backend, base);
+            exporter.on_step(qoc_telemetry::export::StatusCore {
+                run_id: run_id.clone(),
+                state: "running",
+                backend: backend.name().to_string(),
+                step: (step + 1) as u64,
+                steps_total: config.steps as u64,
+                loss: result.loss,
+                best_accuracy,
+                prune_phase: prune_phase(&pruner.state()).to_string(),
+                circuits_run: s.circuits,
+                total_shots: s.shots,
+                device_ns: s.nanos,
+            });
+        }
     }
     if let Some(h) = health.as_mut() {
         h.finish();
@@ -650,10 +713,28 @@ fn train_impl(
         total_shots: base.shots + stats.total_shots,
         estimated_device_seconds: (base.nanos + stats_nanos(&stats)) as f64 / 1e9,
     };
+    // Terminal status snapshot: same integers as the manifest, so the last
+    // snapshot of a finished run reconciles to the nanosecond.
+    if let Some(exporter) = qoc_telemetry::export::global() {
+        exporter.on_step(qoc_telemetry::export::StatusCore {
+            run_id: run_id.clone(),
+            state: "finished",
+            backend: backend.name().to_string(),
+            step: config.steps as u64,
+            steps_total: config.steps as u64,
+            loss: steps.last().map_or(0.0, |s| s.loss),
+            best_accuracy,
+            prune_phase: prune_phase(&pruner.state()).to_string(),
+            circuits_run: totals.circuits_run,
+            total_shots: totals.total_shots,
+            device_ns: base.nanos + stats_nanos(&stats),
+        });
+    }
     if let Some(trace_path) = qoc_telemetry::trace_file_path() {
         persist_run(
             &trace_path,
             config,
+            &run_id,
             &steps,
             &evals,
             &totals,
@@ -685,6 +766,9 @@ fn combined_stats_base(backend: &dyn QuantumBackend, base: StatsBase) -> StatsBa
 /// Writes the emergency checkpoint (when configured) and builds the
 /// [`TrainError`] for a batch failure at `step`. The checkpoint uses the
 /// pre-step snapshot so the resumed run replays the failed step in full.
+/// Before surfacing the error, the crash leaves its observability trail:
+/// a `failed` status snapshot (when exporting) and the flight recorder's
+/// black-box dump (when recording) next to the checkpoint.
 #[allow(clippy::too_many_arguments)]
 fn abort_with_checkpoint(
     step: usize,
@@ -695,12 +779,17 @@ fn abort_with_checkpoint(
     steps: &[StepRecord],
     evals: &[EvalRecord],
     checkpoint_params: &[Vec<f64>],
+    run_id: &str,
+    backend: &dyn QuantumBackend,
+    base: StatsBase,
+    prune_phase: &'static str,
 ) -> TrainError {
     let mut saved = None;
     if let (Some(ck), Some(pre)) = (checkpoint, prestep) {
         let state = TrainState {
             schema_version: CHECKPOINT_SCHEMA_VERSION,
             master_seed: config.seed,
+            run_id: run_id.to_string(),
             next_step: step,
             params: pre.params,
             optimizer: pre.optimizer,
@@ -734,10 +823,58 @@ fn abort_with_checkpoint(
             checkpointed = saved.is_some(),
         );
     }
+    if let Some(exporter) = qoc_telemetry::export::global() {
+        let s = combined_stats_base(backend, base);
+        exporter.on_step(qoc_telemetry::export::StatusCore {
+            run_id: run_id.to_string(),
+            state: "failed",
+            backend: backend.name().to_string(),
+            step: step as u64,
+            steps_total: config.steps as u64,
+            loss: steps.last().map_or(0.0, |s| s.loss),
+            best_accuracy: evals.iter().fold(0.0, |b, e| b.max(e.accuracy)),
+            prune_phase: prune_phase.to_string(),
+            circuits_run: s.circuits,
+            total_shots: s.shots,
+            device_ns: s.nanos,
+        });
+    }
+    // The dump is last so the train.abort event above is inside the ring.
+    dump_blackbox(saved.as_deref());
     TrainError::Execution {
         step,
         source,
         checkpoint: saved,
+    }
+}
+
+/// Flushes the flight recorder's ring as schema-valid JSONL — the black-box
+/// dump a dead run leaves behind for `qoc-analyze`. Placed next to the
+/// emergency checkpoint when one was written, else next to the trace file,
+/// else next to the status file; skipped (with nothing to anchor to) when
+/// none of those exist.
+fn dump_blackbox(checkpoint: Option<&std::path::Path>) -> Option<PathBuf> {
+    let recorder = qoc_telemetry::flight_recorder()?;
+    let anchor = checkpoint
+        .map(std::path::Path::to_path_buf)
+        .or_else(qoc_telemetry::trace_file_path)
+        .or_else(|| qoc_telemetry::export::global().map(|e| e.path().to_path_buf()))?;
+    let path = anchor.with_extension("blackbox.jsonl");
+    match recorder.dump_jsonl(&path) {
+        Ok(lines) => {
+            eprintln!(
+                "qoc: flight recorder dumped {lines} records to {}",
+                path.display()
+            );
+            Some(path)
+        }
+        Err(e) => {
+            eprintln!(
+                "qoc: failed to write black-box dump {}: {e}",
+                path.display()
+            );
+            None
+        }
     }
 }
 
@@ -761,9 +898,11 @@ fn write_jsonl<T: serde::Serialize>(path: &std::path::Path, records: &[T]) {
 /// together the config, environment, execution stats, and a final snapshot
 /// of the global metrics registry. I/O failures are reported to stderr, not
 /// propagated — telemetry must never fail a training run.
+#[allow(clippy::too_many_arguments)]
 fn persist_run(
     trace_path: &std::path::Path,
     config: &TrainConfig,
+    run_id: &str,
     steps: &[StepRecord],
     evals: &[EvalRecord],
     stats: &ExecutionStats,
@@ -778,6 +917,7 @@ fn persist_run(
     let manifest = Value::Object(vec![
         ("config".to_string(), serde_json::to_value(config)),
         ("seed".to_string(), Value::UInt(config.seed)),
+        ("run_id".to_string(), Value::Str(run_id.to_string())),
         ("backend".to_string(), Value::Str(backend_name.to_string())),
         (
             "workers".to_string(),

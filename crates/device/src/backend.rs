@@ -28,10 +28,11 @@
 //! parallel accumulation stays exact (integer addition commutes; float
 //! addition does not).
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
-use qoc_telemetry::metrics::{Counter, Histogram, Registry};
+use qoc_telemetry::metrics::{Counter, Gauge, Histogram, Registry};
 
 use rand::rngs::StdRng;
 use rand::RngCore;
@@ -456,8 +457,13 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
     /// emits a `device.batch` span and feeds the per-job queue-wait and
     /// wall-time histograms plus the per-worker jobs/busy-time histograms
     /// (`qoc.device.*` in the global registry); when disabled, no clock is
-    /// read per job. Retry counters (`qoc.device.retries`, `.gave_up`,
-    /// `.degraded_jobs`, backoff-wait histogram) are recorded regardless.
+    /// read per job. It also maintains the live dashboard gauges
+    /// (`qoc.device.jobs_inflight`, `qoc.device.workers_live`, plus the
+    /// `qoc.device.jobs_completed` counter) and pings the status exporter's
+    /// heartbeat once per completed job, so `QOC_STATUS_FILE` snapshots keep
+    /// refreshing inside long Jacobian batches. Retry counters
+    /// (`qoc.device.retries`, `.gave_up`, `.degraded_jobs`, backoff-wait
+    /// histogram) are recorded regardless.
     fn run_batch_workers(&self, jobs: &[CircuitJob<'_>], workers: usize) -> BatchResult {
         /// One job's terminal outcome: expectations, or `(attempts, error)`.
         type JobOutcome = Result<Vec<f64>, (u32, JobError)>;
@@ -472,6 +478,7 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
         let telemetry = span.as_ref().map(|_| {
             let m = batch_metrics();
             m.batches.inc();
+            m.jobs_enqueued(jobs.len() as u64);
             (m, Instant::now())
         });
         // Snapshot the cumulative stats so the span can carry this batch's
@@ -497,6 +504,9 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
         };
         if workers <= 1 {
             let mut busy_ns = 0u64;
+            if let Some((m, _)) = &telemetry {
+                m.workers_delta(1);
+            }
             let slots: Vec<_> = jobs
                 .iter()
                 .map(|job| {
@@ -510,6 +520,7 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
                         let dur = start.elapsed().as_nanos() as u64;
                         m.job_wall_ns.record(dur);
                         busy_ns += dur;
+                        m.job_finished();
                     }
                     result
                 })
@@ -517,6 +528,7 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
             if let Some((m, _)) = &telemetry {
                 m.worker_jobs.record(jobs.len() as u64);
                 m.worker_busy_ns.record(busy_ns);
+                m.workers_delta(-1);
             }
             if let (Some(s), Some(before)) = (span.as_mut(), before_stats) {
                 let after = self.stats();
@@ -539,6 +551,9 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
                 .map(|w| {
                     scope.spawn(move || {
                         let mut busy_ns = 0u64;
+                        if let Some((m, _)) = telemetry {
+                            m.workers_delta(1);
+                        }
                         let out: Vec<_> = jobs
                             .iter()
                             .enumerate()
@@ -556,6 +571,7 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
                                     let dur = start.elapsed().as_nanos() as u64;
                                     m.job_wall_ns.record(dur);
                                     busy_ns += dur;
+                                    m.job_finished();
                                 }
                                 (i, result)
                             })
@@ -563,6 +579,7 @@ pub trait QuantumBackend: std::fmt::Debug + Send + Sync {
                         if let Some((m, _)) = telemetry {
                             m.worker_jobs.record(out.len() as u64);
                             m.worker_busy_ns.record(busy_ns);
+                            m.workers_delta(-1);
                         }
                         out
                     })
@@ -656,12 +673,50 @@ fn device_metrics() -> &'static DeviceMetrics {
 
 /// Batch-level metrics, recorded only while telemetry is enabled (they need
 /// wall-clock reads around every job).
+///
+/// The live gauges (`qoc.device.jobs_inflight`, `qoc.device.workers_live`)
+/// are backed by atomic cells so overlapping batches on different threads
+/// compose: each batch adds its jobs/workers on entry and subtracts as they
+/// drain, and the gauge is re-published from the cell after every change.
 struct BatchMetrics {
     batches: Arc<Counter>,
     queue_wait_ns: Arc<Histogram>,
     job_wall_ns: Arc<Histogram>,
     worker_jobs: Arc<Histogram>,
     worker_busy_ns: Arc<Histogram>,
+    jobs_completed: Arc<Counter>,
+    jobs_inflight: Arc<Gauge>,
+    workers_live: Arc<Gauge>,
+    inflight_cell: AtomicU64,
+    live_cell: AtomicU64,
+}
+
+impl BatchMetrics {
+    /// Registers `n` jobs as queued/in-flight for the live dashboard.
+    fn jobs_enqueued(&self, n: u64) {
+        let now = self.inflight_cell.fetch_add(n, Ordering::Relaxed) + n;
+        self.jobs_inflight.set(now as f64);
+    }
+
+    /// Marks one job finished: bumps the completion counter, drops the
+    /// in-flight gauge, and gives the status exporter a heartbeat so long
+    /// Jacobian batches still refresh the snapshot between steps.
+    fn job_finished(&self) {
+        self.jobs_completed.inc();
+        let now = self.inflight_cell.fetch_sub(1, Ordering::Relaxed) - 1;
+        self.jobs_inflight.set(now as f64);
+        qoc_telemetry::export::heartbeat();
+    }
+
+    /// Adjusts the live-worker gauge by `delta` (worker start / exit).
+    fn workers_delta(&self, delta: i64) {
+        let now = if delta >= 0 {
+            self.live_cell.fetch_add(delta as u64, Ordering::Relaxed) + delta as u64
+        } else {
+            self.live_cell.fetch_sub((-delta) as u64, Ordering::Relaxed) - (-delta) as u64
+        };
+        self.workers_live.set(now as f64);
+    }
 }
 
 fn batch_metrics() -> &'static BatchMetrics {
@@ -678,6 +733,11 @@ fn batch_metrics() -> &'static BatchMetrics {
                 &Histogram::exponential_bounds(1, 2, 12),
             ),
             worker_busy_ns: reg.histogram("qoc.device.worker_busy_ns", &latency_bounds),
+            jobs_completed: reg.counter("qoc.device.jobs_completed"),
+            jobs_inflight: reg.gauge("qoc.device.jobs_inflight"),
+            workers_live: reg.gauge("qoc.device.workers_live"),
+            inflight_cell: AtomicU64::new(0),
+            live_cell: AtomicU64::new(0),
         }
     })
 }

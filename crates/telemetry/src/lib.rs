@@ -13,6 +13,10 @@
 //! - **Metrics** — a global registry of atomic counters, gauges, and
 //!   fixed-bucket histograms (see [`metrics`]), exported via
 //!   [`metrics::Registry::snapshot`] into run manifests and bench artifacts.
+//! - **Live observability** — a bounded in-memory [`flight`] recorder
+//!   (`QOC_FLIGHT_RECORDER`, black-box crash dumps) and a live status
+//!   [`export`]er (`QOC_STATUS_FILE`/`QOC_STATUS_EVERY`) publishing atomic
+//!   JSON snapshots plus a Prometheus text sibling (see [`prom`]).
 //!
 //! # Off by default, cheap when off
 //!
@@ -37,7 +41,10 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod export;
+pub mod flight;
 pub mod metrics;
+pub mod prom;
 pub mod quantile;
 pub mod schema;
 pub mod series;
@@ -245,6 +252,7 @@ struct Telemetry {
     dispatched: AtomicU64,
     subscribers: RwLock<Vec<Arc<dyn Subscriber>>>,
     trace_path: RwLock<Option<PathBuf>>,
+    flight: RwLock<Option<Arc<flight::FlightRecorder>>>,
 }
 
 static GLOBAL: OnceLock<Telemetry> = OnceLock::new();
@@ -270,12 +278,21 @@ fn global() -> &'static Telemetry {
                 }
             }
         }
+        let flight = flight::FlightRecorder::from_env();
+        if let Some(recorder) = &flight {
+            subscribers.push(recorder.clone());
+        }
+        // A configured status exporter needs the gated instrumentation
+        // (SNR, queue-wait) to feed the metrics registry even when no
+        // record subscriber exists.
+        let active = !subscribers.is_empty() || export::configured_from_env();
         Telemetry {
-            active: AtomicBool::new(!subscribers.is_empty()),
+            active: AtomicBool::new(active),
             epoch: Instant::now(),
             dispatched: AtomicU64::new(0),
             subscribers: RwLock::new(subscribers),
             trace_path: RwLock::new(trace_path),
+            flight: RwLock::new(flight),
         }
     })
 }
@@ -310,6 +327,12 @@ pub fn trace_file_path() -> Option<PathBuf> {
         .read()
         .expect("telemetry poisoned")
         .clone()
+}
+
+/// The installed flight recorder (`QOC_FLIGHT_RECORDER`), if any. The
+/// engine's crash path uses this to flush the black-box dump.
+pub fn flight_recorder() -> Option<Arc<flight::FlightRecorder>> {
+    global().flight.read().expect("telemetry poisoned").clone()
 }
 
 /// Number of records dispatched so far (observability for the
@@ -454,6 +477,16 @@ pub fn install_for_test(
     subscribers: Vec<Arc<dyn Subscriber>>,
     trace_path: Option<PathBuf>,
 ) -> TestInstallGuard {
+    install_for_test_with_flight(subscribers, trace_path, None)
+}
+
+/// [`install_for_test`] that additionally swaps the global flight-recorder
+/// handle, so tests can exercise the black-box crash-dump path.
+pub fn install_for_test_with_flight(
+    subscribers: Vec<Arc<dyn Subscriber>>,
+    trace_path: Option<PathBuf>,
+    flight: Option<Arc<flight::FlightRecorder>>,
+) -> TestInstallGuard {
     static TEST_LOCK: Mutex<()> = Mutex::new(());
     let lock = TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner());
     let t = global();
@@ -469,10 +502,13 @@ pub fn install_for_test(
         &mut *t.trace_path.write().expect("telemetry poisoned"),
         trace_path,
     );
+    let prev_flight =
+        std::mem::replace(&mut *t.flight.write().expect("telemetry poisoned"), flight);
     TestInstallGuard {
         prev_subs: Some(prev_subs),
         prev_active,
         prev_path,
+        prev_flight,
         _lock: lock,
     }
 }
@@ -483,6 +519,7 @@ pub struct TestInstallGuard {
     prev_subs: Option<Vec<Arc<dyn Subscriber>>>,
     prev_active: bool,
     prev_path: Option<PathBuf>,
+    prev_flight: Option<Arc<flight::FlightRecorder>>,
     _lock: MutexGuard<'static, ()>,
 }
 
@@ -493,6 +530,7 @@ impl Drop for TestInstallGuard {
             self.prev_subs.take().unwrap_or_default();
         t.active.store(self.prev_active, Ordering::Relaxed);
         *t.trace_path.write().expect("telemetry poisoned") = self.prev_path.take();
+        *t.flight.write().expect("telemetry poisoned") = self.prev_flight.take();
     }
 }
 
@@ -531,6 +569,10 @@ mod tests {
         let guard = install_for_test(Vec::new(), None);
         assert!(!enabled());
         assert_eq!(trace_file_path(), None);
+        assert!(
+            flight_recorder().is_none(),
+            "QOC_FLIGHT_RECORDER unset: the recorder must never be constructed"
+        );
         let before = dispatch_count();
         event!(Level::Info, "should.not.appear", x = 1u64);
         let span = span!("also.not", y = 2u64);

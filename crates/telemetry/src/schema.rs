@@ -95,6 +95,41 @@ pub const DIFF_ADJOINT_FIELDS: &[(&str, FieldKind)] = &[
     ("gates_backward", FieldKind::UInt),
 ];
 
+/// Required fields of a `run.header` event: emitted exactly once at train
+/// start, carrying the seed-derived `run_id` that joins every artifact of a
+/// run (trace, manifest, checkpoint, status snapshots, black-box dump).
+pub const RUN_HEADER_FIELDS: &[(&str, FieldKind)] = &[
+    ("run_id", FieldKind::Str),
+    ("seed", FieldKind::UInt),
+    ("steps", FieldKind::UInt),
+    ("backend", FieldKind::Str),
+];
+
+/// Required top-level fields of a live status snapshot (`QOC_STATUS_FILE`).
+pub const STATUS_DOC_FIELDS: &[(&str, FieldKind)] = &[
+    ("schema_version", FieldKind::UInt),
+    ("run_id", FieldKind::Str),
+    ("state", FieldKind::Str),
+    ("backend", FieldKind::Str),
+    ("step", FieldKind::UInt),
+    ("steps_total", FieldKind::UInt),
+    ("loss", FieldKind::Num),
+    ("best_accuracy", FieldKind::Num),
+    ("prune_phase", FieldKind::Str),
+    ("snapshot", FieldKind::UInt),
+    ("uptime_ns", FieldKind::UInt),
+    ("step_rate", FieldKind::Num),
+];
+
+/// Required fields of the `device` sub-object of a status snapshot. These
+/// are engine-stamped cumulative counters: the final snapshot of a run must
+/// reconcile with the manifest's execution stats to the nanosecond.
+pub const STATUS_DEVICE_FIELDS: &[(&str, FieldKind)] = &[
+    ("circuits_run", FieldKind::UInt),
+    ("total_shots", FieldKind::UInt),
+    ("device_ns", FieldKind::UInt),
+];
+
 /// Required fields of one `<stem>.steps.jsonl` line (`StepRecord`).
 pub const STEP_RECORD_FIELDS: &[(&str, FieldKind)] = &[
     ("step", FieldKind::UInt),
@@ -172,6 +207,7 @@ pub fn check_trace_record(value: &Value) -> Result<(), String> {
             Some("prune.efficacy") => {
                 check_fields(fields, PRUNE_EFFICACY_FIELDS, "prune.efficacy")?
             }
+            Some("run.header") => check_fields(fields, RUN_HEADER_FIELDS, "run.header")?,
             _ => {}
         }
     }
@@ -186,6 +222,27 @@ pub fn check_trace_record(value: &Value) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// Validates one parsed status snapshot (`QOC_STATUS_FILE` document, or one
+/// line of its `<stem>.history.jsonl` sibling).
+pub fn check_status_doc(value: &Value) -> Result<(), String> {
+    if value.as_object().is_none() {
+        return Err("status doc is not a JSON object".to_string());
+    }
+    check_fields(value, STATUS_DOC_FIELDS, "status doc")?;
+    match value.get("state").and_then(Value::as_str) {
+        Some("running" | "finished" | "failed") => {}
+        Some(other) => return Err(format!("status doc: unknown state {other:?}")),
+        None => unreachable!("checked by STATUS_DOC_FIELDS"),
+    }
+    let device = value
+        .get("device")
+        .ok_or_else(|| "status doc: missing device object".to_string())?;
+    if device.as_object().is_none() {
+        return Err("status doc: device is not an object".to_string());
+    }
+    check_fields(device, STATUS_DEVICE_FIELDS, "status doc device")
 }
 
 /// Validates one parsed `<stem>.steps.jsonl` line.
@@ -224,6 +281,33 @@ mod tests {
     fn golden_prune_efficacy_event_passes() {
         let line = r#"{"ts":9000,"kind":"event","level":"info","span":"prune.efficacy","thread":0,"fields":{"window":0,"stage_steps":3,"recall":0.75,"overlap":3,"kept":4,"saved_runs":64,"wasted_runs":16,"measured_savings":0.3333333333333333,"expected_savings":0.3333333333333333}}"#;
         assert_eq!(check_trace_record(&parse(line)), Ok(()));
+    }
+
+    #[test]
+    fn golden_run_header_event_passes() {
+        // The pinned wire shape of the run-identity event every traced run
+        // leads with.
+        let line = r#"{"ts":40,"kind":"event","level":"info","span":"run.header","thread":0,"fields":{"run_id":"9a1f0c44d2e6b013","seed":7,"steps":9,"backend":"fake_santiago","resumed":false}}"#;
+        assert_eq!(check_trace_record(&parse(line)), Ok(()));
+        let missing = r#"{"ts":40,"kind":"event","level":"info","span":"run.header","thread":0,"fields":{"seed":7,"steps":9,"backend":"fake_santiago"}}"#;
+        let err = check_trace_record(&parse(missing)).unwrap_err();
+        assert!(err.contains("run_id"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn golden_status_doc_passes() {
+        // The pinned shape of a live status snapshot. Extra sections (snr,
+        // queue_wait_ns, pool, …) are allowed; the core contract is not.
+        let doc = r#"{"schema_version":1,"run_id":"9a1f0c44d2e6b013","state":"running","backend":"fake_santiago","step":3,"steps_total":9,"loss":0.41,"best_accuracy":0.75,"prune_phase":"accumulating","snapshot":4,"uptime_ns":1200345,"step_rate":1.5,"eta_seconds":4.0,"device":{"circuits_run":740,"total_shots":757760,"device_ns":91234567}}"#;
+        assert_eq!(check_status_doc(&parse(doc)), Ok(()));
+        let bad_state = doc.replace("\"running\"", "\"sideways\"");
+        assert!(check_status_doc(&parse(&bad_state))
+            .unwrap_err()
+            .contains("unknown state"));
+        let no_device = r#"{"schema_version":1,"run_id":"x","state":"running","backend":"b","step":1,"steps_total":2,"loss":0.5,"best_accuracy":0.0,"prune_phase":"none","snapshot":1,"uptime_ns":10,"step_rate":0.0}"#;
+        assert!(check_status_doc(&parse(no_device))
+            .unwrap_err()
+            .contains("device"));
     }
 
     #[test]

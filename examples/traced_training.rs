@@ -11,9 +11,11 @@
 //!     cargo run --release --example quickstart
 //! ```
 
+use std::process::ExitCode;
+
 use qoc::prelude::*;
 
-fn main() {
+fn main() -> ExitCode {
     // Telemetry reads the environment once, on first use — configure it
     // before anything else touches the training stack. Values exported by
     // the caller win (CI runs this at QOC_LOG=debug).
@@ -28,6 +30,15 @@ fn main() {
     let (train_set, val_set) = Task::Mnist2.load(42);
     let model = QnnModel::mnist2();
     let device = FakeDevice::new(fake_santiago());
+    // QOC_FAULT_PLAN wraps the emulator in the deterministic fault injector
+    // — CI uses this (with retries disabled) to drive the emergency
+    // checkpoint + flight-recorder black-box path.
+    let faulty = FaultPlan::from_env()
+        .map(|plan| FaultInjectingBackend::new(FakeDevice::new(fake_santiago()), plan));
+    let backend: &dyn QuantumBackend = match &faulty {
+        Some(b) => b,
+        None => &device,
+    };
 
     let mut config = TrainConfig::paper_pgp(9);
     config.batch_size = 4;
@@ -35,9 +46,16 @@ fn main() {
     println!(
         "training {} steps on {} with tracing on ...\n",
         config.steps,
-        device.name()
+        backend.name()
     );
-    let result = train(&model, &device, &train_set, &val_set, &config);
+    let result = match try_train(&model, backend, &train_set, &val_set, &config) {
+        Ok(result) => result,
+        Err(e) => {
+            qoc::telemetry::flush();
+            eprintln!("traced_training: {e}");
+            return ExitCode::from(1);
+        }
+    };
     qoc::telemetry::flush();
 
     println!(
@@ -61,4 +79,5 @@ fn main() {
             println!("\nsample trace line:\n{line}");
         }
     }
+    ExitCode::SUCCESS
 }
