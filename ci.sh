@@ -6,11 +6,15 @@
 # Usage:
 #   ./ci.sh                 run every stage (fail-fast, timing summary)
 #   ./ci.sh --stage test    run one stage (repeatable: --stage fmt --stage test)
+#   ./ci.sh --from analyze  run from a stage to the end of the list
 #   ./ci.sh --list          list stages
+#
+# Every invocation writes results/ci_summary.json: one entry per executed
+# stage with its name, wall seconds, and ok/FAILED status.
 set -uo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt clippy build test kernel-equivalence diff-equivalence trace-validate analyze determinism fault-soak monitor bench-smoke)
+ALL_STAGES=(fmt clippy build test kernel-equivalence diff-equivalence trace-validate analyze determinism fault-soak monitor shot-alloc bench-smoke)
 
 stage_fmt() {
     cargo fmt --all -- --check
@@ -89,7 +93,23 @@ stage_determinism() {
             return 1
         fi
     done
-    echo "determinism: step and eval records identical at 1 and 4 workers"
+    # Third leg: the SNR-adaptive shot controller on. Every controller
+    # decision derives from deterministic gradient statistics, so budgets
+    # and skips must not reintroduce a worker-count dependence either.
+    QOC_SHOT_ALLOC=snr QOC_WORKERS=1 QOC_TRACE_FILE=results/ci_det_snr_w1.jsonl \
+        cargo run --offline --release --example traced_training > /dev/null
+    QOC_SHOT_ALLOC=snr QOC_WORKERS=4 QOC_TRACE_FILE=results/ci_det_snr_w4.jsonl \
+        cargo run --offline --release --example traced_training > /dev/null
+    for artifact in steps.jsonl evals.jsonl; do
+        if ! diff "results/ci_det_snr_w1.${artifact%.jsonl}.jsonl" \
+                  "results/ci_det_snr_w4.${artifact%.jsonl}.jsonl" > /dev/null; then
+            echo "determinism: $artifact differs between QOC_WORKERS=1 and 4 with QOC_SHOT_ALLOC=snr:" >&2
+            diff "results/ci_det_snr_w1.${artifact%.jsonl}.jsonl" \
+                 "results/ci_det_snr_w4.${artifact%.jsonl}.jsonl" | head -10 >&2
+            return 1
+        fi
+    done
+    echo "determinism: step and eval records identical at 1 and 4 workers (fixed budget and QOC_SHOT_ALLOC=snr)"
 }
 
 stage_fault_soak() {
@@ -137,11 +157,20 @@ stage_monitor() {
         results/ci_blackbox.blackbox.jsonl --blackbox --quiet
 }
 
+stage_shot_alloc() {
+    # Shot-allocation frontier, measured fresh at reduced size: training
+    # MNIST-2 with QOC_SHOT_ALLOC=snr must reach the fixed-1024-shot
+    # baseline's accuracy with ≥ 25% fewer executed shots, or the bin
+    # exits 1.
+    cargo run --offline --release -p qoc-bench --bin shot_frontier -- --ci
+}
+
 stage_bench_smoke() {
     # >25% regression vs a committed baseline fails (serial Jacobian vs
     # BENCH_param_shift.json, fused QNN-4 state prep vs
     # BENCH_gate_kernels.json, adjoint-mode Jacobian vs BENCH_adjoint.json);
-    # tolerance is QOC_BENCH_TOLERANCE.
+    # tolerance is QOC_BENCH_TOLERANCE. Also statically gates the committed
+    # BENCH_shot_alloc.json frontier claim (≥ 25% saved, no accuracy loss).
     cargo run --offline --release -p qoc-bench --bin bench_smoke
 }
 
@@ -158,6 +187,19 @@ print_summary() {
         printf '  %-16s %6ss  %s\n' \
             "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" "${STAGE_RESULTS[$i]}"
     done
+    # Machine-readable twin of the table above, one object per executed
+    # stage (names contain only [a-z-], so string interpolation is safe).
+    mkdir -p results
+    {
+        echo '['
+        for i in "${!STAGE_NAMES[@]}"; do
+            local comma=','
+            [ "$i" -eq $(( ${#STAGE_NAMES[@]} - 1 )) ] && comma=''
+            printf '  {"stage": "%s", "seconds": %s, "status": "%s"}%s\n' \
+                "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" "${STAGE_RESULTS[$i]}" "$comma"
+        done
+        echo ']'
+    } > results/ci_summary.json
 }
 trap print_summary EXIT
 
@@ -177,11 +219,17 @@ run_stage() {
 }
 
 SELECTED=()
+FROM_STAGE=""
 while [ $# -gt 0 ]; do
     case "$1" in
         --stage)
             [ $# -ge 2 ] || { echo "ci.sh: --stage needs a name" >&2; exit 64; }
             SELECTED+=("$2")
+            shift 2
+            ;;
+        --from)
+            [ $# -ge 2 ] || { echo "ci.sh: --from needs a stage name" >&2; exit 64; }
+            FROM_STAGE="$2"
             shift 2
             ;;
         --list)
@@ -194,6 +242,21 @@ while [ $# -gt 0 ]; do
             ;;
     esac
 done
+if [ -n "$FROM_STAGE" ]; then
+    if [ ${#SELECTED[@]} -gt 0 ]; then
+        echo "ci.sh: --from and --stage are mutually exclusive" >&2
+        exit 64
+    fi
+    found=0
+    for stage in "${ALL_STAGES[@]}"; do
+        [ "$stage" = "$FROM_STAGE" ] && found=1
+        [ $found -eq 1 ] && SELECTED+=("$stage")
+    done
+    if [ $found -eq 0 ]; then
+        echo "ci.sh: unknown stage $FROM_STAGE (try --list)" >&2
+        exit 64
+    fi
+fi
 [ ${#SELECTED[@]} -eq 0 ] && SELECTED=("${ALL_STAGES[@]}")
 
 for stage in "${SELECTED[@]}"; do

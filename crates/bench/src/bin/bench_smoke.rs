@@ -9,13 +9,19 @@
 //! - `BENCH_adjoint.json` — re-measures the adjoint-mode exact Jacobian of
 //!   the MNIST-2 ansatz (the `diff/adjoint_mnist2` row), guarding the
 //!   structured differentiation path of the shift planner.
+//! - `BENCH_shot_alloc.json` — checks the committed shot-allocation
+//!   frontier (the `shot_alloc/mnist2_frontier` row): the controller must
+//!   have reached baseline accuracy with ≥ 25% fewer executed shots. This
+//!   gate is static (the fresh re-measurement lives in the `ci.sh
+//!   shot-alloc` stage, which re-trains); it guards the *committed* claim
+//!   against a stale or hand-edited artifact.
 //!
 //! Each gate fails if the fresh timing regresses more than the tolerance
 //! against the committed baseline. Both sides compare their *minimum*
 //! sample: on shared/single-CPU runners medians swing ±25% with scheduler
 //! noise, while the minimum is a stable lower bound on the true cost.
 //!
-//! Usage: `bench_smoke [PARAM_SHIFT_JSON [GATE_KERNELS_JSON [ADJOINT_JSON]]]`
+//! Usage: `bench_smoke [PARAM_SHIFT_JSON [GATE_KERNELS_JSON [ADJOINT_JSON [SHOT_ALLOC_JSON]]]]`
 //! (defaults to the repo-root artifacts). Tolerance defaults to 0.25 (25 %) and can be
 //! overridden with `QOC_BENCH_TOLERANCE`. Exit codes: **0** within
 //! tolerance, **1** regression or malformed baseline, **2** baseline
@@ -185,6 +191,75 @@ fn measure_adjoint_min_ns() -> f64 {
         .fold(f64::INFINITY, f64::min)
 }
 
+/// Fractional shot reduction the committed shot-allocation frontier must
+/// claim (mirrors the fresh gate in `shot_frontier --ci`).
+const SHOT_ALLOC_MIN_REDUCTION: f64 = 0.25;
+
+/// Static gate over the committed `BENCH_shot_alloc.json`: the
+/// `shot_alloc/mnist2_frontier` row must record ≥ 25% shot reduction at no
+/// accuracy loss. No re-measurement here — `ci.sh shot-alloc` re-trains.
+fn check_shot_alloc_gate(path: &PathBuf) -> GateRow {
+    let artifact = path.file_name().map_or_else(
+        || path.display().to_string(),
+        |n| n.to_string_lossy().into_owned(),
+    );
+    let label = "shot_alloc/mnist2_frontier";
+    let mut row = GateRow {
+        artifact,
+        label: label.to_string(),
+        baseline_median: None,
+        baseline_min: None,
+        current_min: None,
+        status: "ok",
+        code: 0,
+    };
+    let refresh_hint = "cargo run --release -p qoc-bench --bin shot_frontier";
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            eprintln!(
+                "bench_smoke: baseline {} does not exist (run `{refresh_hint}` to create it)",
+                path.display()
+            );
+            row.status = "missing";
+            row.code = 2;
+            return row;
+        }
+        Err(e) => {
+            eprintln!("bench_smoke: cannot read {}: {e}", path.display());
+            row.status = "malformed";
+            row.code = 1;
+            return row;
+        }
+    };
+    let (reduction, delta) = match (
+        baseline_value(&text, label, "reduction"),
+        baseline_value(&text, label, "accuracy_delta"),
+    ) {
+        (Ok(r), Ok(d)) => (r, d),
+        (Err(msg), _) | (_, Err(msg)) => {
+            eprintln!("bench_smoke: {msg}");
+            row.status = "malformed";
+            row.code = 1;
+            return row;
+        }
+    };
+    println!(
+        "bench_smoke: {label}: committed reduction {:.1}% (gate ≥ {:.0}%), accuracy delta {:+.3} (gate ≥ 0)",
+        reduction * 100.0,
+        SHOT_ALLOC_MIN_REDUCTION * 100.0,
+        delta,
+    );
+    if reduction < SHOT_ALLOC_MIN_REDUCTION || delta < 0.0 {
+        eprintln!(
+            "bench_smoke: {label} no longer clears the frontier gate; refresh with `{refresh_hint}`"
+        );
+        row.status = "REGRESSED";
+        row.code = 1;
+    }
+    row
+}
+
 /// One regression gate: committed `min_ns` for `label` in the artifact at
 /// `path` vs a fresh re-measurement. Always returns a row for the summary
 /// table; the row's `code` carries the gate's exit-code severity.
@@ -326,6 +401,15 @@ fn main() -> ExitCode {
         },
         PathBuf::from,
     );
+    let shot_alloc_path: PathBuf = std::env::args().nth(4).map_or_else(
+        || {
+            PathBuf::from(concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/../../BENCH_shot_alloc.json"
+            ))
+        },
+        PathBuf::from,
+    );
     if cfg!(debug_assertions) {
         println!(
             "bench_smoke: skipped — debug build; baselines are measured with \
@@ -360,10 +444,11 @@ fn main() -> ExitCode {
             measure_adjoint_min_ns,
         ),
     ];
-    let rows: Vec<GateRow> = gates
+    let mut rows: Vec<GateRow> = gates
         .into_iter()
         .map(|(path, label, hint, measure)| check_gate(path, label, tolerance, hint, measure))
         .collect();
+    rows.push(check_shot_alloc_gate(&shot_alloc_path));
     println!();
     print!("{}", summary_table(&rows));
     match rows.iter().map(|r| r.code).max().unwrap_or(0) {

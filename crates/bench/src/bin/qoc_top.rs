@@ -167,6 +167,15 @@ fn render(doc: &Value, losses: &[f64]) -> String {
         get_u64(doc, &["pool", "hits"]),
         get_u64(doc, &["pool", "misses"]),
     ));
+    // Shot-allocation controller counters (all zero unless QOC_SHOT_ALLOC
+    // is active — the section still renders so the layout is stable).
+    out.push_str(&format!(
+        "  alloc  saved {} shots  skipped {} evals  {} windows  requested {} shots\n",
+        get_u64(doc, &["alloc", "saved_shots"]),
+        get_u64(doc, &["alloc", "skipped_evals"]),
+        get_u64(doc, &["alloc", "windows"]),
+        get_u64(doc, &["alloc", "requested_shots"]),
+    ));
     out.push_str(&format!(
         "  snapshot #{}  uptime {:.1} s\n",
         get_u64(doc, &["snapshot"]),

@@ -1,0 +1,1021 @@
+//! SNR-adaptive shot allocation — the runtime controller that closes the
+//! loop from the PR 5 gradient-health *diagnostics* to shot-budget
+//! *decisions*.
+//!
+//! The paper's core observation (Section 3.3, Figure 5) is that small
+//! gradients under shot noise carry high relative error and frequently a
+//! wrong sign. [`crate::health`] measures exactly that — per-parameter |g|
+//! EMA, shot-noise σ̂, SNR — but only reports it. This module acts on the
+//! same streaming statistics, each step assigning a per-shifted-circuit
+//! shot budget instead of the uniform `Execution::Shots(base)`:
+//!
+//! - **high-SNR parameters** get few shots — their sign and rough magnitude
+//!   survive coarse sampling;
+//! - **parameters near the pruning boundary** (small |g|, meaningful σ̂)
+//!   get more shots, up to [`ShotAllocConfig::max_shots`], because that is
+//!   where a wrong sign flips an update;
+//! - **hopeless parameters** — predicted SNR below [`WRONG_SIGN_SNR`] even
+//!   at the max budget — are *skipped with a frozen gradient* for the step
+//!   (a deterministic low-cost probe every [`SKIP_PROBE_EVERY`]-th
+//!   consecutive skip keeps them from starving forever).
+//!
+//! The key identity making this cheap: a gradient entry's shot variance
+//! scales as `1/s`, so `ĉ = σ̂²·s` is a *shot-count-invariant* noise
+//! coefficient. The controller keeps an EMA of `ĉ` per parameter and solves
+//! `target_snr = |g| / √(ĉ/s)` for the budget `s = target²·ĉ/|g|²`.
+//!
+//! Per completed pruning window (a Full selection arriving after Subset
+//! steps, exactly like [`crate::health`]'s stage tracking) the controller
+//! also measures prune-efficacy recall of the sampled subset against its
+//! own top-|g|-EMA ranking and feeds it back to auto-tune PGP's ratio `r`
+//! and pruning-window width via [`crate::prune::Pruner::retune`].
+//!
+//! **Determinism contract:** every decision derives only from the
+//! deterministic `grad`/`grad_var` stream the gradient computer already
+//! produces — never from wall-clock, worker interleaving, or telemetry
+//! state. Step/eval records are therefore bit-identical at any
+//! `QOC_WORKERS` count, and the accumulators checkpoint/restore through
+//! [`AllocState`] so resumed runs replay identically. Telemetry emission
+//! (the `alloc.window` event, `qoc.alloc.*` counters) is separately gated
+//! on [`qoc_telemetry::enabled`] and never feeds back into decisions.
+//!
+//! Configured via `QOC_SHOT_ALLOC=off|snr` (default off — every existing
+//! golden stays byte-identical) plus `QOC_SHOT_MIN` / `QOC_SHOT_MAX` /
+//! `QOC_TARGET_SNR`.
+
+use serde::Serialize;
+
+use crate::health::SNR_CAP;
+use crate::prune::Selection;
+
+/// Default per-row shot floor when `QOC_SHOT_MIN` is unset.
+pub const DEFAULT_MIN_SHOTS: u32 = 128;
+/// Default per-row shot ceiling when `QOC_SHOT_MAX` is unset.
+pub const DEFAULT_MAX_SHOTS: u32 = 4096;
+/// Default SNR target when `QOC_TARGET_SNR` is unset.
+pub const DEFAULT_TARGET_SNR: f64 = 2.0;
+/// Predicted-SNR threshold below which evaluating a row is considered a
+/// coin flip: if even [`ShotAllocConfig::max_shots`] cannot lift a
+/// parameter's SNR above this, the row is skipped with a frozen gradient.
+/// Deliberately deep in the noise floor (sign-error probability ≈ 40%):
+/// noisy-but-unbiased gradients still steer Adam, so only rows whose
+/// measurement would be essentially a coin flip are worth freezing —
+/// MNIST-2 frontier runs lose measurable accuracy already at a threshold
+/// of 1.0.
+pub const WRONG_SIGN_SNR: f64 = 0.25;
+/// Every this-many consecutive skips, a parameter gets a minimum-budget
+/// probe evaluation instead, so a gradient that grows back is noticed.
+pub const SKIP_PROBE_EVERY: u32 = 2;
+
+/// Bounds the auto-tuner keeps PGP's ratio `r` inside.
+const RETUNE_RATIO_MIN: f64 = 0.25;
+const RETUNE_RATIO_MAX: f64 = 0.8;
+const RETUNE_RATIO_STEP: f64 = 0.05;
+/// Bounds for the auto-tuned pruning-window width `w_p`.
+const RETUNE_WINDOW_MAX: usize = 8;
+/// Recall above which pruning is judged safe to push harder.
+const RETUNE_RECALL_HIGH: f64 = 0.95;
+/// Recall below which pruning is judged to be losing top gradients.
+const RETUNE_RECALL_LOW: f64 = 0.7;
+
+/// Why the shot-allocation configuration was rejected.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShotAllocError {
+    /// `QOC_SHOT_ALLOC` was set to something other than `off`/`snr`.
+    InvalidMode(String),
+    /// A numeric variable did not parse or was out of its domain.
+    InvalidNumber {
+        /// Which environment variable.
+        var: &'static str,
+        /// The offending raw value.
+        value: String,
+    },
+    /// `QOC_SHOT_MIN` exceeds `QOC_SHOT_MAX` — clamping silently would
+    /// invert the caller's intent, so this is a typed error, not a panic.
+    InvalidRange {
+        /// Configured floor.
+        min: u32,
+        /// Configured ceiling.
+        max: u32,
+    },
+}
+
+impl std::fmt::Display for ShotAllocError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShotAllocError::InvalidMode(m) => {
+                write!(f, "unknown QOC_SHOT_ALLOC mode {m:?} (expected off or snr)")
+            }
+            ShotAllocError::InvalidNumber { var, value } => {
+                write!(f, "{var} must be a positive number, got {value:?}")
+            }
+            ShotAllocError::InvalidRange { min, max } => write!(
+                f,
+                "QOC_SHOT_MIN ({min}) must not exceed QOC_SHOT_MAX ({max})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ShotAllocError {}
+
+/// Validated shot-allocation controller configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShotAllocConfig {
+    /// Per-row shot floor (≥ 1).
+    pub min_shots: u32,
+    /// Per-row shot ceiling (≥ `min_shots`).
+    pub max_shots: u32,
+    /// The SNR the budget solver aims each evaluated row at (> 0).
+    pub target_snr: f64,
+}
+
+impl Default for ShotAllocConfig {
+    fn default() -> Self {
+        ShotAllocConfig {
+            min_shots: DEFAULT_MIN_SHOTS,
+            max_shots: DEFAULT_MAX_SHOTS,
+            target_snr: DEFAULT_TARGET_SNR,
+        }
+    }
+}
+
+impl ShotAllocConfig {
+    /// Builds a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`ShotAllocError::InvalidRange`] when `min_shots > max_shots`;
+    /// [`ShotAllocError::InvalidNumber`] on a zero floor or a non-positive
+    /// / non-finite target.
+    pub fn new(min_shots: u32, max_shots: u32, target_snr: f64) -> Result<Self, ShotAllocError> {
+        if min_shots == 0 {
+            return Err(ShotAllocError::InvalidNumber {
+                var: "QOC_SHOT_MIN",
+                value: "0".to_string(),
+            });
+        }
+        if min_shots > max_shots {
+            return Err(ShotAllocError::InvalidRange {
+                min: min_shots,
+                max: max_shots,
+            });
+        }
+        if !(target_snr.is_finite() && target_snr > 0.0) {
+            return Err(ShotAllocError::InvalidNumber {
+                var: "QOC_TARGET_SNR",
+                value: format!("{target_snr}"),
+            });
+        }
+        Ok(ShotAllocConfig {
+            min_shots,
+            max_shots,
+            target_snr,
+        })
+    }
+
+    /// Reads `QOC_SHOT_ALLOC` (`off`/`snr`, default off → `None`) plus the
+    /// `QOC_SHOT_MIN` / `QOC_SHOT_MAX` / `QOC_TARGET_SNR` overrides.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`ShotAllocError`]s for an unknown mode, unparseable numbers,
+    /// or an inverted min/max range — never a panic, so callers can decide
+    /// how loudly to fail.
+    pub fn from_env() -> Result<Option<Self>, ShotAllocError> {
+        let mode = std::env::var("QOC_SHOT_ALLOC").unwrap_or_default();
+        match mode.trim().to_ascii_lowercase().as_str() {
+            "" | "off" => return Ok(None),
+            "snr" => {}
+            other => return Err(ShotAllocError::InvalidMode(other.to_string())),
+        }
+        let parse_u32 = |var: &'static str, default: u32| -> Result<u32, ShotAllocError> {
+            match std::env::var(var) {
+                Ok(raw) => raw
+                    .trim()
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|&v| v >= 1)
+                    .ok_or(ShotAllocError::InvalidNumber { var, value: raw }),
+                Err(_) => Ok(default),
+            }
+        };
+        let min_shots = parse_u32("QOC_SHOT_MIN", DEFAULT_MIN_SHOTS)?;
+        let max_shots = parse_u32("QOC_SHOT_MAX", DEFAULT_MAX_SHOTS)?;
+        let target_snr = match std::env::var("QOC_TARGET_SNR") {
+            Ok(raw) => raw
+                .trim()
+                .parse::<f64>()
+                .ok()
+                .filter(|v| v.is_finite() && *v > 0.0)
+                .ok_or(ShotAllocError::InvalidNumber {
+                    var: "QOC_TARGET_SNR",
+                    value: raw,
+                })?,
+            Err(_) => DEFAULT_TARGET_SNR,
+        };
+        ShotAllocConfig::new(min_shots, max_shots, target_snr).map(Some)
+    }
+}
+
+/// One evaluated Jacobian row's shot budget for the upcoming step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShotSpec {
+    /// Trainable parameter index.
+    pub param: usize,
+    /// Shots each of this row's shifted jobs runs with.
+    pub shots: u32,
+}
+
+/// The controller's decision for one step: which of the selected rows to
+/// evaluate (and at what budget) and which to skip outright.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct StepPlan {
+    /// Rows to evaluate, in ascending parameter order.
+    pub rows: Vec<ShotSpec>,
+    /// Rows skipped with frozen gradients (predicted SNR below
+    /// [`WRONG_SIGN_SNR`] at the max budget).
+    pub skipped: Vec<usize>,
+}
+
+impl StepPlan {
+    /// The evaluated parameter indices, ascending.
+    pub fn indices(&self) -> Vec<usize> {
+        self.rows.iter().map(|r| r.param).collect()
+    }
+}
+
+/// A PGP retune the controller requests after measuring a window's recall.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Retune {
+    /// New pruning ratio `r`.
+    pub ratio: f64,
+    /// New pruning-window width `w_p`.
+    pub pruning_window: usize,
+}
+
+/// Serializable snapshot of every controller accumulator — carried in
+/// schema-v2 checkpoints so resumed runs replay decisions bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct AllocState {
+    /// Per-parameter |g| EMA.
+    pub ema_abs: Vec<f64>,
+    /// Per-parameter EMA of the shot-invariant noise coefficient `σ̂²·s`.
+    pub noise: Vec<f64>,
+    /// Per-parameter evaluation counts.
+    pub evals: Vec<u64>,
+    /// Per-parameter consecutive-skip streaks.
+    pub skip_streak: Vec<u32>,
+    /// Whether the previous step was a pruned (subset) step.
+    pub prev_was_subset: bool,
+    /// Completed windows.
+    pub windows: u64,
+    /// Cumulative shift-job shots a uniform-budget run would have spent.
+    pub baseline_shots: u64,
+    /// Cumulative shift-job shots actually requested.
+    pub requested_shots: u64,
+    /// Cumulative skipped row evaluations.
+    pub skipped_evals: u64,
+    /// PGP ratio currently in effect (after retunes).
+    pub ratio: f64,
+    /// PGP pruning-window width currently in effect.
+    pub pruning_window: u64,
+    /// Retunes applied so far.
+    pub retunes: u64,
+    /// Open-window accumulators (steps, planned/skipped rows, shots,
+    /// subset-vs-top-k overlap), in field order: steps, planned, skipped,
+    /// requested, baseline, kept, overlap.
+    pub stage: Vec<u64>,
+}
+
+/// Per-parameter streaming state.
+#[derive(Debug, Clone, Copy, Default)]
+struct ParamStat {
+    /// EMA of |g| (seeded by the first evaluation, decay 0.5 — the same
+    /// update rule as [`crate::health`]).
+    ema_abs: f64,
+    /// EMA of the shot-invariant noise coefficient `ĉ = σ̂²·s`.
+    noise: f64,
+    /// Evaluations observed.
+    evals: u64,
+    /// Consecutive steps this parameter was skipped.
+    skip_streak: u32,
+}
+
+/// Open-window accumulators.
+#[derive(Debug, Default, Clone, Copy)]
+struct Stage {
+    steps: u64,
+    planned: u64,
+    skipped: u64,
+    requested: u64,
+    baseline: u64,
+    kept: u64,
+    overlap: u64,
+}
+
+/// The SNR-adaptive shot allocator. One instance per training run,
+/// constructed only when `QOC_SHOT_ALLOC=snr` and execution is finite-shot.
+///
+/// Unlike [`crate::health::GradientHealth`], which exists only when
+/// telemetry is on, the allocator is **always on** once configured — its
+/// decisions change the training trajectory, so they must not depend on
+/// whether anyone is watching.
+#[derive(Debug)]
+pub struct ShotAllocator {
+    config: ShotAllocConfig,
+    /// The uniform budget the run would use without the controller.
+    base_shots: u32,
+    /// Shifted jobs per Jacobian row (2 per occurrence), for exact
+    /// saved-shot accounting.
+    jobs_per_row: Vec<usize>,
+    /// Mini-batch size `B` — each row's budget is spent `B·jobs` times.
+    batch_size: u64,
+    params: Vec<ParamStat>,
+    stage: Stage,
+    prev_was_subset: bool,
+    windows: u64,
+    baseline_shots: u64,
+    requested_shots: u64,
+    skipped_evals: u64,
+    /// PGP knobs currently in effect (mirrors what retunes installed).
+    ratio: f64,
+    pruning_window: usize,
+    retunes: u64,
+    ema_decay: f64,
+    /// The plan issued by the last [`Self::plan`], consumed by
+    /// [`Self::observe`]. Not part of [`AllocState`]: a step that fails
+    /// mid-flight is replayed wholesale on resume.
+    pending: Option<StepPlan>,
+}
+
+impl ShotAllocator {
+    /// Creates a controller for `num_params` parameters.
+    ///
+    /// `base_shots` is the run's uniform budget (the baseline the savings
+    /// accounting compares against), `jobs_per_row[i]` the number of
+    /// shifted jobs parameter `i`'s row costs per example, and
+    /// `(ratio, pruning_window)` the PGP knobs currently configured (used
+    /// as the retuner's starting point; pass `(0.0, 0)` when pruning is
+    /// off — no window ever closes, so no retune ever fires).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `jobs_per_row` width does not match `num_params` or
+    /// `batch_size` is 0.
+    pub fn new(
+        num_params: usize,
+        base_shots: u32,
+        batch_size: usize,
+        jobs_per_row: Vec<usize>,
+        config: ShotAllocConfig,
+        ratio: f64,
+        pruning_window: usize,
+    ) -> Self {
+        assert_eq!(
+            jobs_per_row.len(),
+            num_params,
+            "jobs_per_row width mismatch"
+        );
+        assert!(batch_size > 0, "batch_size must be positive");
+        ShotAllocator {
+            config,
+            base_shots,
+            jobs_per_row,
+            batch_size: batch_size as u64,
+            params: vec![ParamStat::default(); num_params],
+            stage: Stage::default(),
+            prev_was_subset: false,
+            windows: 0,
+            baseline_shots: 0,
+            requested_shots: 0,
+            skipped_evals: 0,
+            ratio,
+            pruning_window,
+            retunes: 0,
+            ema_decay: 0.5,
+            pending: None,
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> &ShotAllocConfig {
+        &self.config
+    }
+
+    /// The plan issued by the last [`Self::plan`], until the matching
+    /// [`Self::observe`] consumes it.
+    pub fn planned(&self) -> Option<&StepPlan> {
+        self.pending.as_ref()
+    }
+
+    /// Cumulative shift-job shots saved against the uniform baseline
+    /// (negative when boundary parameters drew *more* than the baseline).
+    pub fn saved_shots(&self) -> i64 {
+        self.baseline_shots as i64 - self.requested_shots as i64
+    }
+
+    /// Cumulative skipped row evaluations.
+    pub fn skipped_evals(&self) -> u64 {
+        self.skipped_evals
+    }
+
+    /// Completed windows.
+    pub fn windows_completed(&self) -> u64 {
+        self.windows
+    }
+
+    /// The shot budget that lifts a parameter's predicted SNR to the
+    /// target: `s = ⌈target²·ĉ/|g|²⌉`, clamped to `[min, max]`.
+    fn budget_for(&self, stat: &ParamStat) -> u32 {
+        if stat.noise <= 0.0 {
+            // Exact rows (σ̂ = 0) carry no shot noise to buy down: spend
+            // the floor, not a division by zero.
+            return self.config.min_shots;
+        }
+        if stat.ema_abs <= 0.0 {
+            return self.config.max_shots;
+        }
+        let t = self.config.target_snr;
+        let ideal = (t * t * stat.noise / (stat.ema_abs * stat.ema_abs)).ceil();
+        if !ideal.is_finite() || ideal >= f64::from(self.config.max_shots) {
+            self.config.max_shots
+        } else {
+            (ideal as u32).clamp(self.config.min_shots, self.config.max_shots)
+        }
+    }
+
+    /// Predicted SNR at the max budget, capped at [`SNR_CAP`] like the
+    /// health tracker's reported SNR.
+    fn snr_at_max(&self, stat: &ParamStat) -> f64 {
+        if stat.noise <= 0.0 {
+            // No observed noise: trust the gradient.
+            return SNR_CAP;
+        }
+        let sigma = (stat.noise / f64::from(self.config.max_shots)).sqrt();
+        if sigma > 0.0 {
+            (stat.ema_abs / sigma).min(SNR_CAP)
+        } else if stat.ema_abs > 0.0 {
+            SNR_CAP
+        } else {
+            0.0
+        }
+    }
+
+    /// Assigns this step's budgets for the selected rows (`indices` is the
+    /// pruner's selection, ascending). Parameters without history warm up
+    /// at the uniform baseline budget; the rest get the SNR-solved budget
+    /// or are skipped when even the max budget cannot beat
+    /// [`WRONG_SIGN_SNR`].
+    ///
+    /// Call exactly once per step, before the gradient evaluation; the
+    /// matching [`Self::observe`] folds the measured gradients back in.
+    pub fn plan(&mut self, indices: &[usize]) -> StepPlan {
+        let mut plan = StepPlan::default();
+        for &i in indices {
+            let stat = &self.params[i];
+            if stat.evals == 0 {
+                plan.rows.push(ShotSpec {
+                    param: i,
+                    shots: self.base_shots,
+                });
+                continue;
+            }
+            if self.snr_at_max(stat) < WRONG_SIGN_SNR {
+                // Probe instead of skipping on every SKIP_PROBE_EVERY-th
+                // consecutive skip, so recovering gradients are noticed.
+                if (stat.skip_streak + 1).is_multiple_of(SKIP_PROBE_EVERY) {
+                    plan.rows.push(ShotSpec {
+                        param: i,
+                        shots: self.config.min_shots,
+                    });
+                } else {
+                    plan.skipped.push(i);
+                }
+                continue;
+            }
+            plan.rows.push(ShotSpec {
+                param: i,
+                shots: self.budget_for(stat),
+            });
+        }
+        self.pending = Some(plan.clone());
+        plan
+    }
+
+    /// Folds the step's measured gradients back into the streaming state,
+    /// updates the savings/window accounting, and — when a Full selection
+    /// closes a pruning window — measures the subset's recall against the
+    /// controller's own top-|g|-EMA ranking and possibly requests a PGP
+    /// retune.
+    ///
+    /// `grad`/`grad_var` are the full-width batch-mean gradient and its
+    /// shot-noise variance, exactly as [`crate::grad`] produces them.
+    ///
+    /// # Panics
+    ///
+    /// Panics when called without a preceding [`Self::plan`] or with
+    /// mismatched widths.
+    pub fn observe(
+        &mut self,
+        selection: &Selection,
+        grad: &[f64],
+        grad_var: &[f64],
+    ) -> Option<Retune> {
+        let n = self.params.len();
+        assert_eq!(grad.len(), n, "gradient width mismatch");
+        assert_eq!(grad_var.len(), n, "variance width mismatch");
+        let plan = self.pending.take().expect("observe() without plan()");
+
+        // Window boundary first (mirrors GradientHealth): a Full step after
+        // subset steps means the pruner opened a new stage.
+        let mut retune = None;
+        if matches!(selection, Selection::Full) && self.prev_was_subset {
+            retune = self.close_window();
+        }
+        if let Selection::Subset(s) = selection {
+            let top = self.top_k_by_ema(s.len());
+            let overlap = s.iter().filter(|i| top.binary_search(i).is_ok()).count();
+            self.stage.kept += s.len() as u64;
+            self.stage.overlap += overlap as u64;
+        }
+        self.prev_was_subset = matches!(selection, Selection::Subset(_));
+
+        let mut step_requested = 0u64;
+        let mut step_baseline = 0u64;
+        for spec in &plan.rows {
+            let i = spec.param;
+            let jobs = self.jobs_per_row[i] as u64 * self.batch_size;
+            step_requested += jobs * u64::from(spec.shots);
+            step_baseline += jobs * u64::from(self.base_shots);
+            let decay = self.ema_decay;
+            let stat = &mut self.params[i];
+            let abs = grad[i].abs();
+            stat.ema_abs = if stat.evals == 0 {
+                abs
+            } else {
+                decay * stat.ema_abs + (1.0 - decay) * abs
+            };
+            // σ̂²·s is shot-invariant; EMA it on the same schedule.
+            let c = grad_var[i] * f64::from(spec.shots);
+            stat.noise = if stat.evals == 0 {
+                c
+            } else {
+                decay * stat.noise + (1.0 - decay) * c
+            };
+            stat.evals += 1;
+            stat.skip_streak = 0;
+        }
+        for &i in &plan.skipped {
+            let jobs = self.jobs_per_row[i] as u64 * self.batch_size;
+            step_baseline += jobs * u64::from(self.base_shots);
+            self.params[i].skip_streak += 1;
+        }
+        self.requested_shots += step_requested;
+        self.baseline_shots += step_baseline;
+        self.skipped_evals += plan.skipped.len() as u64;
+        self.stage.steps += 1;
+        self.stage.planned += plan.rows.len() as u64;
+        self.stage.skipped += plan.skipped.len() as u64;
+        self.stage.requested += step_requested;
+        self.stage.baseline += step_baseline;
+
+        if qoc_telemetry::enabled() {
+            let metrics = qoc_telemetry::metrics::Registry::global();
+            metrics
+                .counter("qoc.alloc.saved_shots")
+                .add(step_baseline.saturating_sub(step_requested));
+            metrics
+                .counter("qoc.alloc.skipped_evals")
+                .add(plan.skipped.len() as u64);
+        }
+        retune
+    }
+
+    /// Flushes an open window (call after the training loop, mirroring
+    /// [`crate::health::GradientHealth::finish`]).
+    pub fn finish(&mut self) -> Option<Retune> {
+        self.prev_was_subset = false;
+        if self.stage.kept > 0 {
+            self.close_window()
+        } else {
+            self.stage = Stage::default();
+            None
+        }
+    }
+
+    /// Indices of the `k` largest-|g|-EMA parameters (ascending).
+    fn top_k_by_ema(&self, k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.params.len()).collect();
+        idx.sort_by(|&a, &b| self.params[b].ema_abs.total_cmp(&self.params[a].ema_abs));
+        idx.truncate(k);
+        idx.sort_unstable();
+        idx
+    }
+
+    /// Closes the window: emits the `alloc.window` event, derives a retune
+    /// from the measured recall, and resets the stage accumulators.
+    fn close_window(&mut self) -> Option<Retune> {
+        let stage = std::mem::take(&mut self.stage);
+        if stage.steps == 0 {
+            return None;
+        }
+        let recall = if stage.kept > 0 {
+            stage.overlap as f64 / stage.kept as f64
+        } else {
+            0.0
+        };
+        let retune = self.derive_retune(recall, stage.kept > 0);
+        if qoc_telemetry::enabled() {
+            qoc_telemetry::event!(
+                qoc_telemetry::Level::Info,
+                "alloc.window",
+                window = self.windows,
+                stage_steps = stage.steps,
+                planned_rows = stage.planned,
+                skipped_rows = stage.skipped,
+                requested_shots = stage.requested,
+                baseline_shots = stage.baseline,
+                saved_shots = stage.baseline as f64 - stage.requested as f64,
+                recall = recall,
+                ratio = self.ratio,
+                pruning_window = self.pruning_window as u64,
+                retuned = retune.is_some(),
+            );
+            let metrics = qoc_telemetry::metrics::Registry::global();
+            metrics.counter("qoc.alloc.windows").inc();
+            metrics.gauge("qoc.alloc.recall").set(recall);
+            metrics.gauge("qoc.alloc.ratio").set(self.ratio);
+        }
+        self.windows += 1;
+        retune
+    }
+
+    /// High recall → the EMA ranking and the pruner agree; prune harder.
+    /// Low recall → the subset is missing top gradients; back off.
+    fn derive_retune(&mut self, recall: f64, had_subset: bool) -> Option<Retune> {
+        if !had_subset || self.pruning_window == 0 {
+            return None;
+        }
+        let (new_ratio, new_window) = if recall >= RETUNE_RECALL_HIGH {
+            (
+                (self.ratio + RETUNE_RATIO_STEP).min(RETUNE_RATIO_MAX),
+                (self.pruning_window + 1).min(RETUNE_WINDOW_MAX),
+            )
+        } else if recall < RETUNE_RECALL_LOW {
+            (
+                (self.ratio - RETUNE_RATIO_STEP).max(RETUNE_RATIO_MIN),
+                self.pruning_window.saturating_sub(1).max(1),
+            )
+        } else {
+            return None;
+        };
+        if (new_ratio - self.ratio).abs() < 1e-12 && new_window == self.pruning_window {
+            return None;
+        }
+        self.ratio = new_ratio;
+        self.pruning_window = new_window;
+        self.retunes += 1;
+        Some(Retune {
+            ratio: new_ratio,
+            pruning_window: new_window,
+        })
+    }
+
+    /// Snapshot of every accumulator for checkpointing.
+    pub fn state(&self) -> AllocState {
+        AllocState {
+            ema_abs: self.params.iter().map(|p| p.ema_abs).collect(),
+            noise: self.params.iter().map(|p| p.noise).collect(),
+            evals: self.params.iter().map(|p| p.evals).collect(),
+            skip_streak: self.params.iter().map(|p| p.skip_streak).collect(),
+            prev_was_subset: self.prev_was_subset,
+            windows: self.windows,
+            baseline_shots: self.baseline_shots,
+            requested_shots: self.requested_shots,
+            skipped_evals: self.skipped_evals,
+            ratio: self.ratio,
+            pruning_window: self.pruning_window as u64,
+            retunes: self.retunes,
+            stage: vec![
+                self.stage.steps,
+                self.stage.planned,
+                self.stage.skipped,
+                self.stage.requested,
+                self.stage.baseline,
+                self.stage.kept,
+                self.stage.overlap,
+            ],
+        }
+    }
+
+    /// Restores a snapshot captured by [`Self::state`].
+    ///
+    /// Returns the tuned PGP knobs so the caller can re-apply them to the
+    /// live pruner (the pruner's own checkpoint carries only its window
+    /// state, not retuned hyper-parameters).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the snapshot's widths do not match this allocator.
+    pub fn restore(&mut self, state: &AllocState) -> Retune {
+        let n = self.params.len();
+        assert_eq!(state.ema_abs.len(), n, "alloc snapshot width mismatch");
+        assert_eq!(state.noise.len(), n, "alloc snapshot width mismatch");
+        assert_eq!(state.evals.len(), n, "alloc snapshot width mismatch");
+        assert_eq!(state.skip_streak.len(), n, "alloc snapshot width mismatch");
+        assert_eq!(state.stage.len(), 7, "alloc snapshot stage width mismatch");
+        for (i, p) in self.params.iter_mut().enumerate() {
+            p.ema_abs = state.ema_abs[i];
+            p.noise = state.noise[i];
+            p.evals = state.evals[i];
+            p.skip_streak = state.skip_streak[i];
+        }
+        self.prev_was_subset = state.prev_was_subset;
+        self.windows = state.windows;
+        self.baseline_shots = state.baseline_shots;
+        self.requested_shots = state.requested_shots;
+        self.skipped_evals = state.skipped_evals;
+        self.ratio = state.ratio;
+        self.pruning_window = state.pruning_window as usize;
+        self.retunes = state.retunes;
+        self.stage = Stage {
+            steps: state.stage[0],
+            planned: state.stage[1],
+            skipped: state.stage[2],
+            requested: state.stage[3],
+            baseline: state.stage[4],
+            kept: state.stage[5],
+            overlap: state.stage[6],
+        };
+        self.pending = None;
+        Retune {
+            ratio: self.ratio,
+            pruning_window: self.pruning_window,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allocator(n: usize, config: ShotAllocConfig) -> ShotAllocator {
+        ShotAllocator::new(n, 1024, 1, vec![2; n], config, 0.5, 2)
+    }
+
+    #[test]
+    fn config_rejects_inverted_range_with_typed_error() {
+        let err = ShotAllocConfig::new(512, 128, 2.0).unwrap_err();
+        assert_eq!(err, ShotAllocError::InvalidRange { min: 512, max: 128 });
+        assert!(err.to_string().contains("QOC_SHOT_MIN"));
+    }
+
+    #[test]
+    fn config_rejects_bad_numbers() {
+        assert!(matches!(
+            ShotAllocConfig::new(0, 128, 2.0),
+            Err(ShotAllocError::InvalidNumber { .. })
+        ));
+        assert!(matches!(
+            ShotAllocConfig::new(1, 128, 0.0),
+            Err(ShotAllocError::InvalidNumber { .. })
+        ));
+        assert!(matches!(
+            ShotAllocConfig::new(1, 128, f64::NAN),
+            Err(ShotAllocError::InvalidNumber { .. })
+        ));
+    }
+
+    #[test]
+    fn warmup_uses_the_baseline_budget() {
+        let mut a = allocator(2, ShotAllocConfig::default());
+        let plan = a.plan(&[0, 1]);
+        assert_eq!(plan.rows.len(), 2);
+        assert!(plan.rows.iter().all(|r| r.shots == 1024));
+        assert!(plan.skipped.is_empty());
+    }
+
+    #[test]
+    fn zero_sigma_rows_get_min_shots_not_a_division() {
+        // Exact-backend rows: grad_var ≡ 0 → ĉ = 0. The budget must be the
+        // configured floor, and the row must never be skipped (its SNR at
+        // max is treated as noise-free).
+        let mut a = allocator(1, ShotAllocConfig::default());
+        let _ = a.plan(&[0]);
+        a.observe(&Selection::Full, &[0.3], &[0.0]);
+        let plan = a.plan(&[0]);
+        assert_eq!(
+            plan.rows,
+            vec![ShotSpec {
+                param: 0,
+                shots: DEFAULT_MIN_SHOTS
+            }]
+        );
+        assert!(plan.skipped.is_empty());
+    }
+
+    #[test]
+    fn high_snr_params_get_few_shots_low_snr_more() {
+        let cfg = ShotAllocConfig::new(64, 8192, 2.0).unwrap();
+        let mut a = ShotAllocator::new(2, 1024, 1, vec![2, 2], cfg, 0.5, 2);
+        let _ = a.plan(&[0, 1]);
+        // Param 0: |g| = 0.5, σ̂² = 1e-4 at 1024 shots → ĉ ≈ 0.1 →
+        // s* = 4·0.1/0.25 = 1.6 → clamps to the floor.
+        // Param 1: |g| = 0.02, same noise → s* = 4·0.1024/4e-4 = 1024.
+        a.observe(&Selection::Full, &[0.5, 0.02], &[1e-4, 1e-4]);
+        let plan = a.plan(&[0, 1]);
+        assert_eq!(plan.rows[0].shots, 64, "high-SNR row at the floor");
+        assert_eq!(plan.rows[1].shots, 1024, "boundary row solved to s*");
+        assert!(plan.rows[0].shots < plan.rows[1].shots);
+    }
+
+    #[test]
+    fn hopeless_rows_are_skipped_with_periodic_probes() {
+        let cfg = ShotAllocConfig::new(64, 256, 2.0).unwrap();
+        let mut a = ShotAllocator::new(1, 1024, 1, vec![2], cfg, 0.5, 2);
+        let _ = a.plan(&[0]);
+        // |g| tiny, noise large: SNR at 256 shots = |g|/√(ĉ/256) ≪ 1.
+        a.observe(&Selection::Full, &[1e-6], &[1e-2]);
+        let mut skips = 0;
+        let mut probes = 0;
+        for _ in 0..8 {
+            let plan = a.plan(&[0]);
+            if plan.skipped == vec![0] {
+                skips += 1;
+                a.observe(&Selection::Full, &[0.0], &[0.0]);
+            } else {
+                probes += 1;
+                assert_eq!(plan.rows[0].shots, 64, "probe runs at the floor");
+                // Probe still measures nothing useful.
+                a.observe(&Selection::Full, &[1e-6], &[1e-2]);
+            }
+        }
+        // SKIP_PROBE_EVERY = 2 → the 8 evals alternate skip / probe.
+        assert!(skips >= 3, "skips {skips}");
+        assert!(probes >= 3, "deterministic probe must fire");
+        assert_eq!(a.skipped_evals(), skips);
+    }
+
+    #[test]
+    fn snr_cap_applies_to_predictions() {
+        // Minuscule but nonzero noise with a huge gradient: the predicted
+        // SNR must cap at SNR_CAP (not inf) and the budget at the floor.
+        let cfg = ShotAllocConfig::new(16, 512, 2.0).unwrap();
+        let mut a = ShotAllocator::new(1, 1024, 1, vec![2], cfg, 0.5, 2);
+        let _ = a.plan(&[0]);
+        a.observe(&Selection::Full, &[1e30], &[1e-300]);
+        let stat = a.params[0];
+        assert_eq!(a.snr_at_max(&stat), SNR_CAP);
+        let plan = a.plan(&[0]);
+        assert_eq!(plan.rows[0].shots, 16);
+    }
+
+    #[test]
+    fn saved_shot_accounting_is_exact() {
+        let cfg = ShotAllocConfig::new(64, 8192, 2.0).unwrap();
+        // 2 params, 4 jobs per row (two occurrences), batch 3.
+        let mut a = ShotAllocator::new(2, 1000, 3, vec![4, 4], cfg, 0.5, 2);
+        let _ = a.plan(&[0, 1]);
+        a.observe(&Selection::Full, &[0.5, 0.5], &[1e-4, 1e-4]);
+        // Warmup step: requested == baseline.
+        assert_eq!(a.saved_shots(), 0);
+        let plan = a.plan(&[0, 1]);
+        let s = plan.rows[0].shots;
+        a.observe(&Selection::Full, &[0.5, 0.5], &[1e-4, 1e-4]);
+        // Each row: 4 jobs × batch 3 = 12 executions of (1000 − s) saved.
+        assert_eq!(a.saved_shots(), 2 * 12 * (1000 - i64::from(s)));
+    }
+
+    #[test]
+    fn window_close_retunes_on_high_recall() {
+        let mut a = allocator(4, ShotAllocConfig::default());
+        // Seed EMAs: params 2, 3 dominate.
+        let _ = a.plan(&[0, 1, 2, 3]);
+        a.observe(&Selection::Full, &[0.01, 0.02, 0.5, 0.6], &[0.0; 4]);
+        // Pruned step keeps exactly the top-2 → recall 1.
+        let _ = a.plan(&[2, 3]);
+        a.observe(
+            &Selection::Subset(vec![2, 3]),
+            &[0.0, 0.0, 0.5, 0.6],
+            &[0.0; 4],
+        );
+        // Full step closes the window.
+        let _ = a.plan(&[0, 1, 2, 3]);
+        let retune = a.observe(&Selection::Full, &[0.01, 0.02, 0.5, 0.6], &[0.0; 4]);
+        let r = retune.expect("perfect recall must push harder");
+        assert!((r.ratio - 0.55).abs() < 1e-12);
+        assert_eq!(r.pruning_window, 3);
+        assert_eq!(a.windows_completed(), 1);
+    }
+
+    #[test]
+    fn window_close_backs_off_on_low_recall() {
+        let mut a = allocator(4, ShotAllocConfig::default());
+        let _ = a.plan(&[0, 1, 2, 3]);
+        a.observe(&Selection::Full, &[0.01, 0.02, 0.5, 0.6], &[0.0; 4]);
+        // Subset misses both top params → recall 0.
+        let _ = a.plan(&[0, 1]);
+        a.observe(
+            &Selection::Subset(vec![0, 1]),
+            &[0.01, 0.02, 0.0, 0.0],
+            &[0.0; 4],
+        );
+        let _ = a.plan(&[0, 1, 2, 3]);
+        let r = a
+            .observe(&Selection::Full, &[0.01, 0.02, 0.5, 0.6], &[0.0; 4])
+            .expect("zero recall must back off");
+        assert!((r.ratio - 0.45).abs() < 1e-12);
+        assert_eq!(r.pruning_window, 1);
+    }
+
+    #[test]
+    fn mid_band_recall_leaves_knobs_alone() {
+        let mut a = allocator(4, ShotAllocConfig::default());
+        let _ = a.plan(&[0, 1, 2, 3]);
+        a.observe(&Selection::Full, &[0.01, 0.02, 0.5, 0.6], &[0.0; 4]);
+        // Keeps one of the top-2 → recall 0.5... that's below LOW. Use a
+        // 4-of-5 style: kept {1, 3} vs top-2 {2, 3} → overlap 1, recall
+        // 0.5 — still low. Drive two subset steps: {2,3} then {1,3} →
+        // recall (2+1)/4 = 0.75, inside the dead band.
+        let _ = a.plan(&[2, 3]);
+        a.observe(
+            &Selection::Subset(vec![2, 3]),
+            &[0.0, 0.0, 0.5, 0.6],
+            &[0.0; 4],
+        );
+        let _ = a.plan(&[1, 3]);
+        a.observe(
+            &Selection::Subset(vec![1, 3]),
+            &[0.0, 0.02, 0.0, 0.6],
+            &[0.0; 4],
+        );
+        let _ = a.plan(&[0, 1, 2, 3]);
+        let retune = a.observe(&Selection::Full, &[0.01, 0.02, 0.5, 0.6], &[0.0; 4]);
+        assert_eq!(retune, None, "dead-band recall must not retune");
+        assert_eq!(a.windows_completed(), 1);
+    }
+
+    #[test]
+    fn state_round_trips_and_resumes_identically() {
+        let cfg = ShotAllocConfig::new(64, 8192, 2.0).unwrap();
+        let mut a = ShotAllocator::new(3, 1024, 2, vec![2, 2, 4], cfg, 0.5, 2);
+        let _ = a.plan(&[0, 1, 2]);
+        a.observe(&Selection::Full, &[0.4, 0.001, 0.2], &[1e-4, 1e-3, 5e-5]);
+        let _ = a.plan(&[0, 2]);
+        a.observe(
+            &Selection::Subset(vec![0, 2]),
+            &[0.4, 0.0, 0.2],
+            &[1e-4, 0.0, 5e-5],
+        );
+        let snap = a.state();
+
+        let mut b = ShotAllocator::new(3, 1024, 2, vec![2, 2, 4], cfg, 0.5, 2);
+        let knobs = b.restore(&snap);
+        assert_eq!(knobs.ratio, 0.5);
+        assert_eq!(b.state(), snap);
+
+        // Both continue identically.
+        let pa = a.plan(&[0, 1, 2]);
+        let pb = b.plan(&[0, 1, 2]);
+        assert_eq!(pa, pb);
+        let ra = a.observe(&Selection::Full, &[0.3, 0.001, 0.1], &[1e-4, 1e-3, 5e-5]);
+        let rb = b.observe(&Selection::Full, &[0.3, 0.001, 0.1], &[1e-4, 1e-3, 5e-5]);
+        assert_eq!(ra, rb);
+        assert_eq!(a.state(), b.state());
+    }
+
+    #[test]
+    fn serialized_state_round_trips_exactly() {
+        let mut a = allocator(2, ShotAllocConfig::default());
+        let _ = a.plan(&[0, 1]);
+        a.observe(
+            &Selection::Full,
+            &[0.1 + 0.2, -1.0 / 3.0],
+            &[1e-7, 4.9e-324],
+        );
+        let state = a.state();
+        let text = serde_json::to_string_pretty(&state).unwrap();
+        let root: serde::Value = serde_json::from_str(&text).unwrap();
+        let parsed = crate::checkpoint::parse_alloc(&root).unwrap();
+        assert_eq!(parsed, state);
+        for (x, y) in state.ema_abs.iter().zip(&parsed.ema_abs) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn env_parsing_covers_modes_and_errors() {
+        // No env mutation here (tests run threaded): exercise the pure
+        // constructor and Display paths; the env-driven paths are covered
+        // by the serialized integration tests in tests/shot_alloc.rs.
+        assert!(ShotAllocConfig::new(128, 4096, 2.0).is_ok());
+        let e = ShotAllocError::InvalidMode("banana".into());
+        assert!(e.to_string().contains("banana"));
+        let e = ShotAllocError::InvalidNumber {
+            var: "QOC_SHOT_MIN",
+            value: "-3".into(),
+        };
+        assert!(e.to_string().contains("QOC_SHOT_MIN"));
+    }
+}

@@ -19,13 +19,19 @@ use std::path::{Path, PathBuf};
 
 use serde::{Serialize, Value};
 
+use crate::alloc::AllocState;
 use crate::engine::{EvalRecord, StepRecord};
 use crate::optim::OptimizerState;
 use crate::prune::PrunerState;
 
 /// Format version stamped into every checkpoint; bumped on layout changes.
-/// Loading rejects any other version outright rather than guessing.
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+/// Version 2 added the optional shot-allocation controller accumulators;
+/// version-1 checkpoints (no `alloc` field) still load, with the controller
+/// cleanly disabled. Anything else is rejected outright rather than guessed.
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
+
+/// Oldest schema version this build still reads.
+pub const CHECKPOINT_SCHEMA_MIN_VERSION: u32 = 1;
 
 /// Default save cadence (steps) when `QOC_CHECKPOINT_EVERY` is unset.
 pub const DEFAULT_CHECKPOINT_EVERY: usize = 10;
@@ -100,7 +106,7 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::Version(v) => write!(
                 f,
                 "unsupported checkpoint schema version {v} (this build reads \
-                 version {CHECKPOINT_SCHEMA_VERSION})"
+                 versions {CHECKPOINT_SCHEMA_MIN_VERSION}-{CHECKPOINT_SCHEMA_VERSION})"
             ),
         }
     }
@@ -140,6 +146,9 @@ pub struct TrainState {
     pub optimizer: OptimizerState,
     /// Pruner accumulator and window phase.
     pub pruner: PrunerState,
+    /// Shot-allocation controller accumulators (schema v2; `None` when the
+    /// controller was off, or in checkpoints written before it existed).
+    pub alloc: Option<AllocState>,
     /// Raw xoshiro256++ words of the serial training RNG.
     pub rng: [u64; 4],
     /// Per-step records so far.
@@ -200,7 +209,9 @@ impl TrainState {
     /// [`CheckpointError::Version`] when `schema_version` is unsupported.
     pub fn from_value(root: &Value) -> Result<TrainState, CheckpointError> {
         let version = as_u64(field(root, "schema_version")?, "schema_version")?;
-        if version != u64::from(CHECKPOINT_SCHEMA_VERSION) {
+        if version < u64::from(CHECKPOINT_SCHEMA_MIN_VERSION)
+            || version > u64::from(CHECKPOINT_SCHEMA_VERSION)
+        {
             return Err(CheckpointError::Version(
                 version.try_into().unwrap_or(u32::MAX),
             ));
@@ -228,6 +239,12 @@ impl TrainState {
             params: f64_vec(field(root, "params")?, "params")?,
             optimizer: parse_optimizer(field(root, "optimizer")?)?,
             pruner: parse_pruner(field(root, "pruner")?)?,
+            // v1 checkpoints predate the controller; a missing or null
+            // `alloc` resumes with it cleanly disabled.
+            alloc: match root.get("alloc") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(parse_alloc(v)?),
+            },
             rng,
             steps: parse_records(field(root, "steps")?, "steps", parse_step)?,
             evals: parse_records(field(root, "evals")?, "evals", parse_eval)?,
@@ -346,6 +363,24 @@ fn parse_pruner(v: &Value) -> Result<PrunerState, CheckpointError> {
     Err(malformed("unrecognized pruner state"))
 }
 
+pub(crate) fn parse_alloc(v: &Value) -> Result<AllocState, CheckpointError> {
+    Ok(AllocState {
+        ema_abs: f64_vec(field(v, "ema_abs")?, "ema_abs")?,
+        noise: f64_vec(field(v, "noise")?, "noise")?,
+        evals: u64_vec(field(v, "evals")?, "evals")?,
+        skip_streak: u32_vec(field(v, "skip_streak")?, "skip_streak")?,
+        prev_was_subset: as_bool(field(v, "prev_was_subset")?, "prev_was_subset")?,
+        windows: as_u64(field(v, "windows")?, "windows")?,
+        baseline_shots: as_u64(field(v, "baseline_shots")?, "baseline_shots")?,
+        requested_shots: as_u64(field(v, "requested_shots")?, "requested_shots")?,
+        skipped_evals: as_u64(field(v, "skipped_evals")?, "skipped_evals")?,
+        ratio: as_f64(field(v, "ratio")?, "ratio")?,
+        pruning_window: as_u64(field(v, "pruning_window")?, "pruning_window")?,
+        retunes: as_u64(field(v, "retunes")?, "retunes")?,
+        stage: u64_vec(field(v, "stage")?, "stage")?,
+    })
+}
+
 fn parse_step(v: &Value) -> Result<StepRecord, CheckpointError> {
     Ok(StepRecord {
         step: as_usize(field(v, "step")?, "step")?,
@@ -388,6 +423,21 @@ mod tests {
                 step_in_phase: 1,
                 last_was_full: false,
             },
+            alloc: Some(AllocState {
+                ema_abs: vec![0.375, 1.5e-11],
+                noise: vec![0.0625, 4.9e-324],
+                evals: vec![7, 6],
+                skip_streak: vec![0, 3],
+                prev_was_subset: true,
+                windows: 2,
+                baseline_shots: 1_263_616,
+                requested_shots: 402_432,
+                skipped_evals: 5,
+                ratio: 0.55,
+                pruning_window: 3,
+                retunes: 1,
+                stage: vec![2, 3, 1, 9000, 16384, 2, 2],
+            }),
             rng: [u64::MAX, 1, 0x0123_4567_89AB_CDEF, 42],
             steps: vec![StepRecord {
                 step: 6,
@@ -450,6 +500,50 @@ mod tests {
         let parsed = TrainState::from_value(&stripped).unwrap();
         assert_eq!(parsed.run_id, state.run_id, "run_id re-derived from seed");
         assert_eq!(parsed, state);
+    }
+
+    #[test]
+    fn v1_checkpoint_without_alloc_loads_with_controller_disabled() {
+        // Forward compat: a schema-v1 checkpoint predates the shot
+        // allocator entirely. It must load cleanly with `alloc: None` so
+        // the resumed run continues at the uniform budget.
+        let state = sample_state();
+        let mut text = serde_json::to_string_pretty(&state).unwrap();
+        text = text.replacen(
+            &format!("\"schema_version\": {CHECKPOINT_SCHEMA_VERSION}"),
+            "\"schema_version\": 1",
+            1,
+        );
+        let root = serde_json::from_str(&text).unwrap();
+        let stripped = match root {
+            Value::Object(entries) => {
+                Value::Object(entries.into_iter().filter(|(k, _)| k != "alloc").collect())
+            }
+            other => other,
+        };
+        let parsed = TrainState::from_value(&stripped).unwrap();
+        assert_eq!(parsed.alloc, None, "controller cleanly disabled");
+        assert_eq!(
+            parsed.schema_version, CHECKPOINT_SCHEMA_VERSION,
+            "loaded state is normalized to the current schema"
+        );
+        assert_eq!(parsed.params, state.params);
+        assert_eq!(parsed.pruner, state.pruner);
+    }
+
+    #[test]
+    fn v2_alloc_state_round_trips_exactly() {
+        let state = sample_state();
+        let text = serde_json::to_string_pretty(&state).unwrap();
+        let parsed = TrainState::from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        let (a, b) = (
+            state.alloc.as_ref().unwrap(),
+            parsed.alloc.as_ref().unwrap(),
+        );
+        assert_eq!(a, b);
+        for (x, y) in a.noise.iter().zip(&b.noise) {
+            assert_eq!(x.to_bits(), y.to_bits(), "subnormals survive the trip");
+        }
     }
 
     #[test]

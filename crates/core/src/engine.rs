@@ -30,6 +30,7 @@ use qoc_device::backend::{
 use qoc_device::retry::BatchError;
 use qoc_nn::model::QnnModel;
 
+use crate::alloc::{AllocState, ShotAllocConfig, ShotAllocError, ShotAllocator};
 use crate::checkpoint::{CheckpointConfig, TrainState, CHECKPOINT_SCHEMA_VERSION};
 use crate::eval::try_evaluate_params_prepared;
 use crate::grad::QnnGradientComputer;
@@ -208,6 +209,10 @@ pub enum TrainError {
         /// (`None` when checkpointing is not configured or the save failed).
         checkpoint: Option<PathBuf>,
     },
+    /// The `QOC_SHOT_ALLOC` controller configuration was rejected before
+    /// any circuit ran (unknown mode, unparseable number, inverted
+    /// min/max range).
+    ShotAlloc(ShotAllocError),
 }
 
 impl std::fmt::Display for TrainError {
@@ -224,6 +229,9 @@ impl std::fmt::Display for TrainError {
                 }
                 Ok(())
             }
+            TrainError::ShotAlloc(source) => {
+                write!(f, "shot-allocation configuration rejected: {source}")
+            }
         }
     }
 }
@@ -232,6 +240,7 @@ impl std::error::Error for TrainError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             TrainError::Execution { source, .. } => Some(source),
+            TrainError::ShotAlloc(source) => Some(source),
         }
     }
 }
@@ -260,6 +269,7 @@ struct PreStep {
     rng: [u64; 4],
     pruner: PrunerState,
     optimizer: OptimizerState,
+    alloc: Option<AllocState>,
     params: Vec<f64>,
     steps_len: usize,
     best_accuracy: f64,
@@ -421,6 +431,35 @@ fn train_impl(
     let mut optimizer = config.optimizer.build(n);
     let mut pruner = config.pruning.build(n);
 
+    // SNR-adaptive shot allocation (`QOC_SHOT_ALLOC=snr`). Unlike the
+    // telemetry-gated health diagnostics, the controller is ALWAYS on once
+    // configured — its decisions change the training trajectory, so they
+    // must not depend on whether anyone is watching. It only makes sense
+    // under finite-shot execution (exact gradients have no noise to budget
+    // against), and its decisions derive solely from the deterministic
+    // grad/grad_var stream, keeping runs worker-count invariant.
+    let alloc_config = ShotAllocConfig::from_env().map_err(TrainError::ShotAlloc)?;
+    let mut alloc = match (alloc_config, config.execution) {
+        (Some(cfg), Execution::Shots(base_shots)) => {
+            let (ratio, pruning_window) = match config.pruning {
+                PruningKind::Probabilistic(c) | PruningKind::Deterministic(c) => {
+                    (c.ratio, c.pruning_window)
+                }
+                PruningKind::None => (0.0, 0),
+            };
+            Some(ShotAllocator::new(
+                n,
+                base_shots,
+                config.batch_size,
+                computer.engine().jobs_per_row(),
+                cfg,
+                ratio,
+                pruning_window,
+            ))
+        }
+        _ => None,
+    };
+
     let mut steps = Vec::with_capacity(config.steps);
     let mut evals = Vec::new();
     let mut checkpoint_params = Vec::new();
@@ -456,6 +495,21 @@ fn train_impl(
         params.clone_from(&state.params);
         optimizer.restore(&state.optimizer);
         pruner.restore(&state.pruner);
+        if let Some(snap) = &state.alloc {
+            let a = alloc.as_mut().expect(
+                "checkpoint carries shot-allocator state but QOC_SHOT_ALLOC is off \
+                 (or execution is exact) — resume with the original environment",
+            );
+            let knobs = a.restore(snap);
+            // The pruner snapshot carries window position, not retuned
+            // hyper-parameters; re-install what the controller had tuned to.
+            pruner.retune(knobs.ratio, knobs.pruning_window);
+        } else {
+            // v1 checkpoint (or a run that never had the controller):
+            // resume with it cleanly disabled so the replay stays
+            // bit-identical to the original uniform-budget run.
+            alloc = None;
+        }
         rng = StdRng::from_state(state.rng);
         steps.clone_from(&state.steps);
         evals.clone_from(&state.evals);
@@ -509,6 +563,7 @@ fn train_impl(
             rng: rng.state(),
             pruner: pruner.state(),
             optimizer: optimizer.state(),
+            alloc: alloc.as_ref().map(ShotAllocator::state),
             params: params.clone(),
             steps_len: steps.len(),
             best_accuracy,
@@ -526,36 +581,79 @@ fn train_impl(
             })
             .collect();
 
-        let (subset, evaluated): (Option<Vec<usize>>, usize) = match &selection {
+        let (subset, mut evaluated): (Option<Vec<usize>>, usize) = match &selection {
             Selection::Full => (None, n),
             Selection::Subset(s) => (Some(s.clone()), s.len()),
         };
         let step_master = job_seed(config.seed, TRAIN_STREAM_BASE + step as u64);
-        let result =
-            match computer.try_batch_gradient(&params, &batch, subset.as_deref(), step_master) {
-                Ok(r) => r,
-                Err(source) => {
-                    return Err(abort_with_checkpoint(
-                        step,
-                        source,
-                        prestep,
-                        checkpoint,
-                        config,
-                        &steps,
-                        &evals,
-                        &checkpoint_params,
-                        &run_id,
-                        backend,
-                        base,
-                        prune_phase(&pruner.state()),
-                    ));
-                }
-            };
+        // With the controller on, the pruner's selection is refined into
+        // per-row shot budgets (and possibly further skips); without it,
+        // the historical uniform path runs byte-identically.
+        let alloc_indices: Option<Vec<usize>> = match alloc.as_mut() {
+            Some(a) => {
+                let indices: Vec<usize> = match &selection {
+                    Selection::Full => (0..n).collect(),
+                    Selection::Subset(s) => s.clone(),
+                };
+                Some(a.plan(&indices).indices())
+            }
+            None => None,
+        };
+        let grad_result = match (&alloc_indices, alloc.as_ref()) {
+            (Some(eval_indices), Some(a)) => {
+                let budgets: Vec<Execution> = a
+                    .planned()
+                    .expect("plan() issued above")
+                    .rows
+                    .iter()
+                    .map(|spec| Execution::Shots(spec.shots))
+                    .collect();
+                evaluated = eval_indices.len();
+                computer.try_batch_gradient_budgeted(
+                    &params,
+                    &batch,
+                    eval_indices,
+                    &budgets,
+                    step_master,
+                )
+            }
+            _ => computer.try_batch_gradient(&params, &batch, subset.as_deref(), step_master),
+        };
+        let result = match grad_result {
+            Ok(r) => r,
+            Err(source) => {
+                return Err(abort_with_checkpoint(
+                    step,
+                    source,
+                    prestep,
+                    checkpoint,
+                    config,
+                    &steps,
+                    &evals,
+                    &checkpoint_params,
+                    &run_id,
+                    backend,
+                    base,
+                    prune_phase(&pruner.state()),
+                ));
+            }
+        };
         pruner.record(&result.grad);
         if let Some(h) = health.as_mut() {
             h.observe_step(step, &selection, &result.grad, &result.grad_var);
         }
-        optimizer.step(&mut params, &result.grad, lr, subset.as_deref());
+        match &alloc_indices {
+            Some(eval_indices) => {
+                // Skipped rows are frozen exactly like pruned ones.
+                optimizer.step(&mut params, &result.grad, lr, Some(eval_indices));
+            }
+            None => optimizer.step(&mut params, &result.grad, lr, subset.as_deref()),
+        }
+        if let Some(a) = alloc.as_mut() {
+            if let Some(retune) = a.observe(&selection, &result.grad, &result.grad_var) {
+                pruner.retune(retune.ratio, retune.pruning_window);
+            }
+        }
 
         let inferences = base.circuits + backend.stats().circuits_run;
         steps.push(StepRecord {
@@ -652,6 +750,7 @@ fn train_impl(
                     params: params.clone(),
                     optimizer: optimizer.state(),
                     pruner: pruner.state(),
+                    alloc: alloc.as_ref().map(ShotAllocator::state),
                     rng: rng.state(),
                     steps: steps.clone(),
                     evals: evals.clone(),
@@ -704,6 +803,11 @@ fn train_impl(
     }
     if let Some(h) = health.as_mut() {
         h.finish();
+    }
+    if let Some(a) = alloc.as_mut() {
+        // Flush the final (possibly partial) window for telemetry; the
+        // returned retune is moot — there are no steps left to apply it to.
+        let _ = a.finish();
     }
     drop(run_span);
 
@@ -794,6 +898,7 @@ fn abort_with_checkpoint(
             params: pre.params,
             optimizer: pre.optimizer,
             pruner: pre.pruner,
+            alloc: pre.alloc,
             rng: pre.rng,
             steps: steps[..pre.steps_len].to_vec(),
             evals: evals.to_vec(),

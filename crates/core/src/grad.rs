@@ -120,12 +120,47 @@ impl<'a> QnnGradientComputer<'a> {
         subset: Option<&[usize]>,
         master_seed: u64,
     ) -> Result<BatchGradient, BatchError> {
-        assert!(!batch.is_empty(), "empty batch");
-        let n_params = self.model.num_params();
         let indices: Vec<usize> = match subset {
             Some(s) => s.to_vec(),
-            None => (0..n_params).collect(),
+            None => (0..self.model.num_params()).collect(),
         };
+        self.try_batch_gradient_impl(params, batch, &indices, None, master_seed)
+    }
+
+    /// [`Self::try_batch_gradient`] with a per-row shot budget from the
+    /// SNR-adaptive allocator ([`crate::alloc`]): row `indices[r]` of every
+    /// example's Jacobian runs under `budgets[r]` instead of the engine's
+    /// uniform execution. Seeds are untouched (see
+    /// [`ParameterShiftEngine::jacobian_jobs_budgeted`]), so equal budgets
+    /// reproduce the uniform path bit-identically. `indices` may be empty —
+    /// the batch then evaluates forward passes only and every parameter's
+    /// gradient stays frozen at 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty batch or mismatched `budgets`/`indices` lengths.
+    pub fn try_batch_gradient_budgeted(
+        &self,
+        params: &[f64],
+        batch: &[(&[f64], usize)],
+        indices: &[usize],
+        budgets: &[Execution],
+        master_seed: u64,
+    ) -> Result<BatchGradient, BatchError> {
+        assert_eq!(budgets.len(), indices.len(), "one budget per row");
+        self.try_batch_gradient_impl(params, batch, indices, Some(budgets), master_seed)
+    }
+
+    fn try_batch_gradient_impl(
+        &self,
+        params: &[f64],
+        batch: &[(&[f64], usize)],
+        indices: &[usize],
+        budgets: Option<&[Execution]>,
+        master_seed: u64,
+    ) -> Result<BatchGradient, BatchError> {
+        assert!(!batch.is_empty(), "empty batch");
+        let n_params = self.model.num_params();
 
         // Collect forward + Jacobian jobs for every example into one batch.
         let thetas: Vec<Vec<f64>> = batch
@@ -138,9 +173,14 @@ impl<'a> QnnGradientComputer<'a> {
             let example_master = job_seed(master_seed, e as u64);
             let forward_idx = jobs.len();
             jobs.push(self.engine.forward_job(theta, example_master));
-            let (shift_jobs, plan) =
-                self.engine
-                    .jacobian_jobs(theta, Some(&indices), example_master);
+            let (shift_jobs, plan) = match budgets {
+                None => self
+                    .engine
+                    .jacobian_jobs(theta, Some(indices), example_master),
+                Some(b) => self
+                    .engine
+                    .jacobian_jobs_budgeted(theta, indices, example_master, b),
+            };
             jobs.extend(shift_jobs);
             layout.push((forward_idx, plan));
         }
@@ -159,9 +199,11 @@ impl<'a> QnnGradientComputer<'a> {
         let mut all_logits = Vec::with_capacity(batch.len());
         let scale = 1.0 / batch.len() as f64;
         let num_qubits = self.model.num_qubits();
-        let shots = match self.engine.execution() {
-            Execution::Shots(s) => Some(s),
-            Execution::Exact => None,
+        // Any finite-shot row makes variance propagation worthwhile; the
+        // planned-variance walk yields exact zeros for exact rows either way.
+        let any_shots = match budgets {
+            None => matches!(self.engine.execution(), Execution::Shots(_)),
+            Some(b) => b.iter().any(|e| matches!(e, Execution::Shots(_))),
         };
         for (&(_, target), (forward_idx, plan)) in batch.iter().zip(&layout) {
             let expectations = &results[*forward_idx];
@@ -172,16 +214,16 @@ impl<'a> QnnGradientComputer<'a> {
 
             let shifted = &results[forward_idx + 1..forward_idx + 1 + plan.num_jobs()];
             let jac = plan.assemble(shifted);
-            for (row, &param_idx) in jac.iter().zip(&indices) {
+            for (row, &param_idx) in jac.iter().zip(indices) {
                 let dot: f64 = row.iter().zip(&grad_expectations).map(|(j, g)| j * g).sum();
                 grad[param_idx] += scale * dot;
             }
-            if shots.is_some() {
+            if any_shots {
                 // Shot-noise propagation: independent Jacobian entries, so
                 // the weighted sum's variance is the w²-weighted sum of
                 // entry variances, and the batch mean divides by B² (scale²).
-                let variances = plan.row_variances(shifted, shots);
-                for (var_row, &param_idx) in variances.iter().zip(&indices) {
+                let variances = plan.row_variances_planned(shifted);
+                for (var_row, &param_idx) in variances.iter().zip(indices) {
                     let v: f64 = var_row
                         .iter()
                         .zip(&grad_expectations)
@@ -366,6 +408,48 @@ mod tests {
                 predicted[i]
             );
         }
+    }
+
+    #[test]
+    fn uniform_budgets_reproduce_the_plain_gradient_bit_for_bit() {
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let computer = QnnGradientComputer::new(&model, &backend, Execution::Shots(256));
+        let params = vec![0.25; 8];
+        let input = vec![0.3; 16];
+        let batch: Vec<(&[f64], usize)> = vec![(input.as_slice(), 0), (input.as_slice(), 1)];
+        let indices = [1usize, 4, 6];
+        let plain = computer
+            .try_batch_gradient(&params, &batch, Some(&indices), 77)
+            .unwrap();
+        let budgets = vec![Execution::Shots(256); indices.len()];
+        let budgeted = computer
+            .try_batch_gradient_budgeted(&params, &batch, &indices, &budgets, 77)
+            .unwrap();
+        assert_eq!(plain, budgeted);
+        for (a, b) in plain.grad_var.iter().zip(&budgeted.grad_var) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_budgeted_subset_freezes_everything() {
+        // The allocator may skip every selected row; the batch then runs
+        // forward passes only and the whole gradient stays at 0.
+        let model = QnnModel::mnist2();
+        let backend = NoiselessBackend::new();
+        let computer = QnnGradientComputer::new(&model, &backend, Execution::Shots(256));
+        let params = vec![0.25; 8];
+        let input = vec![0.3; 16];
+        let batch: Vec<(&[f64], usize)> = vec![(input.as_slice(), 0)];
+        backend.reset_stats();
+        let g = computer
+            .try_batch_gradient_budgeted(&params, &batch, &[], &[], 5)
+            .unwrap();
+        assert!(g.grad.iter().all(|&x| x == 0.0));
+        assert!(g.grad_var.iter().all(|&x| x == 0.0));
+        assert_eq!(g.logits.len(), 1);
+        assert_eq!(backend.stats().circuits_run, 1, "forward pass only");
     }
 
     #[test]

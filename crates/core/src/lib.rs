@@ -13,6 +13,10 @@
 //!   parameter) updates, and the paper's cosine learning-rate schedule;
 //! - [`engine`] — the on-chip [`engine::train`] loop with inference
 //!   accounting (Figure 6's x-axis);
+//! - [`alloc`] — the SNR-adaptive shot-allocation controller
+//!   (`QOC_SHOT_ALLOC=snr`): per-row shot budgets from streaming gradient
+//!   SNR, skip-with-frozen-gradient, and PGP auto-tuning from measured
+//!   prune-efficacy recall;
 //! - [`eval`] — on-backend validation.
 //!
 //! # Quick example — train a QNN on a fake IBM device
@@ -42,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alloc;
 pub mod checkpoint;
 pub mod engine;
 pub mod eval;
@@ -55,6 +60,7 @@ pub mod spsa;
 pub mod vqe;
 pub mod zne;
 
+pub use alloc::{AllocState, ShotAllocConfig, ShotAllocError, ShotAllocator, ShotSpec, StepPlan};
 pub use checkpoint::{CheckpointConfig, CheckpointError, TrainState};
 pub use engine::{
     resume_training, train, train_with_checkpoints, try_train, PruningKind, TrainConfig,

@@ -111,6 +111,11 @@ struct OccurrenceShift {
 pub struct JacobianPlan {
     /// Per row: `(plus_idx, minus_idx, scale)` terms into the job list.
     rows: Vec<Vec<(usize, usize, f64)>>,
+    /// Per row: the execution every one of its shifted jobs ran under.
+    /// Uniform plans carry the engine execution in every slot; budgeted
+    /// plans ([`ParameterShiftEngine::jacobian_jobs_budgeted`]) carry the
+    /// allocator's per-row [`Execution`].
+    row_executions: Vec<Execution>,
     num_jobs: usize,
     num_outputs: usize,
 }
@@ -188,6 +193,44 @@ impl JacobianPlan {
                     for ((r, fp), fm) in row.iter_mut().zip(&results[p]).zip(&results[m]) {
                         // Clamp against |f| > 1 (possible only through
                         // numerical slop) so variances never go negative.
+                        let vp = (1.0 - fp * fp).max(0.0);
+                        let vm = (1.0 - fm * fm).max(0.0);
+                        *r += scale * scale * 0.25 * (vp + vm) / s;
+                    }
+                }
+                row
+            })
+            .collect()
+    }
+
+    /// [`Self::row_variances`] driven by the plan's own per-row executions
+    /// instead of one uniform shot count: rows that ran exactly get zeros,
+    /// rows that ran with `s` shots get the binomial-model variance at
+    /// their own `s`. For a uniform finite-shot plan this is bit-identical
+    /// to `row_variances(results, Some(s))` — the inner float-op order is
+    /// the same.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `results` is shorter than [`Self::num_jobs`].
+    pub fn row_variances_planned(&self, results: &[Vec<f64>]) -> Vec<Vec<f64>> {
+        assert!(
+            results.len() >= self.num_jobs,
+            "plan needs {} results, got {}",
+            self.num_jobs,
+            results.len()
+        );
+        self.rows
+            .iter()
+            .zip(&self.row_executions)
+            .map(|(terms, execution)| {
+                let mut row = vec![0.0; self.num_outputs];
+                let Execution::Shots(shots) = *execution else {
+                    return row;
+                };
+                let s = f64::from(shots.max(1));
+                for &(p, m, scale) in terms {
+                    for ((r, fp), fm) in row.iter_mut().zip(&results[p]).zip(&results[m]) {
                         let vp = (1.0 - fp * fp).max(0.0);
                         let vm = (1.0 - fm * fm).max(0.0);
                         *r += scale * scale * 0.25 * (vp + vm) / s;
@@ -434,10 +477,45 @@ impl<'a> ParameterShiftEngine<'a> {
             Some(s) => s.to_vec(),
             None => (0..self.num_trainable).collect(),
         };
+        self.jacobian_jobs_impl(theta, &indices, master_seed, None)
+    }
+
+    /// [`Self::jacobian_jobs`] with a per-row [`Execution`] budget, for the
+    /// SNR-adaptive shot allocator ([`crate::alloc`]): `budgets[r]` replaces
+    /// the engine's uniform execution for every shifted job of row
+    /// `subset[r]`. Job *seeds* are untouched — budgets change how many
+    /// shots a job draws, never which RNG stream it draws them from — so a
+    /// budgeted plan whose budgets all equal the engine execution is
+    /// bit-identical to the uniform plan.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `budgets` and `subset` lengths differ.
+    pub fn jacobian_jobs_budgeted(
+        &self,
+        theta: &[f64],
+        subset: &[usize],
+        master_seed: u64,
+        budgets: &[Execution],
+    ) -> (Vec<CircuitJob<'_>>, JacobianPlan) {
+        assert_eq!(budgets.len(), subset.len(), "one budget per requested row");
+        self.jacobian_jobs_impl(theta, subset, master_seed, Some(budgets))
+    }
+
+    fn jacobian_jobs_impl(
+        &self,
+        theta: &[f64],
+        indices: &[usize],
+        master_seed: u64,
+        budgets: Option<&[Execution]>,
+    ) -> (Vec<CircuitJob<'_>>, JacobianPlan) {
         let mut jobs = Vec::new();
         let mut rows = Vec::with_capacity(indices.len());
-        for &i in &indices {
+        let mut row_executions = Vec::with_capacity(indices.len());
+        for (r, &i) in indices.iter().enumerate() {
             assert!(i < self.num_trainable, "symbol {i} not trainable");
+            let execution = budgets.map_or(self.execution, |b| b[r]);
+            row_executions.push(execution);
             let mut terms = Vec::new();
             match &self.plans[i] {
                 SymbolPlan::Simple => {
@@ -449,13 +527,13 @@ impl<'a> ParameterShiftEngine<'a> {
                     jobs.push(CircuitJob::expectation(
                         &self.prepared,
                         plus,
-                        self.execution,
+                        execution,
                         job_seed(master_seed, shift_stream(i, 0, false)),
                     ));
                     jobs.push(CircuitJob::expectation(
                         &self.prepared,
                         minus,
-                        self.execution,
+                        execution,
                         job_seed(master_seed, shift_stream(i, 0, true)),
                     ));
                     terms.push((p, p + 1, 1.0));
@@ -466,13 +544,13 @@ impl<'a> ParameterShiftEngine<'a> {
                         jobs.push(CircuitJob::expectation(
                             &shift.plus,
                             theta.to_vec(),
-                            self.execution,
+                            execution,
                             job_seed(master_seed, shift_stream(i, k, false)),
                         ));
                         jobs.push(CircuitJob::expectation(
                             &shift.minus,
                             theta.to_vec(),
-                            self.execution,
+                            execution,
                             job_seed(master_seed, shift_stream(i, k, true)),
                         ));
                         terms.push((p, p + 1, shift.scale));
@@ -486,10 +564,24 @@ impl<'a> ParameterShiftEngine<'a> {
             jobs,
             JacobianPlan {
                 rows,
+                row_executions,
                 num_jobs,
                 num_outputs: self.prepared.logical_qubits(),
             },
         )
+    }
+
+    /// Shifted jobs each trainable symbol's Jacobian row costs per
+    /// evaluation (2 per differentiable gate occurrence) — the cost model
+    /// the shot allocator's savings accounting uses.
+    pub fn jobs_per_row(&self) -> Vec<usize> {
+        self.plans
+            .iter()
+            .map(|p| match p {
+                SymbolPlan::Simple => 2,
+                SymbolPlan::Occurrences(shifts) => 2 * shifts.len(),
+            })
+            .collect()
     }
 
     /// Gradient row `∂f/∂θᵢ` for one trainable symbol.
@@ -868,6 +960,93 @@ mod tests {
             noisy[0][0]
         );
         assert!(noisy[0][0] > 0.0);
+    }
+
+    #[test]
+    fn budgeted_jobs_with_uniform_budget_match_the_plain_plan() {
+        // The allocator's contract: budgets change shot counts, never
+        // seeds. A budgeted plan at the engine's own execution must be
+        // bit-identical to the plain plan — results AND predicted
+        // variances.
+        let backend = NoiselessBackend::new();
+        let c = ansatz_circuit();
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Shots(256));
+        let theta = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let subset = [0usize, 2, 4];
+        let (plain_jobs, plain_plan) = engine.jacobian_jobs(&theta, Some(&subset), 17);
+        let budgets = vec![Execution::Shots(256); subset.len()];
+        let (bud_jobs, bud_plan) = engine.jacobian_jobs_budgeted(&theta, &subset, 17, &budgets);
+        assert_eq!(plain_jobs.len(), bud_jobs.len());
+        let plain = engine.run_batch(&plain_jobs);
+        let bud = engine.run_batch(&bud_jobs);
+        assert_eq!(plain, bud, "uniform budget must be bit-identical");
+        assert_eq!(
+            plain_plan.row_variances(&plain, Some(256)),
+            bud_plan.row_variances_planned(&bud),
+            "planned variances match the uniform model at a uniform budget"
+        );
+    }
+
+    #[test]
+    fn budgeted_rows_keep_their_streams_at_any_shot_count() {
+        // Row i at s shots draws from the same (symbol, occurrence, sign)
+        // streams as row i in the full Jacobian — changing ANOTHER row's
+        // budget must not perturb it.
+        let backend = NoiselessBackend::new();
+        let c = ansatz_circuit();
+        let engine = ParameterShiftEngine::new(&backend, &c, 5, Execution::Shots(256));
+        let theta = [0.1, 0.2, 0.3, 0.4, 0.5];
+        let (jobs_a, plan_a) = engine.jacobian_jobs_budgeted(
+            &theta,
+            &[1, 3],
+            23,
+            &[Execution::Shots(256), Execution::Shots(64)],
+        );
+        let (jobs_b, plan_b) = engine.jacobian_jobs_budgeted(
+            &theta,
+            &[1, 3],
+            23,
+            &[Execution::Shots(256), Execution::Shots(512)],
+        );
+        let rows_a = plan_a.assemble(&engine.run_batch(&jobs_a));
+        let rows_b = plan_b.assemble(&engine.run_batch(&jobs_b));
+        assert_eq!(rows_a[0], rows_b[0], "row 1 untouched by row 3's budget");
+        let full = engine.jacobian_subset(&theta, &[1], 23);
+        assert_eq!(rows_a[0], full[0], "budgeted row equals the uniform row");
+    }
+
+    #[test]
+    fn planned_variances_mix_exact_and_shot_rows() {
+        let mut c = Circuit::new(1);
+        c.ry(0, ParamValue::sym(0));
+        c.rz(0, ParamValue::sym(1));
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(&backend, &c, 2, Execution::Shots(1024));
+        let theta = [0.7, 0.1];
+        let (jobs, plan) = engine.jacobian_jobs_budgeted(
+            &theta,
+            &[0, 1],
+            9,
+            &[Execution::Exact, Execution::Shots(64)],
+        );
+        let results = engine.run_batch(&jobs);
+        let var = plan.row_variances_planned(&results);
+        assert_eq!(var[0], vec![0.0], "exact row predicts zero variance");
+        assert!(
+            var[1][0] > 0.0,
+            "finite-shot row predicts positive variance"
+        );
+    }
+
+    #[test]
+    fn jobs_per_row_counts_occurrences() {
+        let mut c = Circuit::new(2);
+        c.ry(0, ParamValue::sym(0));
+        c.ry(1, ParamValue::sym(0));
+        c.rzz(0, 1, ParamValue::sym(1));
+        let backend = NoiselessBackend::new();
+        let engine = ParameterShiftEngine::new(&backend, &c, 2, Execution::Exact);
+        assert_eq!(engine.jobs_per_row(), vec![4, 2]);
     }
 
     #[test]

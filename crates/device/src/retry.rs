@@ -225,12 +225,16 @@ impl RetryPolicy {
 
 /// Retry/degradation metrics, mirrored into the global registry (and thus
 /// into run manifests): `qoc.device.retries`, `qoc.device.gave_up`,
-/// `qoc.device.degraded_jobs`, and the `qoc.device.backoff_wait_ns`
-/// histogram.
+/// `qoc.device.degraded_jobs`, `qoc.device.requested_shots`, and the
+/// `qoc.device.backoff_wait_ns` histogram.
 pub(crate) struct RetryMetrics {
     pub(crate) retries: Arc<Counter>,
     pub(crate) gave_up: Arc<Counter>,
     pub(crate) degraded: Arc<Counter>,
+    /// Shots *requested* per job before any retry degradation. Compared
+    /// against `qoc.device.total_shots` (shots actually executed) this
+    /// splits the shot ledger into requested-vs-executed.
+    pub(crate) requested_shots: Arc<Counter>,
     pub(crate) backoff_wait_ns: Arc<Histogram>,
 }
 
@@ -242,6 +246,7 @@ pub(crate) fn retry_metrics() -> &'static RetryMetrics {
             retries: reg.counter("qoc.device.retries"),
             gave_up: reg.counter("qoc.device.gave_up"),
             degraded: reg.counter("qoc.device.degraded_jobs"),
+            requested_shots: reg.counter("qoc.device.requested_shots"),
             // Backoff waits: 1µs .. ~4s in powers of 4.
             backoff_wait_ns: reg.histogram(
                 "qoc.device.backoff_wait_ns",
@@ -267,6 +272,9 @@ where
     F: FnMut(u32, &CircuitJob<'_>) -> JobResult,
 {
     let metrics = retry_metrics();
+    if let Execution::Shots(shots) = job.execution {
+        metrics.requested_shots.add(u64::from(shots));
+    }
     let mut attempt: u32 = 0;
     loop {
         let mut this_try = job.clone();

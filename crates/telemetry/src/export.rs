@@ -293,6 +293,18 @@ fn status_doc(
             ("misses".into(), counter("qoc.sim.pool.misses")),
         ]),
     ));
+    entries.push((
+        "alloc".into(),
+        Value::Object(vec![
+            ("saved_shots".into(), counter("qoc.alloc.saved_shots")),
+            ("skipped_evals".into(), counter("qoc.alloc.skipped_evals")),
+            ("windows".into(), counter("qoc.alloc.windows")),
+            (
+                "requested_shots".into(),
+                counter("qoc.device.requested_shots"),
+            ),
+        ]),
+    ));
 
     let snr = metrics.quantile("qoc.grad.snr");
     entries.push((

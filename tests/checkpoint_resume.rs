@@ -165,7 +165,10 @@ fn killed_run_resumes_bit_identically_mid_pruning_window() {
         .expect_err("fuse must abort the run");
     let TrainError::Execution {
         step, checkpoint, ..
-    } = &err;
+    } = &err
+    else {
+        panic!("expected an execution failure, got {err}");
+    };
     assert!(*step > 0, "kill landed before any step completed");
     assert_eq!(checkpoint.as_deref(), Some(path.as_path()));
     assert!(err.to_string().contains("state saved to"), "{err}");
