@@ -1,0 +1,227 @@
+//! Job descriptions, live status, and the handle a submitter holds.
+//!
+//! A [`TrainRequest`] is everything needed to run one training job: who
+//! asked ([`TrainRequest::tenant`]), what to train (model + data), and how
+//! ([`qoc_core::TrainConfig`] — whose `seed` also fixes the job's
+//! [`run id`](qoc_core::engine::run_id_for_seed) and therefore every bit of
+//! its randomness). Submitting yields a [`JobHandle`]: a cheap clone-able
+//! view that can poll [`JobHandle::status`], request
+//! [`JobHandle::preempt`]ion, and block on [`JobHandle::wait`].
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use qoc_core::{TrainConfig, TrainResult};
+use qoc_data::dataset::Dataset;
+use qoc_data::tasks::Task;
+use qoc_nn::model::QnnModel;
+
+/// Server-assigned job identity (dense, starts at 1). Distinct from the
+/// seed-derived run id: two jobs may share a seed (and thus a run id), but
+/// never a `JobId` — per-job artifacts (checkpoints) key on this.
+pub type JobId = u64;
+
+/// One training job as submitted by a tenant.
+#[derive(Debug, Clone)]
+pub struct TrainRequest {
+    /// Owning tenant (quota bucket and metric label; see
+    /// [`crate::quota::tenant_name_ok`]).
+    pub tenant: String,
+    /// Human-readable job label (shows up in logs; no uniqueness required).
+    pub name: String,
+    /// The QNN to train.
+    pub model: QnnModel,
+    /// Training split.
+    pub train_data: Dataset,
+    /// Validation split.
+    pub val_data: Dataset,
+    /// Full training configuration; `config.seed` pins all randomness.
+    pub config: TrainConfig,
+}
+
+impl TrainRequest {
+    /// Convenience constructor: load a paper task's splits and train the
+    /// matching stock model on them.
+    pub fn from_task(tenant: &str, task: Task, config: TrainConfig) -> TrainRequest {
+        let (train_data, val_data) = task.load(config.seed);
+        let model = match task {
+            Task::Mnist2 => QnnModel::mnist2(),
+            Task::Mnist4 => QnnModel::mnist4(),
+            Task::Fashion2 => QnnModel::fashion2(),
+            Task::Fashion4 => QnnModel::fashion4(),
+            Task::Vowel4 => QnnModel::vowel4(),
+        };
+        TrainRequest {
+            tenant: tenant.to_string(),
+            name: format!("{task:?}"),
+            model,
+            train_data,
+            val_data,
+            config,
+        }
+    }
+}
+
+/// Where a job currently is in its lifecycle.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JobPhase {
+    /// Waiting in its tenant's queue for a fair-share slot and a free
+    /// device instance.
+    Queued,
+    /// Executing on a leased device instance.
+    Running {
+        /// Completed optimizer steps (monotone within one attempt).
+        step: usize,
+        /// Loss of the most recent completed step (`NaN` before step 0).
+        loss: f64,
+    },
+    /// Preempted and re-queued; will resume from its checkpoint.
+    Preempted {
+        /// Step the emergency checkpoint will resume from.
+        resume_step: usize,
+    },
+    /// Finished successfully; [`JobHandle::wait`] returns the result.
+    Finished,
+    /// Failed permanently (non-preemption training error).
+    Failed,
+}
+
+/// Point-in-time view of one job.
+#[derive(Debug, Clone)]
+pub struct JobStatus {
+    /// Server-assigned job id.
+    pub id: JobId,
+    /// Owning tenant.
+    pub tenant: String,
+    /// Seed-derived run identity (16 hex digits).
+    pub run_id: String,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Device class (backend name) the placement chose.
+    pub device_class: String,
+    /// Times this job has been preempted so far.
+    pub preemptions: u32,
+}
+
+/// Terminal outcome of a job.
+#[derive(Debug, Clone)]
+pub enum JobOutcome {
+    /// Training completed; the combined (possibly preempted-and-resumed)
+    /// result — bit-identical to an uninterrupted solo run.
+    Finished(Box<TrainResult>),
+    /// Training failed permanently; the rendered error.
+    Failed(String),
+}
+
+/// Shared mutable job record: the handle and the server both hold an `Arc`.
+#[derive(Debug)]
+pub(crate) struct JobShared {
+    pub(crate) id: JobId,
+    pub(crate) tenant: String,
+    pub(crate) run_id: String,
+    pub(crate) device_class: String,
+    /// Cooperative preemption flag, checked on every job attempt by the
+    /// [`crate::preempt::PreemptableBackend`] wrapper.
+    pub(crate) preempt: AtomicBool,
+    pub(crate) state: Mutex<JobStateInner>,
+    pub(crate) done: Condvar,
+}
+
+#[derive(Debug)]
+pub(crate) struct JobStateInner {
+    pub(crate) phase: JobPhase,
+    pub(crate) preemptions: u32,
+    pub(crate) outcome: Option<JobOutcome>,
+}
+
+impl JobShared {
+    pub(crate) fn new(id: JobId, tenant: &str, run_id: String, device_class: String) -> Arc<Self> {
+        Arc::new(JobShared {
+            id,
+            tenant: tenant.to_string(),
+            run_id,
+            device_class,
+            preempt: AtomicBool::new(false),
+            state: Mutex::new(JobStateInner {
+                phase: JobPhase::Queued,
+                preemptions: 0,
+                outcome: None,
+            }),
+            done: Condvar::new(),
+        })
+    }
+
+    pub(crate) fn set_phase(&self, phase: JobPhase) {
+        let mut state = self.state.lock().unwrap();
+        state.phase = phase;
+        self.done.notify_all();
+    }
+
+    pub(crate) fn finish(&self, outcome: JobOutcome) {
+        let mut state = self.state.lock().unwrap();
+        state.phase = match outcome {
+            JobOutcome::Finished(_) => JobPhase::Finished,
+            JobOutcome::Failed(_) => JobPhase::Failed,
+        };
+        state.outcome = Some(outcome);
+        self.done.notify_all();
+    }
+}
+
+/// Submitter-side view of a job. Clone-able; all clones observe the same
+/// job.
+#[derive(Debug, Clone)]
+pub struct JobHandle {
+    pub(crate) shared: Arc<JobShared>,
+}
+
+impl JobHandle {
+    /// Server-assigned job id.
+    pub fn id(&self) -> JobId {
+        self.shared.id
+    }
+
+    /// Seed-derived run identity.
+    pub fn run_id(&self) -> &str {
+        &self.shared.run_id
+    }
+
+    /// Current status snapshot.
+    pub fn status(&self) -> JobStatus {
+        let state = self.shared.state.lock().unwrap();
+        JobStatus {
+            id: self.shared.id,
+            tenant: self.shared.tenant.clone(),
+            run_id: self.shared.run_id.clone(),
+            phase: state.phase.clone(),
+            device_class: self.shared.device_class.clone(),
+            preemptions: state.preemptions,
+        }
+    }
+
+    /// Requests preemption. Takes effect at the job's next device-job
+    /// attempt: the run checkpoints and returns to the front of its
+    /// tenant's queue. A no-op on finished jobs; on a queued job the flag
+    /// fires at the first attempt after dispatch (one cheap
+    /// checkpoint-and-requeue round-trip).
+    pub fn preempt(&self) {
+        self.shared.preempt.store(true, Ordering::Release);
+    }
+
+    /// Blocks until the job reaches a terminal state and returns its
+    /// outcome.
+    pub fn wait(&self) -> JobOutcome {
+        let mut state = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(outcome) = &state.outcome {
+                return outcome.clone();
+            }
+            state = self.shared.done.wait(state).unwrap();
+        }
+    }
+
+    /// `true` once the job has finished or failed.
+    pub fn is_terminal(&self) -> bool {
+        self.shared.state.lock().unwrap().outcome.is_some()
+    }
+}

@@ -1,0 +1,154 @@
+//! Cooperative preemption as a backend wrapper.
+//!
+//! [`PreemptableBackend`] forwards every [`QuantumBackend`] method to the
+//! leased device, except that each *job attempt* first checks a shared
+//! preemption flag. When the flag is set, the attempt returns
+//! [`JobError::Preempted`] — not retryable, and counted by the retry
+//! machinery as a preemption instead of a give-up — so the batch aborts,
+//! the engine writes its emergency checkpoint (the pre-step snapshot it
+//! keeps for exactly this purpose), and the server requeues the job to
+//! resume later. Because retries always reuse the original job seed and
+//! resumed runs replay from a pre-step snapshot, the combined
+//! checkpoint-resume result is bit-identical to an uninterrupted run.
+//!
+//! The check sits on [`QuantumBackend::try_run_job`] — the fallible unit
+//! the batch runner's retry loop drives — so preemption latency is one
+//! circuit job, not one optimizer step.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use qoc_device::backend::{
+    CircuitJob, DifferentiationCapability, Execution, ExecutionStats, JacobianBatch,
+    PreparedCircuit, QuantumBackend,
+};
+use qoc_device::retry::{JobError, JobResult, RetryPolicy};
+use qoc_sim::circuit::Circuit;
+use rand::RngCore;
+
+/// A [`QuantumBackend`] lease that can be yanked between circuit jobs.
+pub struct PreemptableBackend<'a> {
+    inner: &'a dyn QuantumBackend,
+    flag: &'a AtomicBool,
+}
+
+impl std::fmt::Debug for PreemptableBackend<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreemptableBackend")
+            .field("inner", &self.inner.name())
+            .field("preempt", &self.flag.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl<'a> PreemptableBackend<'a> {
+    /// Wraps `inner`; attempts fail with [`JobError::Preempted`] while
+    /// `flag` is set.
+    pub fn new(inner: &'a dyn QuantumBackend, flag: &'a AtomicBool) -> Self {
+        PreemptableBackend { inner, flag }
+    }
+}
+
+impl QuantumBackend for PreemptableBackend<'_> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn num_qubits(&self) -> usize {
+        self.inner.num_qubits()
+    }
+
+    fn prepare(&self, circuit: &Circuit) -> PreparedCircuit {
+        self.inner.prepare(circuit)
+    }
+
+    fn run_prepared(
+        &self,
+        prepared: &PreparedCircuit,
+        theta: &[f64],
+        execution: Execution,
+        rng: &mut dyn RngCore,
+    ) -> Vec<f64> {
+        self.inner.run_prepared(prepared, theta, execution, rng)
+    }
+
+    fn outcome_probabilities(&self, prepared: &PreparedCircuit, theta: &[f64]) -> Vec<f64> {
+        self.inner.outcome_probabilities(prepared, theta)
+    }
+
+    fn outcome_counts(
+        &self,
+        prepared: &PreparedCircuit,
+        theta: &[f64],
+        shots: u32,
+        rng: &mut dyn RngCore,
+    ) -> BTreeMap<usize, u32> {
+        self.inner.outcome_counts(prepared, theta, shots, rng)
+    }
+
+    fn run_job(&self, job: &CircuitJob<'_>) -> Vec<f64> {
+        self.inner.run_job(job)
+    }
+
+    fn try_run_job(&self, job: &CircuitJob<'_>, attempt: u32) -> JobResult {
+        if self.flag.load(Ordering::Acquire) {
+            return Err(JobError::Preempted {
+                reason: "scheduler preemption requested".to_string(),
+            });
+        }
+        self.inner.try_run_job(job, attempt)
+    }
+
+    fn retry_policy(&self) -> RetryPolicy {
+        self.inner.retry_policy()
+    }
+
+    fn differentiation_capability(&self) -> DifferentiationCapability {
+        self.inner.differentiation_capability()
+    }
+
+    fn run_jacobian_batch(&self, batch: &JacobianBatch<'_>) -> Option<Vec<Vec<f64>>> {
+        self.inner.run_jacobian_batch(batch)
+    }
+
+    fn stats(&self) -> ExecutionStats {
+        self.inner.stats()
+    }
+
+    fn reset_stats(&self) {
+        self.inner.reset_stats();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qoc_device::backend::NoiselessBackend;
+
+    #[test]
+    fn flag_turns_attempts_into_preemptions() {
+        let inner = NoiselessBackend::new();
+        let flag = AtomicBool::new(false);
+        let backend = PreemptableBackend::new(&inner, &flag);
+
+        let mut circuit = Circuit::new(1);
+        circuit.rx(0, 0.3);
+        let prepared = backend.prepare(&circuit);
+        let job = CircuitJob {
+            prepared: &prepared,
+            theta: vec![],
+            execution: Execution::Exact,
+            seed: 7,
+            kind: qoc_device::backend::JobKind::ExpectationZ,
+        };
+        assert!(backend.try_run_job(&job, 0).is_ok());
+
+        flag.store(true, Ordering::Release);
+        let err = backend.try_run_job(&job, 0).unwrap_err();
+        assert!(err.is_preemption());
+        assert!(!err.is_retryable());
+
+        flag.store(false, Ordering::Release);
+        assert!(backend.try_run_job(&job, 0).is_ok());
+    }
+}

@@ -189,6 +189,13 @@ impl StatusExporter {
         }
     }
 
+    /// Explicit heartbeat for exporters owned directly (tests, job hosts):
+    /// same semantics as the global [`heartbeat`] — republish the last core
+    /// with fresh registry data once the time floor has elapsed.
+    pub fn tick(&self) {
+        self.maybe_heartbeat();
+    }
+
     /// Time-floor refresh from the worker pool (see [`heartbeat`]).
     fn maybe_heartbeat(&self) {
         let Ok(mut st) = self.state.try_lock() else {
@@ -339,6 +346,14 @@ fn status_doc(
         ]),
     ));
 
+    // Multi-tenant serving: `qoc-serve` stamps per-tenant counters under
+    // `qoc.serve.tenant.<tenant>.<field>`; group them into one object per
+    // tenant. Absent entirely (old golden docs stay valid) unless a serve
+    // host runs in this process.
+    if let Some(tenants) = tenant_section(metrics) {
+        entries.push(("tenants".into(), tenants));
+    }
+
     let busy = metrics.histogram("qoc.device.worker_busy_ns");
     entries.push((
         "workers".into(),
@@ -372,6 +387,43 @@ fn status_doc(
     ));
 
     Value::Object(entries)
+}
+
+/// Metric-name prefix under which `qoc-serve` stamps per-tenant counters:
+/// `qoc.serve.tenant.<tenant>.<field>` (tenant names must not contain `.`).
+pub const TENANT_METRIC_PREFIX: &str = "qoc.serve.tenant.";
+
+/// Groups `qoc.serve.tenant.<tenant>.<field>` counters into a
+/// `{tenant: {field: value}}` object; `None` when no such counters exist.
+fn tenant_section(metrics: &MetricsSnapshot) -> Option<serde::Value> {
+    use serde::Value;
+
+    let mut tenants: Vec<(String, Vec<(String, Value)>)> = Vec::new();
+    for (name, &value) in &metrics.counters {
+        let Some(rest) = name.strip_prefix(TENANT_METRIC_PREFIX) else {
+            continue;
+        };
+        let Some((tenant, field)) = rest.split_once('.') else {
+            continue;
+        };
+        match tenants.iter_mut().find(|(t, _)| t == tenant) {
+            Some((_, fields)) => fields.push((field.to_string(), Value::UInt(value))),
+            // BTreeMap iteration keeps tenants (and their fields) sorted.
+            None => tenants.push((
+                tenant.to_string(),
+                vec![(field.to_string(), Value::UInt(value))],
+            )),
+        }
+    }
+    if tenants.is_empty() {
+        return None;
+    }
+    Some(Value::Object(
+        tenants
+            .into_iter()
+            .map(|(t, fields)| (t, Value::Object(fields)))
+            .collect(),
+    ))
 }
 
 /// Replaces `path` atomically: write a `.tmp` sibling, then rename over.
@@ -509,6 +561,51 @@ mod tests {
         exporter.on_step(core(1, 10));
         let prom_text = std::fs::read_to_string(path.with_extension("prom")).unwrap();
         assert!(prom_text.lines().any(|l| l.starts_with("# TYPE ")));
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("history.jsonl")).ok();
+        std::fs::remove_file(path.with_extension("prom")).ok();
+    }
+
+    #[test]
+    fn tenant_counters_group_into_a_schema_valid_section() {
+        let path = tmp_status_path("tenants");
+        let reg = Registry::global();
+        reg.counter("qoc.serve.tenant.acme.completed").add(3);
+        reg.counter("qoc.serve.tenant.acme.device_ns").add(1234);
+        reg.counter("qoc.serve.tenant.beta.completed").add(5);
+        let exporter = StatusExporter::new(path.clone(), 1);
+        exporter.on_step(core(1, 10));
+        let doc: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        check_status_doc(&doc).expect("doc with tenants section stays schema-valid");
+        let tenants = doc.get("tenants").expect("tenants section present");
+        assert_eq!(
+            tenants
+                .get("acme")
+                .unwrap()
+                .get("completed")
+                .unwrap()
+                .as_u64(),
+            Some(3)
+        );
+        assert_eq!(
+            tenants
+                .get("acme")
+                .unwrap()
+                .get("device_ns")
+                .unwrap()
+                .as_u64(),
+            Some(1234)
+        );
+        assert_eq!(
+            tenants
+                .get("beta")
+                .unwrap()
+                .get("completed")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
         std::fs::remove_file(&path).ok();
         std::fs::remove_file(path.with_extension("history.jsonl")).ok();
         std::fs::remove_file(path.with_extension("prom")).ok();

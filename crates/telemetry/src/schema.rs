@@ -261,7 +261,28 @@ pub fn check_status_doc(value: &Value) -> Result<(), String> {
     if device.as_object().is_none() {
         return Err("status doc: device is not an object".to_string());
     }
-    check_fields(device, STATUS_DEVICE_FIELDS, "status doc device")
+    check_fields(device, STATUS_DEVICE_FIELDS, "status doc device")?;
+    // Optional multi-tenant section (present only when a `qoc-serve` host
+    // runs in the publishing process): one object of unsigned counters per
+    // tenant.
+    if let Some(tenants) = value.get("tenants") {
+        let Some(entries) = tenants.as_object() else {
+            return Err("status doc: tenants is not an object".to_string());
+        };
+        for (tenant, fields) in entries {
+            let Some(fields) = fields.as_object() else {
+                return Err(format!("status doc: tenant {tenant:?} is not an object"));
+            };
+            for (field, v) in fields {
+                if !FieldKind::UInt.matches(v) {
+                    return Err(format!(
+                        "status doc: tenant {tenant:?} field {field:?} is not a UInt"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
 }
 
 /// Validates one parsed `<stem>.steps.jsonl` line.
@@ -340,6 +361,18 @@ mod tests {
         assert!(check_status_doc(&parse(no_device))
             .unwrap_err()
             .contains("device"));
+        // The optional multi-tenant section: objects of UInt counters.
+        let with_tenants = doc.replace(
+            "\"device\":",
+            r#""tenants":{"acme":{"completed":12,"preempted":2},"beta":{"completed":7}},"device":"#,
+        );
+        assert_eq!(check_status_doc(&parse(&with_tenants)), Ok(()));
+        let bad_tenant = doc.replace(
+            "\"device\":",
+            r#""tenants":{"acme":{"completed":"twelve"}},"device":"#,
+        );
+        let err = check_status_doc(&parse(&bad_tenant)).unwrap_err();
+        assert!(err.contains("acme"), "unexpected error: {err}");
     }
 
     #[test]

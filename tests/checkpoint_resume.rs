@@ -5,7 +5,9 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use qoc::core::checkpoint::{CheckpointConfig, TrainState};
+use qoc::core::checkpoint::{
+    CheckpointConfig, CheckpointError, TrainState, CHECKPOINT_SCHEMA_VERSION,
+};
 use qoc::core::engine::{
     resume_training, train_with_checkpoints, PruningKind, TrainConfig, TrainError,
 };
@@ -259,4 +261,118 @@ fn resume_rejects_checkpoint_from_another_seed() {
     let mut other = config;
     other.seed = 8;
     let _ = resume_training(&model, &backend, &ds, &ds, &other, state, None);
+}
+
+/// Rewrites the on-disk checkpoint's `schema_version` and drops whole
+/// field lines — the same string-surgery idiom the `checkpoint.rs` golden
+/// tests use, applied to a real file so `TrainState::load` sees exactly
+/// what an old writer would have produced.
+fn rewrite_checkpoint(path: &std::path::Path, version: u32, drop_fields: &[&str]) {
+    let text = std::fs::read_to_string(path).expect("checkpoint readable");
+    let text = text.replacen(
+        &format!("\"schema_version\": {CHECKPOINT_SCHEMA_VERSION}"),
+        &format!("\"schema_version\": {version}"),
+        1,
+    );
+    let kept: Vec<&str> = text
+        .lines()
+        .filter(|line| {
+            let trimmed = line.trim_start();
+            !drop_fields
+                .iter()
+                .any(|field| trimmed.starts_with(&format!("\"{field}\":")))
+        })
+        .collect();
+    std::fs::write(path, kept.join("\n")).expect("checkpoint writable");
+}
+
+/// Cross-version resume matrix: a current (v2) checkpoint and a
+/// synthesized v1 checkpoint (no `run_id`, no `alloc` — exactly what a
+/// pre-controller writer produced) must both resume cleanly and land
+/// bit-identical to the uninterrupted reference run, while a from-the-future
+/// v3 file must surface a typed [`CheckpointError::Version`] — never a
+/// panic or a silently wrong resume.
+#[test]
+fn cross_version_checkpoint_matrix() {
+    let model = QnnModel::mnist2();
+    let train_ds = toy_data(24);
+    let val_ds = toy_data(12);
+    let config = pgp_config(6);
+
+    let reference_backend = NoiselessBackend::new();
+    let reference = train_with_checkpoints(
+        &model,
+        &reference_backend,
+        &train_ds,
+        &val_ds,
+        &config,
+        None,
+    )
+    .expect("fault-free reference run");
+
+    // One checkpointed run produces the v2 golden file all three matrix
+    // rows are derived from (cadence 3 → file frozen at next_step = 3).
+    let path = ckpt_path("version_matrix");
+    let ck = CheckpointConfig::new(&path, 3);
+    let backend = NoiselessBackend::new();
+    train_with_checkpoints(&model, &backend, &train_ds, &val_ds, &config, Some(&ck))
+        .expect("checkpointed run completes");
+    let golden = std::fs::read_to_string(&path).expect("golden checkpoint readable");
+
+    // Row 1 — v2 (current): loads and resumes bit-identically.
+    let state = TrainState::load(&path).expect("v2 checkpoint loads");
+    assert_eq!(state.schema_version, CHECKPOINT_SCHEMA_VERSION);
+    assert_eq!(state.next_step, 3);
+    let resumed = resume_training(
+        &model,
+        &NoiselessBackend::new(),
+        &train_ds,
+        &val_ds,
+        &config,
+        state,
+        None,
+    )
+    .expect("v2 resume completes");
+    assert_bit_identical(&resumed, &reference);
+
+    // Row 2 — v1 (past): strip the v2-era fields and downgrade the tag.
+    // The loader must re-derive `run_id` from the seed and disable the
+    // shot-allocation controller, then resume to the same bits.
+    rewrite_checkpoint(&path, 1, &["run_id", "alloc"]);
+    let v1_text = std::fs::read_to_string(&path).unwrap();
+    assert!(!v1_text.contains("run_id"), "v1 file must not carry run_id");
+    assert!(!v1_text.contains("alloc"), "v1 file must not carry alloc");
+    let state = TrainState::load(&path).expect("v1 checkpoint loads");
+    assert_eq!(
+        state.schema_version, CHECKPOINT_SCHEMA_VERSION,
+        "loaded state is normalized to the current schema"
+    );
+    assert_eq!(state.alloc, None, "controller cleanly disabled");
+    assert_eq!(
+        state.run_id,
+        qoc::core::engine::run_id_for_seed(config.seed),
+        "run_id re-derived from the master seed"
+    );
+    let resumed = resume_training(
+        &model,
+        &NoiselessBackend::new(),
+        &train_ds,
+        &val_ds,
+        &config,
+        state,
+        None,
+    )
+    .expect("v1 resume completes with the controller disabled");
+    assert_bit_identical(&resumed, &reference);
+
+    // Row 3 — v3 (future): typed rejection, not a panic and not a guess.
+    std::fs::write(&path, &golden).unwrap();
+    rewrite_checkpoint(&path, CHECKPOINT_SCHEMA_VERSION + 1, &[]);
+    let err = TrainState::load(&path).expect_err("future schema must be rejected");
+    match err {
+        CheckpointError::Version(v) => assert_eq!(v, CHECKPOINT_SCHEMA_VERSION + 1),
+        other => panic!("expected CheckpointError::Version, got {other}"),
+    }
+
+    std::fs::remove_file(&path).ok();
 }
