@@ -14,7 +14,7 @@
 set -uo pipefail
 cd "$(dirname "$0")"
 
-ALL_STAGES=(fmt clippy build test kernel-equivalence diff-equivalence trace-validate analyze determinism fault-soak serve-soak monitor shot-alloc bench-smoke)
+ALL_STAGES=(fmt clippy build test kernel-equivalence diff-equivalence trace-validate analyze determinism fault-soak serve-soak monitor watch shot-alloc bench-smoke)
 
 stage_fmt() {
     cargo fmt --all -- --check
@@ -168,6 +168,47 @@ stage_monitor() {
         results/ci_blackbox.blackbox.jsonl --blackbox --quiet
 }
 
+stage_watch() {
+    # Always-on watch plane (profiler + SLO rules). Leg 1: a clean traced
+    # run with the 97 Hz sampling profiler and rules a healthy run must not
+    # breach (retries stay zero, median gradient SNR stays far above 0.05)
+    # — zero alert transitions allowed — then the profiler's Jacobian-phase
+    # share must reconcile with qoc-analyze's trace-derived share within
+    # 15% relative.
+    rm -f results/ci_watch.status.json results/ci_watch.status.history.jsonl \
+          results/ci_watch.status.history.jsonl.1 results/ci_watch.status.prom \
+          results/ci_watch.status.alerts.jsonl results/ci_watch.profile.folded
+    QOC_STATUS_FILE=results/ci_watch.status.json QOC_STATUS_EVERY=1 \
+    QOC_PROFILE_HZ=97 QOC_TRACE_FILE=results/ci_watch.jsonl \
+    QOC_ALERT_RULES="qoc.device.retries > 0; qoc.grad.snr p50 < 0.05 for 3 windows" \
+        cargo run --offline --release --example traced_training > /dev/null
+    cargo run --offline --release -p qoc-bench --bin monitor_check -- \
+        results/ci_watch.status.json results/ci_watch.manifest.json --alerts none
+    if ! [ -s results/ci_watch.profile.folded ]; then
+        echo "watch: results/ci_watch.profile.folded is missing or empty" >&2
+        return 1
+    fi
+    cargo run --offline --release -p qoc-bench --bin qoc-analyze -- \
+        results/ci_watch.jsonl --profile results/ci_watch.profile.folded \
+        --profile-tolerance 0.15 --quiet
+    # Leg 2: the same run under a fault plan with retries left enabled — it
+    # must still finish, and rules tuned to that plan must fire (device
+    # retries above zero, worst-case gradient SNR under 0.5), with every
+    # firing paired with a resolution or flushed as terminal at run end.
+    rm -f results/ci_watch_fault.status.json \
+          results/ci_watch_fault.status.history.jsonl \
+          results/ci_watch_fault.status.prom \
+          results/ci_watch_fault.status.alerts.jsonl
+    QOC_FAULT_PLAN="seed=7,transient=0.2,timeout=0.05,max_failures=3" \
+    QOC_STATUS_FILE=results/ci_watch_fault.status.json QOC_STATUS_EVERY=1 \
+    QOC_TRACE_FILE=results/ci_watch_fault.jsonl \
+    QOC_ALERT_RULES="qoc.device.retries > 0; qoc.grad.snr min < 0.5" \
+        cargo run --offline --release --example traced_training > /dev/null
+    cargo run --offline --release -p qoc-bench --bin monitor_check -- \
+        results/ci_watch_fault.status.json results/ci_watch_fault.manifest.json \
+        --alerts expect=qoc.device.retries,qoc.grad.snr
+}
+
 stage_shot_alloc() {
     # Shot-allocation frontier, measured fresh at reduced size: training
     # MNIST-2 with QOC_SHOT_ALLOC=snr must reach the fixed-1024-shot
@@ -188,6 +229,19 @@ stage_bench_smoke() {
 STAGE_NAMES=()
 STAGE_TIMES=()
 STAGE_RESULTS=()
+STAGE_ALERTS=()
+
+# Counts `fired` transitions across every alert log a stage touched (the
+# marker file is touched just before the stage runs, so only logs written
+# or appended during the stage are counted).
+count_stage_alerts() {
+    local marker="$1" total=0 n log
+    while IFS= read -r log; do
+        n=$(grep -Eco '"kind":[[:space:]]*"fired"' "$log" 2>/dev/null) || n=0
+        total=$(( total + n ))
+    done < <(find results -name '*.alerts.jsonl' -newer "$marker" 2>/dev/null)
+    echo "$total"
+}
 
 print_summary() {
     [ ${#STAGE_NAMES[@]} -eq 0 ] && return
@@ -195,9 +249,20 @@ print_summary() {
     echo "== stage summary =="
     local i
     for i in "${!STAGE_NAMES[@]}"; do
-        printf '  %-16s %6ss  %s\n' \
-            "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" "${STAGE_RESULTS[$i]}"
+        printf '  %-16s %6ss  %-6s  %s alert(s) fired\n' \
+            "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" "${STAGE_RESULTS[$i]}" \
+            "${STAGE_ALERTS[$i]}"
     done
+    # Slowest stages first — the budget to attack when CI feels sluggish.
+    if [ ${#STAGE_NAMES[@]} -gt 1 ]; then
+        echo
+        echo "== slowest stages =="
+        for i in "${!STAGE_NAMES[@]}"; do
+            printf '%s\t%s\n' "${STAGE_TIMES[$i]}" "${STAGE_NAMES[$i]}"
+        done | sort -rn | head -5 | while IFS=$'\t' read -r secs name; do
+            printf '  %-16s %6ss\n' "$name" "$secs"
+        done
+    fi
     # Machine-readable twin of the table above, one object per executed
     # stage (names contain only [a-z-], so string interpolation is safe).
     mkdir -p results
@@ -206,8 +271,9 @@ print_summary() {
         for i in "${!STAGE_NAMES[@]}"; do
             local comma=','
             [ "$i" -eq $(( ${#STAGE_NAMES[@]} - 1 )) ] && comma=''
-            printf '  {"stage": "%s", "seconds": %s, "status": "%s"}%s\n' \
-                "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" "${STAGE_RESULTS[$i]}" "$comma"
+            printf '  {"stage": "%s", "seconds": %s, "status": "%s", "alerts_fired": %s}%s\n' \
+                "${STAGE_NAMES[$i]}" "${STAGE_TIMES[$i]}" "${STAGE_RESULTS[$i]}" \
+                "${STAGE_ALERTS[$i]}" "$comma"
         done
         echo ']'
     } > results/ci_summary.json
@@ -215,15 +281,21 @@ print_summary() {
 trap print_summary EXIT
 
 run_stage() {
-    local name="$1" fn="stage_${1//-/_}" start elapsed
+    local name="$1" fn="stage_${1//-/_}" start elapsed marker alerts
     echo "==> $name"
+    mkdir -p results
+    marker=$(mktemp results/.ci_stage_marker.XXXXXX)
     start=$(date +%s)
     if "$fn"; then
         elapsed=$(( $(date +%s) - start ))
-        STAGE_NAMES+=("$name"); STAGE_TIMES+=("$elapsed"); STAGE_RESULTS+=("ok")
+        alerts=$(count_stage_alerts "$marker"); rm -f "$marker"
+        STAGE_NAMES+=("$name"); STAGE_TIMES+=("$elapsed")
+        STAGE_RESULTS+=("ok"); STAGE_ALERTS+=("$alerts")
     else
         elapsed=$(( $(date +%s) - start ))
-        STAGE_NAMES+=("$name"); STAGE_TIMES+=("$elapsed"); STAGE_RESULTS+=("FAILED")
+        alerts=$(count_stage_alerts "$marker"); rm -f "$marker"
+        STAGE_NAMES+=("$name"); STAGE_TIMES+=("$elapsed")
+        STAGE_RESULTS+=("FAILED"); STAGE_ALERTS+=("$alerts")
         echo "ci.sh: stage $name failed (${elapsed}s)" >&2
         exit 1
     fi

@@ -128,6 +128,20 @@ fn bench_disabled_span(c: &mut Criterion) {
             std::hint::black_box(span)
         })
     });
+    // Same invariant for the sampling profiler: with QOC_PROFILE_HZ unset
+    // no sampler thread exists and no slot is registered, so the disabled
+    // span stays one relaxed load — the profiler must be free until asked
+    // for.
+    assert!(
+        !qoc_telemetry::profiler::active(),
+        "profiler must be off for the overhead bench (unset QOC_PROFILE_HZ)"
+    );
+    c.bench_function("telemetry/span_disabled_profiler_off", |b| {
+        b.iter(|| {
+            let span = qoc_telemetry::span!("bench.noop", jobs = 17usize,);
+            std::hint::black_box(span)
+        })
+    });
 }
 
 /// Per-worker utilization and queue-wait percentiles for the batched

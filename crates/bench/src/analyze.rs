@@ -394,6 +394,9 @@ pub struct Analysis {
     /// Truncated tail lines tolerated across the trace and its satellites
     /// (each file may contribute at most one; see [`is_truncated_tail`]).
     pub truncated_tail_lines: u64,
+    /// Σ duration of top-level `train.run` spans — the denominator for
+    /// phase-share comparisons against the sampling profiler.
+    pub run_wall_ns: u64,
 }
 
 /// Extracts `r·w_p/(w_a+w_p)` from a manifest `config.pruning` value
@@ -650,6 +653,12 @@ pub fn analyze_run(
     let (phases, device_ns_spans, device_deltas_complete) =
         phase_table(&forest, &records, backoff_wait_ns, retries);
     let (params, windows) = health_report(&records);
+    let run_wall_ns = forest
+        .nodes
+        .iter()
+        .filter(|n| n.name == "train.run")
+        .map(|n| n.dur_ns)
+        .sum();
 
     // Prefix-reuse ratio: gates actually simulated by prefix sharing over
     // the gates a naive 2P shifted replay of the same forks would cost.
@@ -697,10 +706,85 @@ pub fn analyze_run(
         retries,
         best_accuracy,
         truncated_tail_lines,
+        run_wall_ns,
     })
 }
 
 impl Analysis {
+    /// Reconciles a sampling-profiler folded file (`.profile.folded`,
+    /// `frame;frame;… count` lines) against this trace-derived analysis.
+    ///
+    /// Both sides measure the Jacobian phase's share of training wall time
+    /// independently — the profiler by counting samples whose stack passes
+    /// through a Jacobian frame among all `train.run`-rooted samples (only
+    /// the training thread's stacks root there, so worker threads don't
+    /// skew the denominator), the trace by the `jacobian` phase row over
+    /// the `train.run` span duration. Agreement within `tolerance`
+    /// (relative) is the cross-check that the seqlock sampler is neither
+    /// dropping stacks nor attributing time to the wrong spans.
+    ///
+    /// Returns a one-line summary on success and a diagnostic on failure.
+    pub fn reconcile_profile(&self, folded_text: &str, tolerance: f64) -> Result<String, String> {
+        let (mut total, mut run_samples, mut jac_samples) = (0u64, 0u64, 0u64);
+        for (i, line) in folded_text.lines().enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            let (stack, count) = line
+                .rsplit_once(' ')
+                .ok_or_else(|| format!("profile line {}: no sample count: {line}", i + 1))?;
+            let count: u64 = count
+                .parse()
+                .map_err(|e| format!("profile line {}: bad sample count ({e})", i + 1))?;
+            total += count;
+            let mut frames = stack.split(';');
+            if frames.clone().any(|f| f == "train.run") {
+                run_samples += count;
+                if frames.any(|f| f == "grad.minibatch" || f == "shift.jacobian") {
+                    jac_samples += count;
+                }
+            }
+        }
+        if total == 0 {
+            return Err(
+                "profile is empty (zero samples — did QOC_PROFILE_HZ reach the run?)".to_string(),
+            );
+        }
+        if run_samples == 0 {
+            return Err(format!(
+                "profile has {total} samples but none rooted in train.run — \
+                 profiler and trace watched different processes?"
+            ));
+        }
+        if self.run_wall_ns == 0 {
+            return Err("trace has no train.run span to reconcile against".to_string());
+        }
+        let jac_wall = self
+            .phases
+            .iter()
+            .find(|p| p.phase == "jacobian")
+            .map_or(0, |p| p.wall_ns);
+        let trace_share = jac_wall as f64 / self.run_wall_ns as f64;
+        let profile_share = jac_samples as f64 / run_samples as f64;
+        if trace_share <= 0.0 {
+            return Err("trace attributes zero wall time to the jacobian phase".to_string());
+        }
+        let relative = (profile_share - trace_share).abs() / trace_share;
+        let summary = format!(
+            "profile reconciliation: jacobian share {:.1}% profiled ({jac_samples}/{run_samples} \
+             samples) vs {:.1}% traced — {:.1}% apart (tolerance {:.0}%)",
+            profile_share * 100.0,
+            trace_share * 100.0,
+            relative * 100.0,
+            tolerance * 100.0,
+        );
+        if relative > tolerance {
+            Err(summary)
+        } else {
+            Ok(summary)
+        }
+    }
+
     /// The CI gates: each failed invariant yields one message. An empty
     /// vector means the run looks healthy.
     pub fn sanity_failures(&self, savings_tolerance: f64) -> Vec<String> {
@@ -1072,6 +1156,43 @@ mod tests {
         assert_eq!(analysis.prefix_reuse_ratio, None);
         assert!(analysis.phases.iter().all(|p| !p.phase.contains('/')));
         assert!(analysis.sanity_failures(0.05).is_empty());
+    }
+
+    #[test]
+    fn profile_reconciliation_accepts_agreement_and_rejects_divergence() {
+        // train.run spans 1000 ns, 600 of them inside grad.minibatch →
+        // trace jacobian share 60%.
+        let trace = [
+            span_line(700, "grad.minibatch", 0, 600),
+            span_line(1000, "train.run", 0, 1000),
+        ]
+        .join("\n");
+        let analysis = analyze_run(&trace, None, None, None).unwrap();
+        assert_eq!(analysis.run_wall_ns, 1000);
+
+        // 58/100 run-rooted samples on jacobian stacks (3.3% off — within
+        // 15%); a worker-thread stack outside train.run is ignored.
+        let agree = "train.run;grad.minibatch;shift.jacobian 58\n\
+                     train.run 42\n\
+                     device.worker;device.batch 500\n";
+        let summary = analysis.reconcile_profile(agree, 0.15).unwrap();
+        assert!(summary.contains("58.0% profiled"), "{summary}");
+        assert!(summary.contains("60.0% traced"), "{summary}");
+
+        // 20/100 on jacobian stacks → 67% apart: rejected.
+        let diverge = "train.run;grad.minibatch 20\ntrain.run 80\n";
+        let err = analysis.reconcile_profile(diverge, 0.15).unwrap_err();
+        assert!(err.contains("apart"), "{err}");
+
+        // Degenerate profiles are diagnosed, not divided by zero.
+        assert!(analysis.reconcile_profile("", 0.15).is_err());
+        assert!(analysis
+            .reconcile_profile("device.worker 10\n", 0.15)
+            .unwrap_err()
+            .contains("none rooted in train.run"));
+        assert!(analysis
+            .reconcile_profile("train.run nonsense\n", 0.15)
+            .is_err());
     }
 
     #[test]

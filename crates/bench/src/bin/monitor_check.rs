@@ -18,7 +18,15 @@
 //!    text-exposition grammar, at least 20 `# TYPE` metric families are
 //!    exposed, and the `qoc_grad_snr` summary is among them.
 //!
-//! Usage: `monitor_check STATUS_FILE MANIFEST_FILE`.
+//! 5. **Alert log** (`<stem>.alerts.jsonl`, with `--alerts`) — every line
+//!    satisfies [`qoc_telemetry::schema::check_alert_line`], every `fired`
+//!    entry is eventually paired with a `resolved` or `terminal` entry for
+//!    the same (rule, metric), and the firing set matches the expectation:
+//!    `--alerts none` demands zero firings (the clean-run gate), while
+//!    `--alerts expect=SUBSTR[,SUBSTR...]` demands at least one firing
+//!    whose rule text contains each substring (the fault-run gate).
+//!
+//! Usage: `monitor_check STATUS_FILE MANIFEST_FILE [--alerts none|expect=...]`.
 //!
 //! Exit codes mirror `validate_trace`: **2** when an input file is missing,
 //! **1** when an artifact is malformed or an invariant fails, **0** when
@@ -27,7 +35,7 @@
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use qoc_telemetry::schema::check_status_doc;
+use qoc_telemetry::schema::{check_alert_line, check_status_doc};
 use serde::Value;
 
 fn fail(msg: &str) -> ExitCode {
@@ -252,10 +260,113 @@ fn check_prom(text: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Parsed `--alerts` expectation.
+enum AlertExpectation {
+    /// The clean-run gate: zero firings.
+    None,
+    /// The fault-run gate: each substring must match ≥ 1 fired rule.
+    Expect(Vec<String>),
+}
+
+/// Validates `<stem>.alerts.jsonl`: schema per line, fired/outcome pairing,
+/// and the caller's expectation about which rules fired.
+fn check_alerts(text: &str, expectation: &AlertExpectation) -> Result<(), String> {
+    // (rule, metric) → outstanding firing count. Re-fires after a resolve
+    // are legal, so this is a counter, not a set.
+    let mut open: std::collections::BTreeMap<(String, String), u64> =
+        std::collections::BTreeMap::new();
+    let mut fired_rules: Vec<String> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        if line.is_empty() {
+            continue;
+        }
+        let doc: Value = serde_json::from_str(line)
+            .map_err(|e| format!("alerts line {}: not valid JSON ({e})", i + 1))?;
+        check_alert_line(&doc).map_err(|e| format!("alerts line {}: {e}", i + 1))?;
+        let field = |k: &str| {
+            doc.get(k)
+                .and_then(Value::as_str)
+                .unwrap_or_default()
+                .to_string()
+        };
+        let key = (field("rule"), field("metric"));
+        match field("kind").as_str() {
+            "fired" => {
+                fired_rules.push(key.0.clone());
+                *open.entry(key).or_insert(0) += 1;
+            }
+            "resolved" | "terminal" => {
+                let outstanding = open.entry(key.clone()).or_insert(0);
+                if *outstanding == 0 {
+                    return Err(format!(
+                        "alerts line {}: {:?} for {} [{}] without a prior firing",
+                        i + 1,
+                        field("kind"),
+                        key.1,
+                        key.0
+                    ));
+                }
+                *outstanding -= 1;
+            }
+            _ => unreachable!("checked by check_alert_line"),
+        }
+    }
+    if let Some(((rule, metric), n)) = open.iter().find(|(_, n)| **n > 0) {
+        return Err(format!(
+            "{n} firing(s) of {metric} [{rule}] never resolved or flushed terminal — \
+             every firing must be paired with an outcome"
+        ));
+    }
+    match expectation {
+        AlertExpectation::None => {
+            if !fired_rules.is_empty() {
+                return Err(format!(
+                    "expected a clean run but {} alert(s) fired: {}",
+                    fired_rules.len(),
+                    fired_rules.join("; ")
+                ));
+            }
+            println!("monitor_check: alerts ok: clean run, zero firings");
+        }
+        AlertExpectation::Expect(substrings) => {
+            for want in substrings {
+                if !fired_rules.iter().any(|r| r.contains(want.as_str())) {
+                    return Err(format!(
+                        "expected a firing matching {want:?} but fired rules were: [{}]",
+                        fired_rules.join("; ")
+                    ));
+                }
+            }
+            println!(
+                "monitor_check: alerts ok: {} firing(s), all paired, expectations {:?} met",
+                fired_rules.len(),
+                substrings
+            );
+        }
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut alerts: Option<AlertExpectation> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--alerts") {
+        let Some(spec) = args.get(pos + 1).cloned() else {
+            return fail("--alerts needs a mode: none | expect=SUBSTR[,SUBSTR...]");
+        };
+        alerts = Some(match spec.as_str() {
+            "none" => AlertExpectation::None,
+            s => match s.strip_prefix("expect=") {
+                Some(list) if !list.is_empty() => {
+                    AlertExpectation::Expect(list.split(',').map(str::to_string).collect())
+                }
+                _ => return fail(&format!("--alerts: unknown mode {spec:?}")),
+            },
+        });
+        args.drain(pos..pos + 2);
+    }
     let [status_arg, manifest_arg] = args.as_slice() else {
-        return fail("usage: monitor_check STATUS_FILE MANIFEST_FILE");
+        return fail("usage: monitor_check STATUS_FILE MANIFEST_FILE [--alerts none|expect=...]");
     };
     let status_path = PathBuf::from(status_arg);
     let manifest_path = PathBuf::from(manifest_arg);
@@ -322,6 +433,28 @@ fn main() -> ExitCode {
     };
     if let Err(e) = check_prom(&prom_text) {
         return fail(&e);
+    }
+
+    if let Some(expectation) = &alerts {
+        let alerts_path = status_path.with_extension("alerts.jsonl");
+        // An absent log means zero transitions — fine for a clean run,
+        // fatal when firings were expected.
+        let alerts_text = match read(&alerts_path, "alerts log") {
+            Ok(t) => t,
+            Err(CheckError::Missing(m)) => match expectation {
+                AlertExpectation::None => {
+                    println!("monitor_check: alerts ok: no log, zero firings");
+                    String::new()
+                }
+                AlertExpectation::Expect(_) => return fail_missing(&m),
+            },
+            Err(CheckError::Malformed(m)) => return fail(&m),
+        };
+        if !alerts_text.is_empty() {
+            if let Err(e) = check_alerts(&alerts_text, expectation) {
+                return fail(&e);
+            }
+        }
     }
     println!("monitor_check: observability plane healthy");
     ExitCode::SUCCESS

@@ -11,7 +11,15 @@
 //! - `<stem>.analysis.json` — the same report, machine-readable.
 //!
 //! Usage: `qoc-analyze [TRACE_FILE] [--savings-tolerance X] [--quiet]
-//! [--blackbox]` (the trace defaults to `$QOC_TRACE_FILE`).
+//! [--blackbox] [--profile FOLDED [--profile-tolerance X]]` (the trace
+//! defaults to `$QOC_TRACE_FILE`).
+//!
+//! `--profile` ingests a sampling-profiler `.profile.folded` file (written
+//! when the traced run also set `QOC_PROFILE_HZ`) and cross-checks the
+//! profiler's Jacobian-phase share against the trace-derived share — the
+//! two measure the same run through independent mechanisms, so a
+//! divergence beyond `--profile-tolerance` (default 0.15, relative) fails
+//! the run like any other sanity gate.
 //!
 //! `--blackbox` ingests a flight-recorder crash dump
 //! (`<checkpoint>.blackbox.jsonl`, written on `TrainError::Execution`)
@@ -56,6 +64,8 @@ fn main() -> ExitCode {
     let mut tolerance = 0.05f64;
     let mut quiet = false;
     let mut blackbox = false;
+    let mut profile_arg: Option<PathBuf> = None;
+    let mut profile_tolerance = 0.15f64;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -64,6 +74,20 @@ fn main() -> ExitCode {
                 tolerance = match args.get(i).and_then(|v| v.parse().ok()) {
                     Some(t) => t,
                     None => return fail("--savings-tolerance needs a numeric value"),
+                };
+            }
+            "--profile" => {
+                i += 1;
+                profile_arg = match args.get(i) {
+                    Some(p) => Some(PathBuf::from(p)),
+                    None => return fail("--profile needs a .profile.folded path"),
+                };
+            }
+            "--profile-tolerance" => {
+                i += 1;
+                profile_tolerance = match args.get(i).and_then(|v| v.parse().ok()) {
+                    Some(t) => t,
+                    None => return fail("--profile-tolerance needs a numeric value"),
                 };
             }
             "--quiet" => quiet = true,
@@ -155,7 +179,27 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         };
     }
-    let failures = analysis.sanity_failures(tolerance);
+    let mut failures = analysis.sanity_failures(tolerance);
+    if let Some(profile_path) = &profile_arg {
+        let folded_text = match std::fs::read_to_string(profile_path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                return fail_missing(&format!(
+                    "profile {} does not exist (did the run set QOC_PROFILE_HZ?)",
+                    profile_path.display()
+                ))
+            }
+            Err(e) => return fail(&format!("cannot read {}: {e}", profile_path.display())),
+        };
+        match analysis.reconcile_profile(&folded_text, profile_tolerance) {
+            Ok(summary) => {
+                if !quiet {
+                    println!("qoc-analyze: {summary}");
+                }
+            }
+            Err(e) => failures.push(e),
+        }
+    }
     if failures.is_empty() {
         ExitCode::SUCCESS
     } else {

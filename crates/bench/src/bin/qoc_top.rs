@@ -185,6 +185,30 @@ fn render(doc: &Value, losses: &[f64]) -> String {
             ));
         }
     }
+    // SLO alerts (only when rules are installed — QOC_ALERT_RULES or a
+    // serve host's defaults). Active firings render in red so a glance at
+    // the dashboard catches a sick run.
+    if let Some(alerts) = doc.get("alerts") {
+        let active = alerts
+            .get("active")
+            .and_then(Value::as_array)
+            .unwrap_or(&[]);
+        out.push_str(&format!(
+            "  alerts {} rules  {} fired  {} resolved  {} active\n",
+            get_u64(doc, &["alerts", "rules"]),
+            get_u64(doc, &["alerts", "fired_total"]),
+            get_u64(doc, &["alerts", "resolved_total"]),
+            active.len(),
+        ));
+        for firing in active {
+            let s = |k: &str| firing.get(k).and_then(Value::as_str).unwrap_or("?");
+            out.push_str(&format!(
+                "    \x1b[31mFIRING\x1b[0m {}  [{}]\n",
+                s("metric"),
+                s("rule"),
+            ));
+        }
+    }
     // Shot-allocation controller counters (all zero unless QOC_SHOT_ALLOC
     // is active — the section still renders so the layout is stable).
     out.push_str(&format!(

@@ -551,18 +551,10 @@ impl ShotAllocator {
             let decay = self.ema_decay;
             let stat = &mut self.params[i];
             let abs = grad[i].abs();
-            stat.ema_abs = if stat.evals == 0 {
-                abs
-            } else {
-                decay * stat.ema_abs + (1.0 - decay) * abs
-            };
+            stat.ema_abs = crate::stats::ema_update(decay, stat.ema_abs, stat.evals, abs);
             // σ̂²·s is shot-invariant; EMA it on the same schedule.
             let c = grad_var[i] * f64::from(spec.shots);
-            stat.noise = if stat.evals == 0 {
-                c
-            } else {
-                decay * stat.noise + (1.0 - decay) * c
-            };
+            stat.noise = crate::stats::ema_update(decay, stat.noise, stat.evals, c);
             stat.evals += 1;
             stat.skip_streak = 0;
         }

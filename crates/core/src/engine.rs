@@ -1129,7 +1129,17 @@ fn persist_run(
     write_jsonl(&trace_path.with_extension("steps.jsonl"), steps);
     write_jsonl(&trace_path.with_extension("evals.jsonl"), evals);
 
-    let manifest = Value::Object(vec![
+    // Continuous-profiler flush (`QOC_PROFILE_HZ`): collapsed stacks as a
+    // flamegraph-ready sibling, per-span totals in the manifest.
+    let profile = qoc_telemetry::profiler::report().map(|report| {
+        let folded_path = trace_path.with_extension("profile.folded");
+        if let Err(e) = std::fs::write(&folded_path, report.to_folded_text()) {
+            eprintln!("qoc: failed to write {}: {e}", folded_path.display());
+        }
+        report.to_manifest_json()
+    });
+
+    let mut entries = vec![
         ("config".to_string(), serde_json::to_value(config)),
         ("seed".to_string(), Value::UInt(config.seed)),
         ("run_id".to_string(), Value::Str(run_id.to_string())),
@@ -1150,7 +1160,11 @@ fn persist_run(
             "metrics".to_string(),
             serde_json::to_value(&qoc_telemetry::metrics::Registry::global().snapshot()),
         ),
-    ]);
+    ];
+    if let Some(profile) = profile {
+        entries.push(("profile".to_string(), profile));
+    }
+    let manifest = Value::Object(entries);
     let manifest_path = trace_path.with_extension("manifest.json");
     match serde_json::to_string_pretty(&manifest) {
         Ok(text) => {

@@ -216,11 +216,7 @@ impl GradientHealth {
             let p = &mut self.params[i];
             let g = grad[i];
             let abs = g.abs();
-            p.ema = if p.evals == 0 {
-                abs
-            } else {
-                self.config.ema_decay * p.ema + (1.0 - self.config.ema_decay) * abs
-            };
+            p.ema = crate::stats::ema_update(self.config.ema_decay, p.ema, p.evals, abs);
             let sign = if g > 0.0 {
                 1i8
             } else if g < 0.0 {

@@ -57,6 +57,7 @@ pub mod prune;
 pub mod sched;
 pub mod shift;
 pub mod spsa;
+pub mod stats;
 pub mod vqe;
 pub mod zne;
 

@@ -1,0 +1,98 @@
+//! Shared streaming statistics.
+//!
+//! The gradient-health tracker ([`crate::health`]) and the shot-allocation
+//! controller ([`crate::alloc`]) both maintain per-parameter exponential
+//! moving averages with the same first-sample rule. The update lived as two
+//! (then three) inline copies; checkpoint bit-identity across resumes means
+//! any drift between them would be a silent correctness bug, so the rule
+//! lives here exactly once.
+
+/// One EMA step with first-sample initialization: the first observation
+/// (`evals == 0`) *sets* the average; later observations blend as
+/// `decay · prev + (1 − decay) · x`.
+///
+/// The floating-point operation order is part of the contract — checkpoint
+/// accumulators round-trip through files and must replay bit-identically,
+/// so callers get exactly `decay * prev + (1.0 - decay) * x`, never an
+/// algebraic rearrangement.
+#[inline]
+pub fn ema_update(decay: f64, prev: f64, evals: u64, x: f64) -> f64 {
+    if evals == 0 {
+        x
+    } else {
+        decay * prev + (1.0 - decay) * x
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact inline formula `health.rs` used before deduplication.
+    fn health_original(ema_decay: f64, ema: f64, evals: u64, abs: f64) -> f64 {
+        if evals == 0 {
+            abs
+        } else {
+            ema_decay * ema + (1.0 - ema_decay) * abs
+        }
+    }
+
+    /// The exact inline formula `alloc.rs` used (both the `ema_abs` and the
+    /// shot-invariant `noise` accumulator followed this shape).
+    fn alloc_original(decay: f64, prev: f64, evals: u64, c: f64) -> f64 {
+        if evals == 0 {
+            c
+        } else {
+            decay * prev + (1.0 - decay) * c
+        }
+    }
+
+    /// Deterministic f64 stream with awkward magnitudes (SplitMix64 bits
+    /// mapped into [0, 8) plus denormal-ish tails).
+    fn stream(seed: u64, n: usize) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = state;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^= z >> 31;
+                (z >> 11) as f64 / (1u64 << 53) as f64 * 8.0 + 1e-300
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bit_identical_to_health_inline_formula() {
+        for seed in [1u64, 7, 99] {
+            let (mut a, mut b) = (0.0f64, 0.0f64);
+            for (evals, x) in stream(seed, 500).into_iter().enumerate() {
+                a = health_original(0.5, a, evals as u64, x);
+                b = ema_update(0.5, b, evals as u64, x);
+                assert_eq!(a.to_bits(), b.to_bits(), "seed {seed} eval {evals}");
+            }
+        }
+    }
+
+    #[test]
+    fn bit_identical_to_alloc_inline_formula() {
+        // Both alloc accumulators (|g| EMA and σ̂²·s noise EMA) used the
+        // same shape; replay each against the helper, including a
+        // non-default decay to catch an accidentally hardcoded 0.5.
+        for decay in [0.5f64, 0.3] {
+            let (mut a, mut b) = (0.0f64, 0.0f64);
+            for (evals, x) in stream(42, 500).into_iter().enumerate() {
+                a = alloc_original(decay, a, evals as u64, x);
+                b = ema_update(decay, b, evals as u64, x);
+                assert_eq!(a.to_bits(), b.to_bits(), "decay {decay} eval {evals}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_sample_sets_the_average() {
+        assert_eq!(ema_update(0.5, 123.0, 0, 7.0), 7.0);
+        assert_eq!(ema_update(0.5, 4.0, 1, 8.0), 6.0);
+    }
+}

@@ -114,8 +114,9 @@ pub enum AdmissionError {
         /// The rejected tenant name.
         tenant: String,
     },
-    /// The tenant name cannot be used (empty, or contains `.` /
-    /// whitespace — tenant names become metric-name segments).
+    /// The tenant name cannot be used (empty, over-long, or contains a
+    /// character outside `[A-Za-z0-9_-]` — tenant names become metric-name
+    /// segments and Prometheus label values).
     InvalidTenant {
         /// The rejected tenant name.
         tenant: String,
@@ -144,7 +145,7 @@ impl fmt::Display for AdmissionError {
             }
             AdmissionError::InvalidTenant { tenant } => write!(
                 f,
-                "tenant name {tenant:?} is invalid (must be non-empty, no '.' or whitespace)"
+                "tenant name {tenant:?} is invalid (1-{MAX_TENANT_NAME_LEN} chars from [A-Za-z0-9_-])"
             ),
             AdmissionError::Infeasible { qubits, widest } => write!(
                 f,
@@ -157,10 +158,26 @@ impl fmt::Display for AdmissionError {
 
 impl std::error::Error for AdmissionError {}
 
+/// Longest accepted tenant name. Tenant names are embedded into every
+/// per-tenant metric name; an unbounded name would bloat the registry and
+/// the status document.
+pub const MAX_TENANT_NAME_LEN: usize = 64;
+
 /// `true` when `tenant` may be used as a tenant name (and therefore as a
-/// metric-name segment under `qoc.serve.tenant.<tenant>.`).
+/// metric-name segment under `qoc.serve.tenant.<tenant>.` and, downstream,
+/// a Prometheus label value).
+///
+/// The allow-list is deliberately strict — ASCII alphanumerics plus `-` and
+/// `_`, 1..=[`MAX_TENANT_NAME_LEN`] chars. Anything laxer lets a hostile
+/// tenant id smuggle metric-name separators (`.`), Prometheus escapes
+/// (`"` `\` newline), or exposition-format syntax (`{` `}` `,` `=`) into
+/// exported telemetry.
 pub fn tenant_name_ok(tenant: &str) -> bool {
-    !tenant.is_empty() && !tenant.contains('.') && !tenant.chars().any(char::is_whitespace)
+    !tenant.is_empty()
+        && tenant.len() <= MAX_TENANT_NAME_LEN
+        && tenant
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
 }
 
 #[cfg(test)]
@@ -190,8 +207,32 @@ mod tests {
     fn tenant_names_are_vetted() {
         assert!(tenant_name_ok("acme"));
         assert!(tenant_name_ok("acme-2"));
+        assert!(tenant_name_ok("Tenant_01"));
+        assert!(tenant_name_ok(&"a".repeat(MAX_TENANT_NAME_LEN)));
         assert!(!tenant_name_ok(""));
         assert!(!tenant_name_ok("a.b"));
         assert!(!tenant_name_ok("a b"));
+        assert!(!tenant_name_ok(&"a".repeat(MAX_TENANT_NAME_LEN + 1)));
+    }
+
+    #[test]
+    fn hostile_tenant_names_are_rejected() {
+        // Each of these would corrupt a downstream surface if admitted:
+        // metric-name dots, Prometheus label escapes, exposition syntax,
+        // control characters, and non-ASCII homoglyphs.
+        for hostile in [
+            "evil\"tenant",    // label-value quote
+            "back\\slash",     // label-value escape
+            "new\nline",       // label-value newline
+            "a{b}",            // exposition braces
+            "a,b=c",           // exposition separators
+            "tab\there",       // control char
+            "caf\u{e9}",       // non-ASCII
+            "\u{202e}gnp.exe", // bidi override
+            "null\u{0}byte",   // NUL
+            "emoji-\u{1f600}", // astral plane
+        ] {
+            assert!(!tenant_name_ok(hostile), "admitted hostile id {hostile:?}");
+        }
     }
 }

@@ -40,15 +40,16 @@
 use std::collections::{BTreeMap, VecDeque};
 use std::path::PathBuf;
 use std::sync::atomic::Ordering;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use qoc_core::engine::{run_id_for_seed, EvalRecord, StepRecord};
 use qoc_core::{
     CheckpointConfig, DeviceCounters, RunAnchor, TrainError, TrainObserver, TrainState,
 };
 use qoc_device::pool::{DevicePool, PooledDevice};
-use qoc_telemetry::metrics::{Counter, Registry};
+use qoc_telemetry::metrics::{Counter, Histogram, Registry};
 
 use crate::job::{JobHandle, JobId, JobOutcome, JobPhase, JobShared, TrainRequest};
 use crate::preempt::PreemptableBackend;
@@ -95,6 +96,10 @@ struct TenantCounters {
     resumed: Arc<Counter>,
     steps: Arc<Counter>,
     device_ns: Arc<Counter>,
+    /// Admission (or preemption requeue) → dispatch latency. A histogram —
+    /// the status exporter's tenant section only mirrors counters, so this
+    /// surfaces through `histograms` / Prometheus / the SLO rules instead.
+    queue_wait_ns: Arc<Histogram>,
 }
 
 impl TenantCounters {
@@ -115,6 +120,13 @@ impl TenantCounters {
             resumed: c("resumed"),
             steps: c("steps"),
             device_ns: c("device_ns"),
+            queue_wait_ns: reg.histogram(
+                &format!(
+                    "{}{tenant}.queue_wait_ns",
+                    qoc_telemetry::export::TENANT_METRIC_PREFIX
+                ),
+                &Histogram::exponential_bounds(1_000, 4, 16),
+            ),
         }
     }
 }
@@ -128,6 +140,9 @@ struct QueuedJob {
     resume: Option<TrainState>,
     /// Device class index chosen at admission.
     class: usize,
+    /// When this entry joined the queue (reset on preemption requeue);
+    /// dispatch records the delta as `queue_wait_ns`.
+    queued_at: Instant,
 }
 
 #[derive(Default)]
@@ -220,10 +235,23 @@ impl std::fmt::Debug for ServerInner {
     }
 }
 
+/// SLO rules every server installs into the global alert engine: queue-wait
+/// p99 sustained over a minute, and any job failure. Per-tenant via the
+/// one-segment wildcard; user rules from `QOC_ALERT_RULES` coexist (the
+/// engine dedupes by rule text).
+pub const DEFAULT_SLO_RULES: &str =
+    "qoc.serve.tenant.*.queue_wait_ns p99 > 60s for 3 windows; qoc.serve.tenant.*.failed > 0";
+
 impl Server {
     /// Starts a server over `pool`. The scheduler thread runs until
     /// [`Server::shutdown`] (or drop, which drains first).
     pub fn new(pool: Arc<DevicePool>, cfg: ServeConfig) -> Server {
+        static SLO_RULES: OnceLock<()> = OnceLock::new();
+        SLO_RULES.get_or_init(|| {
+            if let Err(err) = qoc_telemetry::alerts::install_rules(DEFAULT_SLO_RULES) {
+                eprintln!("qoc-serve: default SLO rules rejected: {err}");
+            }
+        });
         let inner = Arc::new(ServerInner {
             pool,
             cfg,
@@ -303,6 +331,7 @@ impl Server {
             request,
             resume: None,
             class,
+            queued_at: Instant::now(),
         });
         tenant.max_queued_observed = tenant.max_queued_observed.max(tenant.queue.len());
         counters.submitted.inc();
@@ -403,6 +432,10 @@ fn scheduler_loop(inner: &Arc<ServerInner>) {
             };
             let tenant = state.tenants.get_mut(&name).unwrap();
             let job = tenant.queue.pop_front().unwrap();
+            tenant
+                .counters(&name)
+                .queue_wait_ns
+                .record(job.queued_at.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
             tenant.running += 1;
             tenant.max_running_observed = tenant.max_running_observed.max(tenant.running);
             state.tick += 1;
@@ -524,6 +557,7 @@ fn run_job(
                 }
                 let tenant = state.tenants.get_mut(&shared.tenant).unwrap();
                 job.resume = resume;
+                job.queued_at = Instant::now();
                 tenant.queue.push_front(job);
                 tenant.max_queued_observed = tenant.max_queued_observed.max(tenant.queue.len());
                 tenant.running -= 1;

@@ -69,15 +69,20 @@ fn tiny_server(quota: TenantQuota, tenants: Option<Vec<String>>) -> Server {
 
 #[test]
 fn admission_is_typed_and_tenant_scoped() {
-    let server = tiny_server(TenantQuota::default(), Some(vec!["acme".to_string()]));
+    // Tenant names are unique per test: the per-tenant counters live in the
+    // process-global metrics registry, so tests sharing a name would see
+    // each other's totals.
+    let server = tiny_server(TenantQuota::default(), Some(vec!["adm-acme".to_string()]));
     // Unknown tenant → typed rejection, nothing queued.
     let err = server.submit(tiny_request("ghost", 1)).unwrap_err();
     assert!(matches!(err, AdmissionError::UnknownTenant { .. }));
     // Metric-hostile names are rejected before anything registers.
     let err = server.submit(tiny_request("a.b", 1)).unwrap_err();
     assert!(matches!(err, AdmissionError::InvalidTenant { .. }));
+    let err = server.submit(tiny_request("evil\"name", 1)).unwrap_err();
+    assert!(matches!(err, AdmissionError::InvalidTenant { .. }));
     // Allowed tenant flows through to completion.
-    let handle = server.submit(tiny_request("acme", 2)).unwrap();
+    let handle = server.submit(tiny_request("adm-acme", 2)).unwrap();
     match handle.wait() {
         JobOutcome::Finished(result) => assert_eq!(result.steps.len(), 2),
         JobOutcome::Failed(e) => panic!("{e}"),
@@ -110,13 +115,13 @@ fn queue_cap_rejects_with_backpressure_error() {
     // must be the typed QueueFull, and retrying after a drain succeeds.
     for seed in 0..8u64 {
         loop {
-            match server.submit(tiny_request("acme", 100 + seed)) {
+            match server.submit(tiny_request("cap-acme", 100 + seed)) {
                 Ok(h) => {
                     handles.push(h);
                     break;
                 }
                 Err(AdmissionError::QueueFull { tenant, cap, .. }) => {
-                    assert_eq!(tenant, "acme");
+                    assert_eq!(tenant, "cap-acme");
                     assert_eq!(cap, 2);
                     rejected += 1;
                     std::thread::sleep(std::time::Duration::from_millis(1));
@@ -148,7 +153,7 @@ fn fair_share_respects_per_tenant_running_caps() {
     ));
     let mut handles = Vec::new();
     for seed in 0..6u64 {
-        let tenant = ["acme", "blue", "crux"][seed as usize % 3];
+        let tenant = ["fs-acme", "fs-blue", "fs-crux"][seed as usize % 3];
         handles.push(server.submit(tiny_request(tenant, 200 + seed)).unwrap());
     }
     server.drain();

@@ -32,8 +32,10 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
+use crate::alerts;
 use crate::metrics::{MetricsSnapshot, Registry};
 use crate::prom;
+use crate::Level;
 
 /// Minimum wall time between heartbeat refreshes of the status file while
 /// no step boundary is reached (long Jacobians, large eval batches).
@@ -41,6 +43,13 @@ const HEARTBEAT_FLOOR_MS: u128 = 2_000;
 
 /// EMA smoothing for the step rate: weight of the newest inter-step rate.
 const RATE_EMA_ALPHA: f64 = 0.3;
+
+/// Default cap on `<stem>.history.jsonl` lines before rotate-on-cap
+/// (`QOC_STATUS_HISTORY_MAX`) — bounds the history of a week-long serve run.
+pub const DEFAULT_HISTORY_MAX: u64 = 10_000;
+
+/// Environment variable overriding [`DEFAULT_HISTORY_MAX`].
+pub const HISTORY_MAX_ENV: &str = "QOC_STATUS_HISTORY_MAX";
 
 /// Engine-stamped core of a status snapshot — everything the metrics
 /// registry can *not* provide exactly: run identity, training progress, and
@@ -81,6 +90,9 @@ struct ExportState {
     step_rate: Option<f64>,
     /// Snapshots published so far (strictly increasing `snapshot` field).
     snapshots: u64,
+    /// Lines currently in the history sibling (`None` until first counted,
+    /// so a pre-existing file from a resumed run is respected).
+    history_lines: Option<u64>,
 }
 
 /// Writes live status snapshots (see module docs). One per process, built
@@ -89,6 +101,9 @@ struct ExportState {
 pub struct StatusExporter {
     path: PathBuf,
     every: u64,
+    /// History-sibling line cap: reaching it atomically rotates the file to
+    /// `<stem>.history.jsonl.1` and starts fresh.
+    history_max: u64,
     epoch: Instant,
     state: Mutex<ExportState>,
 }
@@ -141,12 +156,25 @@ impl StatusExporter {
     /// An exporter publishing to `path` every `every` steps. Public for
     /// tests; production goes through [`global`].
     pub fn new(path: PathBuf, every: u64) -> Self {
+        let history_max = std::env::var(HISTORY_MAX_ENV)
+            .ok()
+            .and_then(|v| v.trim().parse::<u64>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_HISTORY_MAX);
         StatusExporter {
             path,
             every: every.max(1),
+            history_max,
             epoch: Instant::now(),
             state: Mutex::new(ExportState::default()),
         }
+    }
+
+    /// Overrides the history-rotation cap (tests; production reads
+    /// `QOC_STATUS_HISTORY_MAX`).
+    pub fn with_history_max(mut self, max: u64) -> Self {
+        self.history_max = max.max(1);
+        self
     }
 
     /// The status file path (siblings derive from it).
@@ -218,9 +246,30 @@ impl StatusExporter {
     fn publish(&self, st: &mut ExportState, with_history: bool) {
         st.snapshots += 1;
         st.last_write = Some(Instant::now());
-        let metrics = Registry::global().snapshot();
+        let mut metrics = Registry::global().snapshot();
         let core = st.core.as_ref().expect("publish without core");
-        let doc = status_doc(core, &metrics, st.snapshots, self.epoch, st.step_rate);
+        // Alert evaluation rides the publish cadence: every rule sees the
+        // same snapshot the document is rendered from. Terminal states
+        // flush still-active firings so the log pairs every firing with an
+        // outcome.
+        let mut transitions = alerts::evaluate(&metrics);
+        if core.state != "running" {
+            transitions.extend(alerts::finalize());
+        }
+        if !transitions.is_empty() {
+            self.record_transitions(&transitions, st.snapshots);
+            // Re-snapshot so the document and Prometheus sibling include
+            // the qoc.alerts.* metrics the transitions just bumped.
+            metrics = Registry::global().snapshot();
+        }
+        let doc = status_doc(
+            core,
+            &metrics,
+            st.snapshots,
+            self.epoch,
+            st.step_rate,
+            alerts::section(),
+        );
         let json = serde_json::to_string(&doc).expect("infallible");
         if let Err(err) = write_atomic(&self.path, &json) {
             eprintln!("qoc-telemetry: status export to {:?}: {err}", self.path);
@@ -228,8 +277,29 @@ impl StatusExporter {
         }
         if with_history {
             let history = self.path.with_extension("history.jsonl");
-            if let Err(err) = append_line(&history, &json) {
-                eprintln!("qoc-telemetry: status history {history:?}: {err}");
+            let mut lines = match st.history_lines {
+                Some(n) => n,
+                // First append of this process: respect lines a previous
+                // process (resume, shared host) already wrote.
+                None => std::fs::read_to_string(&history)
+                    .map(|text| text.lines().count() as u64)
+                    .unwrap_or(0),
+            };
+            if lines >= self.history_max {
+                let rotated = self.path.with_extension("history.jsonl.1");
+                match std::fs::rename(&history, &rotated) {
+                    Ok(()) => lines = 0,
+                    Err(err) => {
+                        eprintln!("qoc-telemetry: history rotate {history:?}: {err}")
+                    }
+                }
+            }
+            match append_line(&history, &json) {
+                Ok(()) => st.history_lines = Some(lines + 1),
+                Err(err) => {
+                    st.history_lines = Some(lines);
+                    eprintln!("qoc-telemetry: status history {history:?}: {err}");
+                }
             }
         }
         let prom_path = self.path.with_extension("prom");
@@ -237,6 +307,71 @@ impl StatusExporter {
             eprintln!("qoc-telemetry: prometheus export to {prom_path:?}: {err}");
         }
     }
+
+    /// Turns alert transitions into their three artifacts: pinned-schema
+    /// trace events, `<stem>.alerts.jsonl` lines, and registry metrics.
+    fn record_transitions(&self, transitions: &[alerts::AlertTransition], snapshot: u64) {
+        let registry = Registry::global();
+        let fired = transitions.iter().filter(|t| t.kind == "fired").count() as u64;
+        let resolved = transitions.len() as u64 - fired;
+        if fired > 0 {
+            registry.counter("qoc.alerts.fired").add(fired);
+        }
+        if resolved > 0 {
+            registry.counter("qoc.alerts.resolved").add(resolved);
+        }
+        registry
+            .gauge("qoc.alerts.active")
+            .set(alerts::active_count() as f64);
+        let log = self.path.with_extension("alerts.jsonl");
+        let ts_ns = self.epoch.elapsed().as_nanos() as u64;
+        for t in transitions {
+            // Firings and resolutions are trace events too (terminal
+            // flushes live only in the log — the run is already over).
+            if crate::enabled() && t.kind != "terminal" {
+                let (level, name) = if t.kind == "fired" {
+                    (Level::Warn, "alert.fired")
+                } else {
+                    (Level::Info, "alert.resolved")
+                };
+                crate::dispatch_event(
+                    level,
+                    name,
+                    vec![
+                        ("rule", crate::FieldValue::Str(t.rule.clone())),
+                        ("metric", crate::FieldValue::Str(t.metric.clone())),
+                        ("value", crate::FieldValue::F64(t.value)),
+                        ("threshold", crate::FieldValue::F64(t.threshold)),
+                        ("windows", crate::FieldValue::U64(t.windows)),
+                    ],
+                );
+            }
+            let line = alert_line(t, ts_ns, snapshot);
+            let json = serde_json::to_string(&line).expect("infallible");
+            if let Err(err) = append_line(&log, &json) {
+                eprintln!("qoc-telemetry: alert log {log:?}: {err}");
+            }
+        }
+    }
+}
+
+/// Renders one `<stem>.alerts.jsonl` line (shape pinned by
+/// [`schema::check_alert_line`](crate::schema::check_alert_line)).
+fn alert_line(t: &alerts::AlertTransition, ts_ns: u64, snapshot: u64) -> serde::Value {
+    use serde::Value;
+    // An infinite burn ratio (numerator moved, denominator did not) must
+    // still serialize to legal JSON.
+    let finite = |v: f64| if v.is_finite() { v } else { f64::MAX };
+    Value::Object(vec![
+        ("ts_ns".into(), Value::UInt(ts_ns)),
+        ("kind".into(), Value::Str(t.kind.to_string())),
+        ("rule".into(), Value::Str(t.rule.clone())),
+        ("metric".into(), Value::Str(t.metric.clone())),
+        ("value".into(), Value::Float(finite(t.value))),
+        ("threshold".into(), Value::Float(finite(t.threshold))),
+        ("windows".into(), Value::UInt(t.windows)),
+        ("snapshot".into(), Value::UInt(snapshot)),
+    ])
 }
 
 /// Builds the status document from the engine-stamped core plus
@@ -247,6 +382,7 @@ fn status_doc(
     snapshot: u64,
     epoch: Instant,
     step_rate: Option<f64>,
+    alerts_section: Option<serde::Value>,
 ) -> serde::Value {
     use serde::Value;
 
@@ -352,6 +488,12 @@ fn status_doc(
     // host runs in this process.
     if let Some(tenants) = tenant_section(metrics) {
         entries.push(("tenants".into(), tenants));
+    }
+
+    // SLO/alert engine state (absent unless rules are installed, so golden
+    // docs from rule-free runs stay byte-stable).
+    if let Some(alerts) = alerts_section {
+        entries.push(("alerts".into(), alerts));
     }
 
     let busy = metrics.histogram("qoc.device.worker_busy_ns");
@@ -607,6 +749,92 @@ mod tests {
             Some(5)
         );
         std::fs::remove_file(&path).ok();
+        std::fs::remove_file(path.with_extension("history.jsonl")).ok();
+        std::fs::remove_file(path.with_extension("prom")).ok();
+    }
+
+    #[test]
+    fn history_rotates_on_cap_and_respects_existing_lines() {
+        let path = tmp_status_path("rotate");
+        let history = path.with_extension("history.jsonl");
+        let rotated = path.with_extension("history.jsonl.1");
+        std::fs::remove_file(&history).ok();
+        std::fs::remove_file(&rotated).ok();
+        let exporter = StatusExporter::new(path.clone(), 1).with_history_max(3);
+        for step in 1..=7 {
+            exporter.on_step(core(step, step));
+        }
+        // 7 appends at cap 3: rotations after lines 3 and 6, one line live.
+        let live = std::fs::read_to_string(&history).unwrap();
+        assert_eq!(live.lines().count(), 1, "live history holds the remainder");
+        let old = std::fs::read_to_string(&rotated).unwrap();
+        assert_eq!(old.lines().count(), 3, "rotation keeps the previous cap");
+        // Every surviving line is still a schema-valid snapshot.
+        for line in live.lines().chain(old.lines()) {
+            check_status_doc(&serde_json::from_str(line).unwrap()).expect("schema");
+        }
+        // A fresh exporter over the same files counts the pre-existing line
+        // instead of clobbering it (resume/shared-host case).
+        let exporter2 = StatusExporter::new(path.clone(), 1).with_history_max(3);
+        exporter2.on_step(core(8, 8));
+        exporter2.on_step(core(9, 9));
+        assert_eq!(
+            std::fs::read_to_string(&history).unwrap().lines().count(),
+            3,
+            "second process appended to the surviving lines"
+        );
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&history).ok();
+        std::fs::remove_file(&rotated).ok();
+        std::fs::remove_file(path.with_extension("prom")).ok();
+    }
+
+    #[test]
+    fn alert_transitions_reach_log_doc_and_registry() {
+        let path = tmp_status_path("alerts");
+        let log = path.with_extension("alerts.jsonl");
+        std::fs::remove_file(&log).ok();
+        // Rules live in the process-global engine: use a metric name no
+        // other test touches, and a rule on the global registry.
+        crate::alerts::install_rules("t.export.alert_probe > 10 for 2 windows")
+            .expect("rule parses");
+        let gauge = Registry::global().gauge("t.export.alert_probe");
+        let exporter = StatusExporter::new(path.clone(), 1);
+        gauge.set(50.0);
+        exporter.on_step(core(1, 1)); // streak 1
+        exporter.on_step(core(2, 2)); // streak 2 → fires
+        let doc: serde::Value =
+            serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        check_status_doc(&doc).expect("doc with alerts section");
+        let alerts = doc.get("alerts").expect("alerts section present");
+        let active = alerts.get("active").unwrap().as_array().unwrap();
+        assert!(
+            active
+                .iter()
+                .any(|a| a.get("metric").unwrap().as_str() == Some("t.export.alert_probe")),
+            "probe alert active in doc: {alerts:?}"
+        );
+        gauge.set(0.0);
+        let mut fin = core(3, 3);
+        fin.state = "finished";
+        exporter.on_step(fin);
+        let text = std::fs::read_to_string(&log).expect("alert log exists");
+        let kinds: Vec<String> = text
+            .lines()
+            .map(|l| {
+                let v: serde::Value = serde_json::from_str(l).unwrap();
+                crate::schema::check_alert_line(&v).expect("alert line schema");
+                v.get("kind").unwrap().as_str().unwrap().to_string()
+            })
+            .collect();
+        assert!(kinds.contains(&"fired".to_string()), "kinds: {kinds:?}");
+        assert!(
+            kinds.contains(&"resolved".to_string()),
+            "resolution logged: {kinds:?}"
+        );
+        assert!(Registry::global().counter("qoc.alerts.fired").get() >= 1);
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(&log).ok();
         std::fs::remove_file(path.with_extension("history.jsonl")).ok();
         std::fs::remove_file(path.with_extension("prom")).ok();
     }

@@ -41,9 +41,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod alerts;
 pub mod export;
 pub mod flight;
 pub mod metrics;
+pub mod profiler;
 pub mod prom;
 pub mod quantile;
 pub mod schema;
@@ -284,8 +286,12 @@ fn global() -> &'static Telemetry {
         }
         // A configured status exporter needs the gated instrumentation
         // (SNR, queue-wait) to feed the metrics registry even when no
-        // record subscriber exists.
-        let active = !subscribers.is_empty() || export::configured_from_env();
+        // record subscriber exists; a configured profiler needs the spans
+        // themselves to be constructed so their stacks can be sampled.
+        let active = !subscribers.is_empty()
+            || export::configured_from_env()
+            || profiler::configured_from_env();
+        profiler::start_from_env();
         Telemetry {
             active: AtomicBool::new(active),
             epoch: Instant::now(),
@@ -401,16 +407,25 @@ pub struct SpanGuard {
     level: Level,
     start: Instant,
     fields: Vec<(&'static str, FieldValue)>,
+    /// Whether this guard published itself to the profiler slot — recorded
+    /// at construction so push/pop stay balanced even if the profiler
+    /// activates mid-span.
+    profiled: bool,
 }
 
 impl SpanGuard {
     /// Opens a span (spans emit at [`Level::Debug`]).
     pub fn new(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> Self {
+        let profiled = profiler::active();
+        if profiled {
+            profiler::push_span(name);
+        }
         SpanGuard {
             name,
             level: Level::Debug,
             start: Instant::now(),
             fields,
+            profiled,
         }
     }
 
@@ -428,6 +443,9 @@ impl SpanGuard {
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
+        if self.profiled {
+            profiler::pop_span();
+        }
         dispatch(
             self.level,
             RecordKind::Span,

@@ -40,6 +40,27 @@ pub fn sanitize(name: &str) -> String {
     out
 }
 
+/// Escapes a string for use as a Prometheus label *value* (`\` → `\\`,
+/// `"` → `\"`, newline → `\n`, per the exposition format).
+///
+/// Today every label value the renderer emits is internal (`le`,
+/// `quantile`), and tenant ids are vetted at serve admission before they
+/// reach a metric name — but any future label sourced from user input MUST
+/// pass through here, so the escaping rule lives next to the renderer with
+/// hostile-input tests below.
+pub fn escape_label_value(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
 fn write_value(line: &mut String, v: f64) {
     if v.is_infinite() {
         line.push_str(if v > 0.0 { "+Inf" } else { "-Inf" });
@@ -142,5 +163,95 @@ mod tests {
             );
         }
         assert!(text.ends_with('\n'));
+    }
+
+    /// Hostile tenant ids that must never corrupt the exposition output.
+    /// Serve admission rejects all of these, but the renderer is the last
+    /// line of defense — a compromised or future caller that skips
+    /// admission still may not produce an unscrapeable `.prom` file.
+    const HOSTILE_IDS: &[&str] = &[
+        "evil\"tenant",
+        "back\\slash",
+        "new\nline",
+        "crlf\r\n",
+        "brace{le=\"1\"}",
+        "comma,eq=",
+        "caf\u{e9}",        // UTF-8, two bytes
+        "emoji-\u{1f600}",  // UTF-8, four bytes
+        "\u{202e}override", // bidi control
+        "nul\u{0}byte",
+    ];
+
+    #[test]
+    fn hostile_tenant_ids_sanitize_to_legal_metric_names() {
+        for id in HOSTILE_IDS {
+            let name = sanitize(&format!("qoc.serve.tenant.{id}.completed"));
+            assert!(
+                name.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "sanitize left illegal chars for {id:?}: {name:?}"
+            );
+            assert!(!name.chars().next().unwrap().is_ascii_digit());
+        }
+    }
+
+    #[test]
+    fn hostile_tenant_ids_escape_to_legal_label_values() {
+        for id in HOSTILE_IDS {
+            let escaped = escape_label_value(id);
+            // No raw quote may survive unescaped (it would close the label
+            // early), and no raw newline may survive at all.
+            let mut prev_backslashes = 0usize;
+            for c in escaped.chars() {
+                match c {
+                    '"' => assert!(
+                        prev_backslashes % 2 == 1,
+                        "unescaped quote in {escaped:?} (from {id:?})"
+                    ),
+                    '\n' => panic!("raw newline in {escaped:?} (from {id:?})"),
+                    _ => {}
+                }
+                prev_backslashes = if c == '\\' { prev_backslashes + 1 } else { 0 };
+            }
+        }
+        assert_eq!(escape_label_value("a\"b"), "a\\\"b");
+        assert_eq!(escape_label_value("a\\b"), "a\\\\b");
+        assert_eq!(escape_label_value("a\nb"), "a\\nb");
+        assert_eq!(escape_label_value("plain-1_2"), "plain-1_2");
+    }
+
+    #[test]
+    fn render_survives_hostile_tenant_metric_names() {
+        let reg = Registry::new();
+        for (i, id) in HOSTILE_IDS.iter().enumerate() {
+            reg.counter(&format!("t.prom.hostile.{id}.completed"))
+                .add(i as u64 + 1);
+            reg.histogram(&format!("t.prom.hostile.{id}.queue_wait_ns"), &[10])
+                .record(5);
+        }
+        let text = render(&reg.snapshot());
+        // Every non-comment line must still parse as `name[{labels}] value`
+        // with a numeric value and no control characters.
+        for line in text.lines() {
+            assert!(
+                !line.chars().any(|c| c.is_control()),
+                "control char leaked into {line:?}"
+            );
+            if line.starts_with('#') {
+                continue;
+            }
+            let (sample, value) = line.rsplit_once(' ').expect("sample has a value");
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf" || value == "NaN",
+                "unparseable sample value in {line:?}"
+            );
+            let name_part = sample.split('{').next().unwrap();
+            assert!(
+                name_part
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':'),
+                "illegal metric name in {line:?}"
+            );
+        }
     }
 }

@@ -123,6 +123,30 @@ pub const RUN_HEADER_FIELDS: &[(&str, FieldKind)] = &[
     ("backend", FieldKind::Str),
 ];
 
+/// Required fields of an `alert.fired` / `alert.resolved` event: one per
+/// SLO-rule state transition, emitted at status-exporter cadence.
+pub const ALERT_EVENT_FIELDS: &[(&str, FieldKind)] = &[
+    ("rule", FieldKind::Str),
+    ("metric", FieldKind::Str),
+    ("value", FieldKind::Num),
+    ("threshold", FieldKind::Num),
+    ("windows", FieldKind::UInt),
+];
+
+/// Required fields of one `<stem>.alerts.jsonl` line: every rule transition
+/// (`fired`, `resolved`, or the `terminal` flush of a still-active firing
+/// when the run ends) appends one.
+pub const ALERT_LINE_FIELDS: &[(&str, FieldKind)] = &[
+    ("ts_ns", FieldKind::UInt),
+    ("kind", FieldKind::Str),
+    ("rule", FieldKind::Str),
+    ("metric", FieldKind::Str),
+    ("value", FieldKind::Num),
+    ("threshold", FieldKind::Num),
+    ("windows", FieldKind::UInt),
+    ("snapshot", FieldKind::UInt),
+];
+
 /// Required top-level fields of a live status snapshot (`QOC_STATUS_FILE`).
 pub const STATUS_DOC_FIELDS: &[(&str, FieldKind)] = &[
     ("schema_version", FieldKind::UInt),
@@ -227,6 +251,9 @@ pub fn check_trace_record(value: &Value) -> Result<(), String> {
             }
             Some("alloc.window") => check_fields(fields, ALLOC_WINDOW_FIELDS, "alloc.window")?,
             Some("run.header") => check_fields(fields, RUN_HEADER_FIELDS, "run.header")?,
+            Some(name @ ("alert.fired" | "alert.resolved")) => {
+                check_fields(fields, ALERT_EVENT_FIELDS, name)?
+            }
             _ => {}
         }
     }
@@ -282,7 +309,44 @@ pub fn check_status_doc(value: &Value) -> Result<(), String> {
             }
         }
     }
+    // Optional SLO/alert section (present only when alert rules are
+    // installed in the publishing process).
+    if let Some(alerts) = value.get("alerts") {
+        if alerts.as_object().is_none() {
+            return Err("status doc: alerts is not an object".to_string());
+        }
+        for key in ["rules", "fired_total", "resolved_total"] {
+            match alerts.get(key) {
+                Some(v) if FieldKind::UInt.matches(v) => {}
+                Some(_) => return Err(format!("status doc: alerts.{key} is not a UInt")),
+                None => return Err(format!("status doc: alerts missing {key}")),
+            }
+        }
+        let Some(active) = alerts.get("active").and_then(Value::as_array) else {
+            return Err("status doc: alerts.active is not an array".to_string());
+        };
+        for entry in active {
+            for key in ["rule", "metric"] {
+                if entry.get(key).and_then(Value::as_str).is_none() {
+                    return Err(format!("status doc: active alert missing Str {key}"));
+                }
+            }
+        }
+    }
     Ok(())
+}
+
+/// Validates one parsed `<stem>.alerts.jsonl` line.
+pub fn check_alert_line(value: &Value) -> Result<(), String> {
+    if value.as_object().is_none() {
+        return Err("alert line is not a JSON object".to_string());
+    }
+    check_fields(value, ALERT_LINE_FIELDS, "alert line")?;
+    match value.get("kind").and_then(Value::as_str) {
+        Some("fired" | "resolved" | "terminal") => Ok(()),
+        Some(other) => Err(format!("alert line: unknown kind {other:?}")),
+        None => unreachable!("checked by ALERT_LINE_FIELDS"),
+    }
 }
 
 /// Validates one parsed `<stem>.steps.jsonl` line.
@@ -373,6 +437,56 @@ mod tests {
         );
         let err = check_status_doc(&parse(&bad_tenant)).unwrap_err();
         assert!(err.contains("acme"), "unexpected error: {err}");
+    }
+
+    #[test]
+    fn golden_alert_events_and_lines_pass() {
+        // The pinned wire shape of an SLO transition event.
+        let fired = r#"{"ts":88000,"kind":"event","level":"warn","span":"alert.fired","thread":0,"fields":{"rule":"qoc.grad.snr p50 < 0.5 for 3 windows","metric":"qoc.grad.snr","value":0.31,"threshold":0.5,"windows":3}}"#;
+        assert_eq!(check_trace_record(&parse(fired)), Ok(()));
+        let resolved = fired.replace("alert.fired", "alert.resolved");
+        assert_eq!(check_trace_record(&parse(&resolved)), Ok(()));
+        let missing = fired.replace("\"metric\":\"qoc.grad.snr\",", "");
+        let err = check_trace_record(&parse(&missing)).unwrap_err();
+        assert!(err.contains("metric"), "unexpected error: {err}");
+
+        // The pinned shape of one <stem>.alerts.jsonl line; every firing
+        // pairs with a resolved or terminal line carrying the same rule.
+        let line = r#"{"ts_ns":91234567,"kind":"fired","rule":"qoc.device.retries > 0","metric":"qoc.device.retries","value":3,"threshold":0,"windows":1,"snapshot":7}"#;
+        assert_eq!(check_alert_line(&parse(line)), Ok(()));
+        for kind in ["resolved", "terminal"] {
+            let l = line.replace("\"kind\":\"fired\"", &format!("\"kind\":\"{kind}\""));
+            assert_eq!(check_alert_line(&parse(&l)), Ok(()));
+        }
+        let bad_kind = line.replace("\"kind\":\"fired\"", "\"kind\":\"sideways\"");
+        assert!(check_alert_line(&parse(&bad_kind))
+            .unwrap_err()
+            .contains("unknown kind"));
+        let missing = line.replace("\"snapshot\":7", "\"snapshots\":7");
+        assert!(check_alert_line(&parse(&missing))
+            .unwrap_err()
+            .contains("snapshot"));
+    }
+
+    #[test]
+    fn status_doc_alerts_section_is_validated() {
+        let doc = r#"{"schema_version":1,"run_id":"9a1f0c44d2e6b013","state":"running","backend":"fake_santiago","step":3,"steps_total":9,"loss":0.41,"best_accuracy":0.75,"prune_phase":"accumulating","snapshot":4,"uptime_ns":1200345,"step_rate":1.5,"device":{"circuits_run":740,"total_shots":757760,"device_ns":91234567}}"#;
+        let with_alerts = doc.replace(
+            "\"device\":",
+            r#""alerts":{"rules":2,"fired_total":1,"resolved_total":0,"active":[{"rule":"qoc.device.retries > 0","metric":"qoc.device.retries"}]},"device":"#,
+        );
+        assert_eq!(check_status_doc(&parse(&with_alerts)), Ok(()));
+        let bad_total = with_alerts.replace("\"fired_total\":1", "\"fired_total\":\"one\"");
+        assert!(check_status_doc(&parse(&bad_total))
+            .unwrap_err()
+            .contains("fired_total"));
+        let bad_active = with_alerts.replace(
+            r#"[{"rule":"qoc.device.retries > 0","metric":"qoc.device.retries"}]"#,
+            r#"[{"rule":"qoc.device.retries > 0"}]"#,
+        );
+        assert!(check_status_doc(&parse(&bad_active))
+            .unwrap_err()
+            .contains("metric"));
     }
 
     #[test]
